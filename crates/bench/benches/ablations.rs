@@ -1,0 +1,49 @@
+//! Design-choice ablations (gathering, gap threshold, buffer pool,
+//! arrivals, generation count, head policy) as Criterion comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elog_bench::bench_run_config;
+use elog_harness::experiments::ablations;
+use elog_harness::runner::run;
+use elog_workload::ArrivalProcess;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_series() {
+    PRINT.call_once(|| {
+        let cfg = ablations::Config { frac_long: 0.05, runtime_secs: 60, geometry: vec![18, 16] };
+        let points = ablations::run_experiment(&cfg);
+        println!("\n{}", ablations::table(&points).render());
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("ablation_runs_30s");
+    g.sample_size(10);
+
+    g.bench_function("baseline", |b| {
+        let cfg = bench_run_config(0.05, &[18, 16], true, 30);
+        b.iter(|| black_box(run(&cfg)))
+    });
+    g.bench_function("gather_off", |b| {
+        let mut cfg = bench_run_config(0.05, &[18, 16], true, 30);
+        cfg.el.log.gather_to_fill = false;
+        b.iter(|| black_box(run(&cfg)))
+    });
+    g.bench_function("poisson_arrivals", |b| {
+        let mut cfg = bench_run_config(0.05, &[18, 16], true, 30);
+        cfg.arrivals = ArrivalProcess::Poisson { rate_tps: 100.0 };
+        b.iter(|| black_box(run(&cfg)))
+    });
+    g.bench_function("three_generations", |b| {
+        let cfg = bench_run_config(0.05, &[12, 12, 10], true, 30);
+        b.iter(|| black_box(run(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

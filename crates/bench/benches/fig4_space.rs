@@ -1,0 +1,51 @@
+//! Figure 4 — minimum disk space vs transaction mix.
+//!
+//! Measures the cost of one minimum-space search per technique at the 5 %
+//! mix, and prints the figure's full series (shortened horizon) once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elog_core::MemoryModel;
+use elog_harness::experiments::fig4_6;
+use elog_harness::minspace::{el_min_space, fw_min_space, paper_base};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_series() {
+    PRINT.call_once(|| {
+        let mut cfg = fig4_6::Config::quick();
+        cfg.mixes = vec![0.05, 0.10, 0.20, 0.30, 0.40];
+        cfg.runtime_secs = 60;
+        let out = fig4_6::run_experiment(&cfg);
+        println!("\n{}", out.fig4_table().render());
+        for p in &out.points {
+            println!(
+                "mix {:>4.0}%: FW/EL space ratio {:.2} (paper at 5%: 3.6)",
+                p.frac_long * 100.0,
+                p.space_ratio()
+            );
+        }
+        println!();
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("fig4_minspace_search");
+    g.sample_size(10);
+
+    g.bench_function("fw_5pct_30s", |b| {
+        let mut base = paper_base(0.05, false, 30);
+        base.el.memory_model = MemoryModel::Firewall;
+        b.iter(|| black_box(fw_min_space(&base, 1024)))
+    });
+    g.bench_function("el_5pct_30s", |b| {
+        let base = paper_base(0.05, false, 30);
+        b.iter(|| black_box(el_min_space(&base, 24, 192)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

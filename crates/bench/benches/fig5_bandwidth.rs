@@ -1,0 +1,58 @@
+//! Figure 5 — log bandwidth vs transaction mix.
+//!
+//! Measures the simulation throughput of a measured run at each technique's
+//! paper-minimum geometry, and prints the bandwidth series once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elog_bench::bench_run_config;
+use elog_core::MemoryModel;
+use elog_harness::runner::run;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_series() {
+    PRINT.call_once(|| {
+        println!("\n## Figure 5 series (60 s horizon)");
+        println!("{:>6} {:>10} {:>10} {:>10}", "mix%", "FW w/s", "EL w/s", "premium%");
+        for frac in [0.05, 0.10, 0.20, 0.30, 0.40] {
+            // Geometry scaled with the mix the way Figure 4's minima grow.
+            let fw_blocks = (10.0 * (frac * 280.0 + (1.0 - frac) * 210.0) * 100.0 / 2000.0 * 1.15)
+                as u32
+                + 8;
+            let mut fw_cfg = bench_run_config(frac, &[fw_blocks], false, 60);
+            fw_cfg.el.memory_model = MemoryModel::Firewall;
+            let fw = run(&fw_cfg);
+            let g1 = 10 + (frac * 120.0) as u32;
+            let el = run(&bench_run_config(frac, &[18, g1], false, 60));
+            println!(
+                "{:>6.0} {:>10.2} {:>10.2} {:>10.1}",
+                frac * 100.0,
+                fw.metrics.log_write_rate,
+                el.metrics.log_write_rate,
+                (el.metrics.log_write_rate / fw.metrics.log_write_rate - 1.0) * 100.0
+            );
+        }
+        println!("(paper at 5%: FW 11.63, EL 12.87, +11%)\n");
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("fig5_measured_run");
+    g.sample_size(10);
+    g.bench_function("fw_124blk_60s", |b| {
+        let mut cfg = bench_run_config(0.05, &[124], false, 60);
+        cfg.el.memory_model = MemoryModel::Firewall;
+        b.iter(|| black_box(run(&cfg)))
+    });
+    g.bench_function("el_18_16_60s", |b| {
+        let cfg = bench_run_config(0.05, &[18, 16], false, 60);
+        b.iter(|| black_box(run(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

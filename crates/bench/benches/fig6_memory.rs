@@ -1,0 +1,48 @@
+//! Figure 6 — peak log-manager memory vs transaction mix.
+//!
+//! Prints the memory series under both pricing models (FW 22 B/txn;
+//! EL 40 B/txn + 40 B/object) and benchmarks the bookkeeping-heavy run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elog_bench::bench_run_config;
+use elog_core::MemoryModel;
+use elog_harness::runner::run;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_series() {
+    PRINT.call_once(|| {
+        println!("\n## Figure 6 series (60 s horizon)");
+        println!("{:>6} {:>12} {:>12}", "mix%", "FW bytes", "EL bytes");
+        for frac in [0.05, 0.10, 0.20, 0.30, 0.40] {
+            let mut fw_cfg = bench_run_config(frac, &[220], false, 60);
+            fw_cfg.el.memory_model = MemoryModel::Firewall;
+            let fw = run(&fw_cfg);
+            let el = run(&bench_run_config(frac, &[18, 64], false, 60));
+            println!(
+                "{:>6.0} {:>12} {:>12}",
+                frac * 100.0,
+                fw.metrics.peak_memory_bytes,
+                el.metrics.peak_memory_bytes
+            );
+        }
+        println!("(paper: EL memory is larger but 'modest')\n");
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("fig6_memory_accounting");
+    g.sample_size(10);
+    g.bench_function("el_tracking_40pct_30s", |b| {
+        // The 40% mix maximises LTT/LOT churn.
+        let cfg = bench_run_config(0.40, &[18, 64], false, 30);
+        b.iter(|| black_box(run(&cfg).metrics.peak_memory_bytes))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

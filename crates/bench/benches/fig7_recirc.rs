@@ -1,0 +1,42 @@
+//! Figure 7 — EL bandwidth vs last-generation size with recirculation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elog_bench::bench_run_config;
+use elog_harness::experiments::fig7;
+use elog_harness::runner::run;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_series() {
+    PRINT.call_once(|| {
+        let cfg = fig7::Config { frac_long: 0.05, g0: 18, g1_max: 16, runtime_secs: 60 };
+        let out = fig7::run_experiment(&cfg);
+        println!("\n{}", out.table().render());
+        println!(
+            "minimum with recirculation: {}+{} = {} blocks (paper: 18+10 = 28)\n",
+            out.g0,
+            out.min_g1,
+            out.g0 + out.min_g1
+        );
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("fig7_recirculating_run");
+    g.sample_size(10);
+    g.bench_function("el_recirc_18_10_60s", |b| {
+        let cfg = bench_run_config(0.05, &[18, 10], true, 60);
+        b.iter(|| black_box(run(&cfg)))
+    });
+    g.bench_function("el_recirc_minsearch_30s", |b| {
+        let base = bench_run_config(0.05, &[18, 16], true, 30);
+        b.iter(|| black_box(elog_harness::minspace::el_min_last_gen(&base, 18, 64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Microbenchmarks of the hot data structures: the event queue, the cell
+//! arena's intrusive lists, the nearest-oid flush scheduler, and the block
+//! codec.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use elog_core::cell::{CellArena, CellIdx, NIL};
+use elog_dbdisk::NearestOid;
+use elog_model::{
+    synth_payload, DataRecord, GenId, LogRecord, ObjectVersion, Oid, Tid,
+};
+use elog_sim::{EventQueue, SimRng, SimTime};
+use elog_storage::block::BlockAddr;
+use elog_storage::{decode_block, encode_block, Block};
+use std::hint::black_box;
+
+fn rec(n: u64) -> LogRecord {
+    LogRecord::Data(DataRecord {
+        tid: Tid(n),
+        oid: Oid(n % 10_000_000),
+        seq: 1,
+        ts: SimTime::from_micros(n),
+        size: 100,
+    })
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                // Scatter times to exercise heap reshuffling.
+                q.schedule(SimTime::from_micros(i.wrapping_mul(2_654_435_761) % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn bench_cell_lists(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cell_arena");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_migrate_free_10k", |b| {
+        b.iter(|| {
+            let mut arena = CellArena::new();
+            let mut g0: CellIdx = NIL;
+            let mut g1: CellIdx = NIL;
+            let cells: Vec<CellIdx> = (0..10_000u64)
+                .map(|i| {
+                    let cell = arena.alloc(rec(i), 0, i / 20);
+                    arena.push_tail(&mut g0, cell);
+                    cell
+                })
+                .collect();
+            // Forward every 7th cell to generation 1.
+            for (i, &cell) in cells.iter().enumerate() {
+                if i % 7 == 0 {
+                    arena.unlink(&mut g0, cell);
+                    arena.get_mut(cell).gen = 1;
+                    arena.push_tail(&mut g1, cell);
+                }
+            }
+            // Dispose everything.
+            for &cell in &cells {
+                let head = if arena.get(cell).gen == 0 { &mut g0 } else { &mut g1 };
+                arena.unlink(head, cell);
+                arena.free(cell);
+            }
+            black_box(arena.live())
+        })
+    });
+    g.finish();
+}
+
+fn bench_flush_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nearest_oid");
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("insert_take_2k", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| {
+            let mut s = NearestOid::new(1_000_000);
+            for _ in 0..2_000 {
+                let k = rng.next_u64_below(1_000_000);
+                s.insert(
+                    k,
+                    Oid(k),
+                    ObjectVersion { tid: Tid(1), seq: 1, ts: SimTime::ZERO },
+                );
+            }
+            let mut pos = Some(0u64);
+            let mut count = 0u64;
+            while let Some((k, _, _, _)) = s.take_nearest(pos) {
+                pos = Some(k);
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut block = Block::new(BlockAddr { gen: GenId(0), seq: 42 });
+    block.written_at = SimTime::from_secs(1);
+    for i in 0..20u64 {
+        let r = rec(i);
+        block.payload_used += r.size();
+        block.records.push(r);
+    }
+    let bytes = encode_block(&block);
+
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_full_block", |b| b.iter(|| black_box(encode_block(&block))));
+    g.bench_function("decode_full_block", |b| b.iter(|| black_box(decode_block(&bytes).unwrap())));
+    g.finish();
+
+    let mut g = c.benchmark_group("payload_synth");
+    g.throughput(Throughput::Bytes(65));
+    g.bench_function("synth_65B", |b| {
+        b.iter(|| black_box(synth_payload(Oid(123), Tid(45), 1, 65)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_cell_lists, bench_flush_scheduler, bench_codec);
+criterion_main!(benches);

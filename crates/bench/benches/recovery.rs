@@ -1,0 +1,73 @@
+//! Single-pass recovery cost vs log size (the §4/§6 claim: recovery time
+//! is proportional to the amount of log information).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elog_bench::bench_run_config;
+use elog_core::MemoryModel;
+use elog_harness::runner::build_model;
+use elog_model::StableDb;
+use elog_recovery::{recover, scan_blocks};
+use elog_sim::SimTime;
+use elog_storage::Block;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+/// Crashes a run at 30 s and returns its durable surface + stable DB.
+fn crashed_surface(blocks: &[u32], fw: bool) -> (Vec<Vec<Block>>, StableDb) {
+    let mut cfg = bench_run_config(0.05, blocks, !fw && blocks.len() > 1, 40);
+    if fw {
+        cfg.el.memory_model = MemoryModel::Firewall;
+    }
+    let mut engine = build_model(&cfg);
+    engine.run_until(SimTime::from_secs(30));
+    let model = engine.model();
+    (model.lm.log_surface(), model.lm.stable_db().clone())
+}
+
+fn print_series() {
+    PRINT.call_once(|| {
+        println!("\n## Recovery cost vs log size");
+        for (label, blocks, fw) in [
+            ("EL 18+10", vec![18u32, 10], false),
+            ("EL 18+16", vec![18, 16], false),
+            ("FW 124", vec![124], true),
+        ] {
+            let (surface, stable) = crashed_surface(&blocks, fw);
+            let t = std::time::Instant::now();
+            let image = scan_blocks(surface.iter());
+            let state = recover(&image, &stable);
+            println!(
+                "{label:>9}: {} blocks, {} records scanned, {} objects, {:?} in-memory",
+                image.stats.blocks,
+                image.stats.records,
+                state.versions.len(),
+                t.elapsed()
+            );
+        }
+        println!("(paper: less space => proportionally faster recovery; sub-second for EL)\n");
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("single_pass_recovery");
+    for (label, blocks, fw) in [
+        ("el_28", vec![18u32, 10], false),
+        ("el_34", vec![18, 16], false),
+        ("fw_124", vec![124], true),
+    ] {
+        let (surface, stable) = crashed_surface(&blocks, fw);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(surface, stable), |b, (s, db)| {
+            b.iter(|| {
+                let image = scan_blocks(s.iter());
+                black_box(recover(&image, db))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

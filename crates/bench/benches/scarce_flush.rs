@@ -1,0 +1,40 @@
+//! §4 scarce-flush-bandwidth study: locality under backlog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elog_bench::bench_run_config;
+use elog_harness::experiments::scarce;
+use elog_harness::runner::run;
+use elog_model::FlushConfig;
+use elog_sim::SimTime;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_series() {
+    PRINT.call_once(|| {
+        let cfg = scarce::Config { frac_long: 0.05, runtime_secs: 60, g0_max: 26, g1_limit: 96 };
+        let out = scarce::run_experiment(&cfg);
+        println!("\n{}", out.table().render());
+        if let Some(gain) = out.locality_gain() {
+            println!("locality gain 25ms/45ms: {gain:.2}x (paper: 235,000/109,000 = 2.16x)\n");
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut g = c.benchmark_group("scarce_flush_run");
+    g.sample_size(10);
+    for (label, ms) in [("ample_25ms", 25u64), ("scarce_45ms", 45)] {
+        g.bench_function(label, |b| {
+            let mut cfg = bench_run_config(0.05, &[20, 12], true, 60);
+            cfg.el.flush = FlushConfig { drives: 10, transfer_time: SimTime::from_millis(ms) };
+            b.iter(|| black_box(run(&cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmark support for the ephemeral-logging reproduction.
+//!
+//! The actual benchmarks live in `benches/`, one Criterion target per
+//! paper figure plus microbenchmarks and ablations:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig4_space` | Figure 4 — minimum disk space vs mix |
+//! | `fig5_bandwidth` | Figure 5 — log bandwidth vs mix |
+//! | `fig6_memory` | Figure 6 — peak memory vs mix |
+//! | `fig7_recirc` | Figure 7 — bandwidth vs last-generation size |
+//! | `scarce_flush` | §4 scarce-flush-bandwidth study |
+//! | `recovery` | single-pass recovery cost vs log size |
+//! | `ablations` | design-choice ablations |
+//! | `micro` | data-structure microbenchmarks |
+//!
+//! Each figure bench measures the simulation that regenerates the figure
+//! (shortened horizons, so `cargo bench` stays tractable) and *prints the
+//! figure's series* once per run, so benchmark output doubles as the
+//! reproduction artifact.
+
+use elog_core::ElConfig;
+use elog_harness::runner::RunConfig;
+use elog_model::{FlushConfig, LogConfig};
+use elog_sim::SimTime;
+
+/// A standard short-horizon paper run for benches: `frac_long` mix over
+/// `secs` seconds with the given geometry.
+pub fn bench_run_config(frac_long: f64, blocks: &[u32], recirc: bool, secs: u64) -> RunConfig {
+    let log = LogConfig {
+        generation_blocks: blocks.to_vec(),
+        recirculation: recirc,
+        ..LogConfig::default()
+    };
+    let mut cfg = RunConfig::paper(frac_long, ElConfig::ephemeral(log, FlushConfig::default()));
+    cfg.runtime = SimTime::from_secs(secs);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elog_harness::runner::run;
+
+    #[test]
+    fn bench_config_is_runnable() {
+        let r = run(&bench_run_config(0.05, &[18, 16], false, 5));
+        assert!(r.committed > 0);
+        assert_eq!(r.killed, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The Logged Object Table (LOT).
+//!
+//! §2.3: "The LOT is accessed associatively by object identifiers (oids).
+//! Like the LTT, it is implemented as a hash table with chaining. An
+//! object's LOT entry has one or more cells, each of which points to the
+//! disk block of a non-garbage data log record for the object. An object
+//! has a cell for the most recently committed update (if any) if this
+//! update has not yet been flushed; it may have several cells for
+//! uncommitted updates."
+
+use crate::cell::CellIdx;
+use elog_model::{Oid, Tid};
+use std::collections::HashMap;
+
+/// One object's entry: its non-garbage data-record cells.
+#[derive(Clone, Debug, Default)]
+pub struct LotEntry {
+    /// Cell of the most recently committed, not-yet-flushed update.
+    pub committed: Option<CellIdx>,
+    /// Cells of uncommitted updates, `(owner tid, cell)`, oldest first.
+    pub uncommitted: Vec<(Tid, CellIdx)>,
+}
+
+impl LotEntry {
+    fn is_empty(&self) -> bool {
+        self.committed.is_none() && self.uncommitted.is_empty()
+    }
+}
+
+/// What [`Lot::commit_object`] decided.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// The cell promoted to committed-unflushed (the transaction's newest
+    /// update of the object).
+    pub promoted: CellIdx,
+    /// Cells that became garbage: the previously committed-unflushed cell
+    /// (if any) plus any older updates of the object by the same
+    /// transaction. The caller must unlink and free them, and notify the
+    /// owning transactions' LTT entries (owners are read from the cells).
+    pub garbage: Vec<CellIdx>,
+}
+
+/// The logged object table.
+#[derive(Clone, Debug, Default)]
+pub struct Lot {
+    map: HashMap<Oid, LotEntry>,
+    peak_len: usize,
+}
+
+impl Lot {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of objects with non-garbage data records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no object is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Greatest entry count ever reached (memory accounting).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Registers a new uncommitted update's cell (a data record just
+    /// entered the log). Creates the entry on first touch.
+    pub fn insert_uncommitted(&mut self, oid: Oid, tid: Tid, cell: CellIdx) {
+        self.map.entry(oid).or_default().uncommitted.push((tid, cell));
+        self.peak_len = self.peak_len.max(self.map.len());
+    }
+
+    /// Processes `tid`'s commit for `oid` (§2.3): the transaction's newest
+    /// update becomes the committed-unflushed one; the previously committed
+    /// cell and older same-transaction updates become garbage.
+    ///
+    /// Returns `None` when the transaction has no uncommitted update of the
+    /// object (caller bug or already-processed oid).
+    pub fn commit_object(&mut self, oid: Oid, tid: Tid) -> Option<CommitOutcome> {
+        let entry = self.map.get_mut(&oid)?;
+        // Partition this transaction's cells out of the uncommitted list.
+        let mut mine: Vec<CellIdx> = Vec::new();
+        entry.uncommitted.retain(|&(t, c)| {
+            if t == tid {
+                mine.push(c);
+                false
+            } else {
+                true
+            }
+        });
+        let promoted = *mine.last()?; // newest update wins
+        let mut garbage: Vec<CellIdx> = mine[..mine.len() - 1].to_vec();
+        if let Some(old) = entry.committed.replace(promoted) {
+            // Previous committed-unflushed update is superseded; the caller
+            // updates its owner's LTT entry using the cell's record.
+            garbage.push(old);
+        }
+        Some(CommitOutcome { promoted, garbage })
+    }
+
+    /// Removes an uncommitted cell (abort/kill of its transaction).
+    /// Returns `true` if found; prunes empty entries.
+    pub fn remove_uncommitted(&mut self, oid: Oid, tid: Tid, cell: CellIdx) -> bool {
+        let Some(entry) = self.map.get_mut(&oid) else { return false };
+        let before = entry.uncommitted.len();
+        entry.uncommitted.retain(|&(t, c)| !(t == tid && c == cell));
+        let removed = entry.uncommitted.len() != before;
+        if entry.is_empty() {
+            self.map.remove(&oid);
+        }
+        removed
+    }
+
+    /// Clears the committed-unflushed cell after its flush completes
+    /// (§2.3: "After the LM flushes an update … the record is garbage").
+    /// Returns the cell if `cell` still is the committed one; prunes empty
+    /// entries.
+    pub fn flush_done(&mut self, oid: Oid, cell: CellIdx) -> Option<CellIdx> {
+        let entry = self.map.get_mut(&oid)?;
+        if entry.committed != Some(cell) {
+            return None;
+        }
+        entry.committed = None;
+        let out = Some(cell);
+        if entry.is_empty() {
+            self.map.remove(&oid);
+        }
+        out
+    }
+
+    /// Is `cell` the committed-unflushed cell of `oid`?
+    pub fn is_committed_cell(&self, oid: Oid, cell: CellIdx) -> bool {
+        self.map.get(&oid).is_some_and(|e| e.committed == Some(cell))
+    }
+
+    /// The committed-unflushed cell of `oid`, if any.
+    pub fn committed_cell(&self, oid: Oid) -> Option<CellIdx> {
+        self.map.get(&oid).and_then(|e| e.committed)
+    }
+
+    /// The entry for `oid`, if present (diagnostics/tests).
+    pub fn entry(&self, oid: Oid) -> Option<&LotEntry> {
+        self.map.get(&oid)
+    }
+
+    /// Total number of cells referenced by the table (invariant checks).
+    pub fn total_cells(&self) -> usize {
+        self.map
+            .values()
+            .map(|e| e.uncommitted.len() + usize::from(e.committed.is_some()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: Oid = Oid(7);
+
+    #[test]
+    fn lifecycle_single_txn() {
+        let mut lot = Lot::new();
+        lot.insert_uncommitted(O, Tid(1), 10);
+        assert_eq!(lot.len(), 1);
+        assert!(!lot.is_committed_cell(O, 10));
+
+        let out = lot.commit_object(O, Tid(1)).unwrap();
+        assert_eq!(out.promoted, 10);
+        assert!(out.garbage.is_empty());
+        assert!(lot.is_committed_cell(O, 10));
+
+        assert_eq!(lot.flush_done(O, 10), Some(10));
+        assert!(lot.is_empty(), "entry pruned after flush");
+    }
+
+    #[test]
+    fn commit_supersedes_previous_committed() {
+        let mut lot = Lot::new();
+        lot.insert_uncommitted(O, Tid(1), 10);
+        lot.commit_object(O, Tid(1));
+        lot.insert_uncommitted(O, Tid(2), 20);
+        let out = lot.commit_object(O, Tid(2)).unwrap();
+        assert_eq!(out.promoted, 20);
+        assert_eq!(out.garbage, vec![10]);
+        assert!(lot.is_committed_cell(O, 20));
+        assert_eq!(lot.total_cells(), 1);
+    }
+
+    #[test]
+    fn same_txn_multiple_updates_newest_wins() {
+        let mut lot = Lot::new();
+        lot.insert_uncommitted(O, Tid(1), 10);
+        lot.insert_uncommitted(O, Tid(1), 11);
+        lot.insert_uncommitted(O, Tid(1), 12);
+        let out = lot.commit_object(O, Tid(1)).unwrap();
+        assert_eq!(out.promoted, 12);
+        assert_eq!(out.garbage, vec![10, 11]);
+    }
+
+    #[test]
+    fn commit_leaves_other_txns_updates() {
+        let mut lot = Lot::new();
+        lot.insert_uncommitted(O, Tid(1), 10);
+        lot.insert_uncommitted(O, Tid(2), 20);
+        let out = lot.commit_object(O, Tid(1)).unwrap();
+        assert_eq!(out.promoted, 10);
+        let e = lot.entry(O).unwrap();
+        assert_eq!(e.uncommitted, vec![(Tid(2), 20)]);
+    }
+
+    #[test]
+    fn commit_without_update_is_none() {
+        let mut lot = Lot::new();
+        assert!(lot.commit_object(O, Tid(1)).is_none());
+        lot.insert_uncommitted(O, Tid(2), 20);
+        assert!(lot.commit_object(O, Tid(1)).is_none());
+    }
+
+    #[test]
+    fn remove_uncommitted_prunes() {
+        let mut lot = Lot::new();
+        lot.insert_uncommitted(O, Tid(1), 10);
+        assert!(lot.remove_uncommitted(O, Tid(1), 10));
+        assert!(lot.is_empty());
+        assert!(!lot.remove_uncommitted(O, Tid(1), 10));
+    }
+
+    #[test]
+    fn remove_uncommitted_keeps_committed() {
+        let mut lot = Lot::new();
+        lot.insert_uncommitted(O, Tid(1), 10);
+        lot.commit_object(O, Tid(1));
+        lot.insert_uncommitted(O, Tid(2), 20);
+        assert!(lot.remove_uncommitted(O, Tid(2), 20));
+        assert_eq!(lot.committed_cell(O), Some(10));
+        assert_eq!(lot.len(), 1);
+    }
+
+    #[test]
+    fn stale_flush_completion_ignored() {
+        let mut lot = Lot::new();
+        lot.insert_uncommitted(O, Tid(1), 10);
+        lot.commit_object(O, Tid(1));
+        assert_eq!(lot.flush_done(O, 99), None, "not the committed cell");
+        assert_eq!(lot.committed_cell(O), Some(10));
+        assert_eq!(lot.flush_done(Oid(123), 10), None, "unknown object");
+    }
+
+    #[test]
+    fn peak_len_tracked() {
+        let mut lot = Lot::new();
+        for i in 0..10 {
+            lot.insert_uncommitted(Oid(i), Tid(1), i as CellIdx);
+        }
+        for i in 0..10 {
+            lot.remove_uncommitted(Oid(i), Tid(1), i as CellIdx);
+        }
+        assert_eq!(lot.len(), 0);
+        assert_eq!(lot.peak_len(), 10);
+    }
+}

@@ -1,0 +1,557 @@
+//! The log manager: Ephemeral Logging and the firewall baseline.
+//!
+//! One struct implements both techniques, because — as the paper frames it —
+//! FW *is* the degenerate EL geometry: a single generation with no
+//! recirculation, where a record reaching the head while its transaction is
+//! still active forces a System-R-style kill. The differences are captured
+//! entirely by [`ElConfig`]: the generation list, the recirculation flag and
+//! the memory-pricing model.
+//!
+//! The manager is a passive state machine under a virtual clock: every
+//! public method takes `now` and returns [`Effects`] — timers the host must
+//! schedule and notifications (acks, kills) it must deliver. The companion
+//! modules implement the two halves of the disk pipeline:
+//!
+//! * [`crate::append`] — tail side: buffers, group commit, durable installs;
+//! * [`crate::advance`] — head side: gap maintenance, forwarding with
+//!   backward gathering, recirculation, kill policies.
+
+use crate::advance::Hold;
+use crate::cell::{CellArena, CellIdx, NIL};
+use crate::lot::Lot;
+use crate::ltt::{Ltt, TxState};
+use crate::metrics::LmMetrics;
+use crate::types::{
+    ElConfig, Effects, LmStats, LmTimer, MemoryModel, EL_BYTES_PER_OBJECT, EL_BYTES_PER_TXN,
+    FW_BYTES_PER_TXN,
+};
+use elog_dbdisk::{FlushArray, Submitted};
+use elog_model::config::ConfigError;
+use elog_model::{
+    DataRecord, LogRecord, ObjectVersion, Oid, StableDb, Tid, TxMark, TxRecord,
+};
+use elog_sim::{Histogram, MaxGauge, SimTime};
+use elog_storage::{Block, BlockRing, LogDevice};
+use std::collections::HashMap;
+
+/// Per-generation state.
+pub(crate) struct Gen {
+    /// The circular disk array.
+    pub ring: BlockRing,
+    /// h_i: cell of the non-garbage record nearest the head ([`NIL`] when
+    /// the generation holds no non-garbage records).
+    pub h: CellIdx,
+    /// The buffer currently accepting records, if any.
+    pub open: Option<Block>,
+    /// Buffer writes in flight.
+    pub inflight_buffers: u32,
+}
+
+/// A sealed buffer whose device write is in progress.
+pub(crate) struct Inflight {
+    pub gen: usize,
+    pub block: Block,
+}
+
+/// The log manager (see module docs).
+pub struct ElManager {
+    pub(crate) cfg: ElConfig,
+    pub(crate) arena: CellArena,
+    pub(crate) lot: Lot,
+    pub(crate) ltt: Ltt,
+    pub(crate) gens: Vec<Gen>,
+    pub(crate) device: LogDevice,
+    pub(crate) flush: FlushArray,
+    pub(crate) stable: StableDb,
+    pub(crate) holds: Vec<Hold>,
+    pub(crate) inflight: HashMap<u64, Inflight>,
+    pub(crate) next_write_id: u64,
+    /// (generation, block seq) → transactions whose COMMIT rides in it.
+    pub(crate) pending_commits: HashMap<(usize, u64), Vec<Tid>>,
+    pub(crate) mem: MaxGauge,
+    pub(crate) stats: LmStats,
+    pub(crate) started_at: SimTime,
+    /// Age (ms) of data records at the moment they become garbage —
+    /// the statistic the §6 "adaptable EL" tuner sizes generations from.
+    pub(crate) garbage_age_ms: Histogram,
+}
+
+impl ElManager {
+    /// Builds a manager from a validated configuration.
+    pub fn new(cfg: ElConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let gens = cfg
+            .log
+            .generation_blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &blocks)| Gen {
+                ring: BlockRing::new(elog_model::GenId(i as u8), u64::from(blocks)),
+                h: NIL,
+                open: None,
+                inflight_buffers: 0,
+            })
+            .collect::<Vec<_>>();
+        let device = LogDevice::new(cfg.log.disk_write_latency, gens.len());
+        let flush = FlushArray::new(&cfg.flush, cfg.db.num_objects);
+        Ok(ElManager {
+            cfg,
+            arena: CellArena::new(),
+            lot: Lot::new(),
+            ltt: Ltt::new(),
+            gens,
+            device,
+            flush,
+            stable: StableDb::new(),
+            holds: Vec::new(),
+            inflight: HashMap::new(),
+            next_write_id: 0,
+            pending_commits: HashMap::new(),
+            mem: MaxGauge::new(),
+            stats: LmStats::default(),
+            started_at: SimTime::ZERO,
+            // 0–60 s in 250 ms buckets covers both paper transaction types.
+            garbage_age_ms: Histogram::linear(60_000.0, 240),
+        })
+    }
+
+    /// Convenience: an EL manager with paper-default database and flush
+    /// parameters.
+    pub fn ephemeral(log: elog_model::LogConfig, flush: elog_model::FlushConfig) -> Self {
+        Self::new(ElConfig::ephemeral(log, flush)).expect("paper defaults are valid")
+    }
+
+    /// Convenience: the FW baseline with a `blocks`-block log.
+    pub fn firewall(blocks: u32, flush: elog_model::FlushConfig) -> Self {
+        Self::new(ElConfig::firewall(blocks, flush)).expect("paper defaults are valid")
+    }
+
+    // ------------------------------------------------------------------
+    // Public API: the transaction-facing operations
+    // ------------------------------------------------------------------
+
+    /// Registers a new transaction and logs its BEGIN record (§2.3).
+    pub fn begin(&mut self, now: SimTime, tid: Tid) -> Effects {
+        self.begin_in(now, tid, 0)
+    }
+
+    /// Registers a new transaction whose records go directly to the tail
+    /// of generation `home_gen` — the paper's §6 lifetime-hint extension:
+    /// "Rather than letting the transaction's records progress through
+    /// successively older generations, it directly adds the transaction's
+    /// log records to the tail of a generation in which the records are
+    /// unlikely to reach the head before the transaction finishes."
+    ///
+    /// # Panics
+    /// Panics when `home_gen` is out of range.
+    pub fn begin_in(&mut self, now: SimTime, tid: Tid, home_gen: usize) -> Effects {
+        assert!(home_gen < self.gens.len(), "generation {home_gen} out of range");
+        let mut fx = Effects::default();
+        let record = LogRecord::Tx(TxRecord {
+            tid,
+            mark: TxMark::Begin,
+            ts: now,
+            size: self.cfg.db.tx_record_size,
+        });
+        let cell = self.arena.alloc(record, home_gen as u8, 0);
+        self.ltt.begin(tid, cell);
+        self.ltt.get_mut(tid).expect("just inserted").home_gen = home_gen as u8;
+        self.append_cells(now, home_gen, &[cell], false, &mut fx);
+        self.update_memory(now);
+        fx
+    }
+
+    /// Picks the generation whose observed wrap time exceeds
+    /// `expected_duration`, for use with [`ElManager::begin_in`]. Falls
+    /// back to the last generation for very long transactions and to
+    /// generation 0 before any wrap statistics exist.
+    pub fn pick_generation_for(&self, now: SimTime, expected_duration: SimTime) -> usize {
+        let elapsed = now.saturating_sub(self.started_at).as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0;
+        }
+        for gi in 0..self.gens.len() {
+            let writes = self.device.stats(gi).writes.get();
+            if writes == 0 {
+                // No traffic yet: an empty generation wraps "never".
+                return gi;
+            }
+            let rate = writes as f64 / elapsed; // blocks/s
+            let wrap_secs = self.gens[gi].ring.capacity() as f64 / rate;
+            if wrap_secs > expected_duration.as_secs_f64() * 1.5 {
+                return gi;
+            }
+        }
+        self.gens.len() - 1
+    }
+
+    /// Logs a data record: transaction `tid` updated `oid` (its `seq`-th
+    /// update), producing a REDO record of `size` accounting bytes.
+    ///
+    /// Writes from unknown or non-active transactions are ignored (the
+    /// workload's cancellation of a killed transaction's events can race
+    /// one write).
+    pub fn write_data(&mut self, now: SimTime, tid: Tid, oid: Oid, seq: u32, size: u32) -> Effects {
+        let mut fx = Effects::default();
+        assert!(
+            size > 0 && size <= self.cfg.log.block_payload,
+            "record size {size} outside (0, {}]",
+            self.cfg.log.block_payload
+        );
+        let home_gen = match self.ltt.get(tid) {
+            Some(e) if e.state == TxState::Active => e.home_gen as usize,
+            _ => {
+                self.stats.ignored_writes += 1;
+                return fx;
+            }
+        };
+        let record = LogRecord::Data(DataRecord { tid, oid, seq, ts: now, size });
+        let cell = self.arena.alloc(record, home_gen as u8, 0);
+        self.lot.insert_uncommitted(oid, tid, cell);
+        self.ltt.add_oid(tid, oid);
+        self.append_cells(now, home_gen, &[cell], false, &mut fx);
+        self.update_memory(now);
+        fx
+    }
+
+    /// Logs the COMMIT record (t3). The commit point is the durability of
+    /// this record; the acknowledgement surfaces later in
+    /// [`Effects::acks`] when its buffer's write completes.
+    ///
+    /// Footnote 4 of the paper: the transaction's single tx-record cell is
+    /// updated to point at the newest tx record and moved to the tail of
+    /// generation 0's list; the BEGIN record thereby becomes garbage.
+    pub fn commit_request(&mut self, now: SimTime, tid: Tid) -> Effects {
+        let mut fx = Effects::default();
+        let Some(entry) = self.ltt.get(tid) else {
+            self.stats.ignored_writes += 1;
+            return fx;
+        };
+        if entry.state != TxState::Active {
+            self.stats.ignored_writes += 1;
+            return fx;
+        }
+        let cell = entry.tx_cell;
+        let home_gen = entry.home_gen as usize;
+        // Move the tx cell: unlink from wherever the BEGIN record sits.
+        self.unlink_cell(cell);
+        self.arena.get_mut(cell).record = LogRecord::Tx(TxRecord {
+            tid,
+            mark: TxMark::Commit,
+            ts: now,
+            size: self.cfg.db.tx_record_size,
+        });
+        self.append_cells(now, home_gen, &[cell], false, &mut fx);
+        // Making space for the COMMIT record can kill transactions — and
+        // under extreme pressure the committing transaction itself. In
+        // that case its cell was freed and the kill already reported;
+        // there is nothing left to acknowledge.
+        if !self.arena.is_live(cell) || !self.ltt.contains(tid) {
+            return fx;
+        }
+        let block = self.arena.get(cell).block;
+        self.ltt.get_mut(tid).expect("checked above").state =
+            TxState::Committing { commit_block: block, requested_at: now };
+        self.pending_commits.entry((home_gen, block)).or_default().push(tid);
+        fx
+    }
+
+    /// Aborts a transaction: all of its records become garbage at once
+    /// (§2.3 — no abort record needs to be logged under REDO-only rules;
+    /// recovery treats missing-COMMIT as aborted).
+    pub fn abort(&mut self, now: SimTime, tid: Tid) -> Effects {
+        let fx = Effects::default();
+        match self.ltt.get(tid).map(|e| e.state) {
+            Some(TxState::Committed) | None => {
+                self.stats.ignored_writes += 1;
+            }
+            Some(_) => {
+                self.drop_transaction(tid);
+                self.stats.aborts += 1;
+                self.update_memory(now);
+            }
+        }
+        fx
+    }
+
+    /// Handles a timer previously emitted in [`Effects::timers`].
+    pub fn handle_timer(&mut self, now: SimTime, timer: LmTimer) -> Effects {
+        let mut fx = Effects::default();
+        match timer {
+            LmTimer::BufferWrite { gen, write_id } => {
+                self.on_buffer_write_complete(now, gen, write_id, &mut fx);
+            }
+            LmTimer::FlushDone { drive } => {
+                self.on_flush_complete(now, drive, &mut fx);
+            }
+            LmTimer::GroupCommitTimeout { gen, block_seq } => {
+                let stale = match &self.gens[gen].open {
+                    Some(b) => b.addr.seq != block_seq || b.is_empty(),
+                    None => true,
+                };
+                if !stale {
+                    self.seal_open(now, gen, &mut fx);
+                }
+            }
+        }
+        fx
+    }
+
+    /// Force-writes every open buffer (end-of-run quiescing, so trailing
+    /// COMMIT records become durable and acknowledged).
+    pub fn quiesce(&mut self, now: SimTime) -> Effects {
+        let mut fx = Effects::default();
+        for gi in 0..self.gens.len() {
+            if self.gens[gi].open.as_ref().is_some_and(|b| !b.is_empty()) {
+                self.seal_open(now, gi, &mut fx);
+            }
+        }
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / flush plumbing
+    // ------------------------------------------------------------------
+
+    /// Called when the block carrying COMMIT records becomes durable.
+    pub(crate) fn finalize_commit(&mut self, now: SimTime, tid: Tid, fx: &mut Effects) {
+        let Some(entry) = self.ltt.get_mut(tid) else {
+            return; // killed while committing
+        };
+        if !matches!(entry.state, TxState::Committing { .. }) {
+            return;
+        }
+        entry.state = TxState::Committed;
+        let oids: Vec<Oid> = entry.oids.iter().copied().collect();
+        for oid in oids {
+            let Some(outcome) = self.lot.commit_object(oid, tid) else {
+                continue;
+            };
+            for g in outcome.garbage {
+                let rec = self.arena.get(g).record;
+                let owner = rec.tid();
+                self.garbage_age_ms
+                    .record(now.saturating_sub(rec.ts()).as_micros() as f64 / 1000.0);
+                self.unlink_cell(g);
+                self.arena.free(g);
+                if owner != tid && self.ltt.remove_oid(owner, oid) {
+                    self.finish_ltt_entry(owner);
+                }
+            }
+            let rec = self.arena.get(outcome.promoted).record;
+            let LogRecord::Data(d) = rec else {
+                unreachable!("promoted cell must be a data record")
+            };
+            self.submit_flush(now, oid, ObjectVersion { tid, seq: d.seq, ts: d.ts }, fx);
+        }
+        self.stats.acks += 1;
+        fx.acks.push(tid);
+        if self.ltt.get(tid).expect("present").oids.is_empty() {
+            self.finish_ltt_entry(tid);
+        }
+        self.update_memory(now);
+    }
+
+    pub(crate) fn submit_flush(
+        &mut self,
+        now: SimTime,
+        oid: Oid,
+        version: ObjectVersion,
+        fx: &mut Effects,
+    ) {
+        self.stats.flush_submits += 1;
+        match self.flush.submit(now, oid, version) {
+            Submitted::Started { drive, done_at } => {
+                fx.timers.push((done_at, LmTimer::FlushDone { drive }));
+            }
+            Submitted::Queued { .. } | Submitted::Replaced { .. } => {}
+        }
+    }
+
+    fn on_flush_complete(&mut self, now: SimTime, drive: usize, fx: &mut Effects) {
+        let ((oid, version), next) = self.flush.complete(now, drive);
+        if let Some(done_at) = next {
+            fx.timers.push((done_at, LmTimer::FlushDone { drive }));
+        }
+        self.stable.install(oid, version);
+        if let Some(cidx) = self.lot.committed_cell(oid) {
+            let rec = self.arena.get(cidx).record;
+            if rec.tid() == version.tid && rec.ts() == version.ts {
+                self.garbage_age_ms
+                    .record(now.saturating_sub(rec.ts()).as_micros() as f64 / 1000.0);
+                self.lot.flush_done(oid, cidx);
+                self.unlink_cell(cidx);
+                self.arena.free(cidx);
+                if self.ltt.remove_oid(version.tid, oid) {
+                    self.finish_ltt_entry(version.tid);
+                }
+            }
+        }
+        self.update_memory(now);
+    }
+
+    /// Disposes a finished committed transaction: its tx-record cell is
+    /// garbage and the LTT entry is removed (§2.3 closing rule).
+    pub(crate) fn finish_ltt_entry(&mut self, tid: Tid) {
+        let entry = self.ltt.remove(tid).expect("finish of unknown txn");
+        debug_assert_eq!(entry.state, TxState::Committed);
+        debug_assert!(entry.oids.is_empty());
+        self.unlink_cell(entry.tx_cell);
+        self.arena.free(entry.tx_cell);
+    }
+
+    /// Removes a transaction and all its non-garbage records (abort/kill).
+    /// Returns `false` for unknown transactions.
+    pub(crate) fn drop_transaction(&mut self, tid: Tid) -> bool {
+        let Some(entry) = self.ltt.remove(tid) else {
+            return false;
+        };
+        if matches!(entry.state, TxState::Committing { .. }) {
+            self.stats.kills_committing += 1;
+        }
+        debug_assert!(
+            !matches!(entry.state, TxState::Committed),
+            "cannot drop a committed transaction"
+        );
+        for oid in &entry.oids {
+            for cell in self.lot_remove_all_uncommitted(*oid, tid) {
+                self.unlink_cell(cell);
+                self.arena.free(cell);
+            }
+        }
+        self.unlink_cell(entry.tx_cell);
+        self.arena.free(entry.tx_cell);
+        true
+    }
+
+    fn lot_remove_all_uncommitted(&mut self, oid: Oid, tid: Tid) -> Vec<CellIdx> {
+        let mut cells = Vec::new();
+        if let Some(entry) = self.lot.entry(oid) {
+            for &(t, c) in &entry.uncommitted {
+                if t == tid {
+                    cells.push(c);
+                }
+            }
+        }
+        for &c in &cells {
+            self.lot.remove_uncommitted(oid, tid, c);
+        }
+        cells
+    }
+
+    // ------------------------------------------------------------------
+    // Shared helpers
+    // ------------------------------------------------------------------
+
+    /// Unlinks a cell from its generation's list if it is linked.
+    pub(crate) fn unlink_cell(&mut self, idx: CellIdx) {
+        let (gen, linked) = {
+            let c = self.arena.get(idx);
+            (c.gen as usize, c.left_is_linked())
+        };
+        if linked {
+            let mut h = self.gens[gen].h;
+            self.arena.unlink(&mut h, idx);
+            self.gens[gen].h = h;
+        }
+    }
+
+    /// Recomputes the memory gauge after a table-size change.
+    pub(crate) fn update_memory(&mut self, now: SimTime) {
+        let bytes = match self.cfg.memory_model {
+            MemoryModel::Firewall => FW_BYTES_PER_TXN * self.ltt.len() as u64,
+            MemoryModel::Ephemeral => {
+                EL_BYTES_PER_TXN * self.ltt.len() as u64
+                    + EL_BYTES_PER_OBJECT * self.lot.len() as u64
+            }
+        };
+        self.mem.set(now, bytes);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ElConfig {
+        &self.cfg
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &LmStats {
+        &self.stats
+    }
+
+    /// A metrics snapshot as of `now` (see [`LmMetrics`]).
+    pub fn metrics(&self, now: SimTime) -> LmMetrics {
+        LmMetrics::capture(self, now)
+    }
+
+    /// The stable database (flushed versions).
+    pub fn stable_db(&self) -> &StableDb {
+        &self.stable
+    }
+
+    /// The flush array (locality and utilisation statistics).
+    pub fn flush_array(&self) -> &FlushArray {
+        &self.flush
+    }
+
+    /// The log device (bandwidth statistics).
+    pub fn log_device(&self) -> &LogDevice {
+        &self.device
+    }
+
+    /// Current LTT size (transactions in the system).
+    pub fn ltt_len(&self) -> usize {
+        self.ltt.len()
+    }
+
+    /// Current LOT size (updated-but-unflushed objects).
+    pub fn lot_len(&self) -> usize {
+        self.lot.len()
+    }
+
+    /// Peak memory-model bytes.
+    pub fn peak_memory_bytes(&self) -> u64 {
+        self.mem.peak()
+    }
+
+    /// Distribution of data-record ages (ms) at garbage time — flushed or
+    /// superseded updates. The §6 auto-tuner derives generation sizes from
+    /// its upper quantiles.
+    pub fn garbage_age_ms(&self) -> &Histogram {
+        &self.garbage_age_ms
+    }
+
+    /// The crash-surface of the log: every physically durable block of
+    /// every generation, for the recovery manager. Open and in-flight
+    /// buffers are *not* included — exactly what a crash would destroy.
+    pub fn log_surface(&self) -> Vec<Vec<Block>> {
+        self.gens
+            .iter()
+            .map(|g| g.ring.surface().cloned().collect())
+            .collect()
+    }
+
+    /// Snapshot of every LTT entry's state (debug/test aid).
+    pub fn debug_ltt_states(&self) -> Vec<(Tid, crate::ltt::TxState)> {
+        self.ltt.iter().map(|(t, e)| (t, e.state)).collect()
+    }
+
+    /// Checks cross-structure invariants; panics on violation. O(cells) —
+    /// test and debugging aid, not for hot paths.
+    pub fn check_invariants(&self) {
+        for g in &self.gens {
+            self.arena.check_list(g.h);
+        }
+        // Every LOT/LTT-referenced cell is live; counts agree with arena.
+        let table_cells = self.lot.total_cells() + self.ltt.len();
+        assert_eq!(
+            table_cells,
+            self.arena.live(),
+            "cells referenced by tables ({table_cells}) != live cells ({})",
+            self.arena.live()
+        );
+    }
+}

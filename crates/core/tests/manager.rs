@@ -1,0 +1,478 @@
+//! End-to-end tests of the log manager through its public API, driven by a
+//! miniature event loop.
+#![allow(clippy::explicit_counter_loop)] // tids advance with bursts by design
+
+use elog_core::{ElConfig, ElManager, Effects, LmTimer, MemoryModel};
+use elog_model::config::UnflushedAtHead;
+use elog_model::{FlushConfig, LogConfig, Oid, Tid};
+use elog_sim::{EventQueue, SimTime};
+
+const MS: u64 = 1;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms * MS)
+}
+
+/// Mini host: schedules the manager's timers and records notifications.
+struct Host {
+    lm: ElManager,
+    q: EventQueue<LmTimer>,
+    acks: Vec<Tid>,
+    kills: Vec<Tid>,
+    now: SimTime,
+}
+
+impl Host {
+    fn new(lm: ElManager) -> Self {
+        Host { lm, q: EventQueue::new(), acks: Vec::new(), kills: Vec::new(), now: SimTime::ZERO }
+    }
+
+    fn apply(&mut self, fx: Effects) {
+        for (at, timer) in fx.timers {
+            self.q.schedule(at, timer);
+        }
+        self.acks.extend(fx.acks);
+        self.kills.extend(fx.kills);
+    }
+
+    /// Delivers pending timers up to and including `until`.
+    fn run_until(&mut self, until: SimTime) {
+        while let Some(at) = self.q.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, timer) = self.q.pop().expect("peeked");
+            assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            let fx = self.lm.handle_timer(at, timer);
+            self.apply(fx);
+        }
+        self.now = self.now.max(until);
+    }
+
+    fn begin(&mut self, at: SimTime, tid: u64) {
+        self.run_until(at);
+        let fx = self.lm.begin(at, Tid(tid));
+        self.apply(fx);
+    }
+
+    fn write(&mut self, at: SimTime, tid: u64, oid: u64, seq: u32, size: u32) {
+        self.run_until(at);
+        let fx = self.lm.write_data(at, Tid(tid), Oid(oid), seq, size);
+        self.apply(fx);
+    }
+
+    fn commit(&mut self, at: SimTime, tid: u64) {
+        self.run_until(at);
+        let fx = self.lm.commit_request(at, Tid(tid));
+        self.apply(fx);
+    }
+
+    fn abort(&mut self, at: SimTime, tid: u64) {
+        self.run_until(at);
+        let fx = self.lm.abort(at, Tid(tid));
+        self.apply(fx);
+    }
+
+    fn quiesce(&mut self, at: SimTime) {
+        self.run_until(at);
+        let fx = self.lm.quiesce(at);
+        self.apply(fx);
+    }
+
+    /// Quiesce and drain everything outstanding (writes + flushes).
+    fn drain(&mut self, from: SimTime) -> SimTime {
+        self.quiesce(from);
+        self.run_until(SimTime::MAX);
+        self.now
+    }
+}
+
+fn small_el(g0: u32, g1: u32, recirc: bool) -> ElManager {
+    let log = LogConfig {
+        generation_blocks: vec![g0, g1],
+        recirculation: recirc,
+        ..LogConfig::default()
+    };
+    ElManager::ephemeral(log, FlushConfig::default())
+}
+
+#[test]
+fn single_transaction_commit_and_flush() {
+    let mut h = Host::new(small_el(8, 8, false));
+    h.begin(t(0), 1);
+    h.write(t(100), 1, 42, 1, 100);
+    h.write(t(200), 1, 43, 2, 100);
+    h.commit(t(300), 1);
+    assert!(h.acks.is_empty(), "no ack before the buffer is durable");
+
+    let end = h.drain(t(301));
+    assert_eq!(h.acks, vec![Tid(1)]);
+    assert!(h.kills.is_empty());
+
+    // Both updates flushed to the stable database.
+    let db = h.lm.stable_db();
+    assert_eq!(db.len(), 2);
+    assert_eq!(db.version(Oid(42)).unwrap().tid, Tid(1));
+    assert_eq!(db.version(Oid(43)).unwrap().seq, 2);
+
+    // All bookkeeping cleaned up.
+    assert_eq!(h.lm.ltt_len(), 0);
+    assert_eq!(h.lm.lot_len(), 0);
+    h.lm.check_invariants();
+
+    let m = h.lm.metrics(end);
+    assert_eq!(m.stats.acks, 1);
+    assert_eq!(m.stats.kills, 0);
+    assert_eq!(m.stats.unsafe_drops, 0);
+    assert_eq!(m.flushes, 2);
+    assert!(m.log_writes >= 1);
+}
+
+#[test]
+fn group_commit_acks_when_block_fills() {
+    // 2000-byte payload: 19 × 100 B data records + 8 B begin + 8 B commit
+    // won't fill it; write enough records from a second txn to fill the
+    // block and trigger the write without quiescing.
+    let mut h = Host::new(small_el(8, 8, false));
+    h.begin(t(0), 1);
+    h.write(t(1), 1, 1, 1, 100);
+    h.commit(t(2), 1);
+    assert!(h.acks.is_empty());
+
+    h.begin(t(3), 2);
+    for i in 0..20 {
+        h.write(t(4 + i), 2, 100 + i, (i + 1) as u32, 100);
+    }
+    // The first block sealed; 15 ms later txn 1's commit is durable.
+    h.run_until(t(60));
+    assert_eq!(h.acks, vec![Tid(1)]);
+    h.lm.check_invariants();
+}
+
+#[test]
+fn commit_latency_is_write_latency_after_seal() {
+    let mut h = Host::new(small_el(8, 8, false));
+    h.begin(t(0), 1);
+    h.write(t(1), 1, 7, 1, 100);
+    h.commit(t(10), 1);
+    h.quiesce(t(10));
+    h.run_until(t(24));
+    assert!(h.acks.is_empty(), "15 ms write not done at +14 ms");
+    h.run_until(t(25));
+    assert_eq!(h.acks, vec![Tid(1)]);
+}
+
+/// A stream of short transactions: every 10 ms one begins, writes
+/// `records` 100-byte records and requests commit 5 ms later. At 3
+/// records/burst the update rate is 300/s — inside the flush array's
+/// 400/s, so no committed-unflushed backlog builds up.
+#[allow(clippy::explicit_counter_loop)] // tid advances with each burst by design
+fn pump_short_txns(h: &mut Host, bursts: u64, records: u32, first_tid: u64) -> u64 {
+    let mut tid = first_tid;
+    for burst in 0..bursts {
+        let at = t(10 + burst * 10);
+        h.begin(at, tid);
+        for r in 0..records {
+            // Spread oids over the whole space so flush work range-partitions
+            // across all drives (clustered oids would serialise on one
+            // drive and starve flushing, as §3's partitioning implies).
+            let oid = ((tid * u64::from(records) + u64::from(r)) * 997_003) % 10_000_000;
+            h.write(at + t(1), tid, oid, r + 1, 100);
+        }
+        h.commit(at + t(5), tid);
+        tid += 1;
+    }
+    tid
+}
+
+#[test]
+#[allow(clippy::explicit_counter_loop)]
+fn long_transaction_records_are_forwarded_not_killed() {
+    // gen0 of 3 blocks wraps every ~190 ms under 31.6 KB/s of short-txn
+    // traffic; the long transaction's record must be forwarded to gen1,
+    // which at 12 blocks never pressures it.
+    let mut h = Host::new(small_el(3, 12, false));
+    h.begin(t(0), 999);
+    h.write(t(1), 999, 5, 1, 100);
+
+    pump_short_txns(&mut h, 40, 3, 0);
+    h.commit(t(450), 999);
+    h.drain(t(451));
+
+    assert!(h.kills.is_empty(), "long txn must survive via forwarding");
+    assert!(h.acks.contains(&Tid(999)));
+    let m = h.lm.metrics(h.now);
+    assert!(m.stats.forwarded_records > 0, "gen0 wrap must forward");
+    assert!(m.per_gen_writes[1] > 0, "gen1 received forwarded buffers");
+    assert_eq!(m.stats.unsafe_drops, 0);
+    h.lm.check_invariants();
+}
+
+#[test]
+fn no_recirc_last_generation_kills_long_transaction() {
+    // Tiny two-generation log without recirculation: a transaction that
+    // stays active while both generations wrap must be killed (§3: "If
+    // recirculation is disabled and a transaction's non-garbage log record
+    // reaches the head of the last generation while it is still executing,
+    // the LM kills the transaction").
+    let mut h = Host::new(small_el(3, 3, false));
+    h.begin(t(0), 999);
+    h.write(t(1), 999, 5, 1, 100);
+
+    pump_short_txns(&mut h, 150, 3, 0); // 1.5 s of traffic; 999 never commits
+    h.drain(t(2000));
+    assert!(h.kills.contains(&Tid(999)), "long txn must die in a 6-block log");
+    assert!(h.lm.stats().kills >= 1);
+    h.lm.check_invariants();
+}
+
+#[test]
+fn recirculation_saves_the_long_transaction() {
+    // Recirculation on, in a last generation big enough to hold the live
+    // records plus in-transit unflushed ones: the long transaction
+    // survives by recirculating. A mildly loaded flush array (333/s
+    // capacity against 300 updates/s) keeps some committed-unflushed
+    // records transiting generation 1, which is what makes its head move.
+    let log = LogConfig { generation_blocks: vec![4, 8], recirculation: true, ..LogConfig::default() };
+    let flush = FlushConfig { drives: 10, transfer_time: SimTime::from_millis(30) };
+    let mut h = Host::new(ElManager::ephemeral(log, flush));
+    h.begin(t(0), 999);
+    h.write(t(1), 999, 5, 1, 100);
+
+    pump_short_txns(&mut h, 150, 3, 0);
+    h.commit(t(1600), 999);
+    h.drain(t(1601));
+    assert!(!h.kills.contains(&Tid(999)), "recirculation must keep it alive");
+    assert!(h.acks.contains(&Tid(999)));
+    assert!(h.lm.stats().recirculated_records > 0, "gen1 wrapped, so it recirculated");
+    h.lm.check_invariants();
+}
+
+#[test]
+fn firewall_kills_under_space_pressure() {
+    let mut h = Host::new(ElManager::firewall(4, FlushConfig::default()));
+    h.begin(t(0), 999);
+    h.write(t(1), 999, 5, 1, 100);
+
+    let mut tid = 0;
+    for burst in 0..40u64 {
+        let at = t(10 + burst * 10);
+        h.begin(at, tid);
+        for r in 0..10u32 {
+            h.write(at + t(1), tid, 1000 + tid * 100 + u64::from(r), r + 1, 100);
+        }
+        h.commit(at + t(5), tid);
+        tid += 1;
+    }
+    h.drain(t(1000));
+    assert!(h.kills.contains(&Tid(999)), "firewall txn must be killed");
+    h.lm.check_invariants();
+}
+
+#[test]
+fn firewall_with_enough_space_never_kills() {
+    let mut h = Host::new(ElManager::firewall(64, FlushConfig::default()));
+    h.begin(t(0), 999);
+    h.write(t(1), 999, 5, 1, 100);
+    let mut tid = 0;
+    for burst in 0..40u64 {
+        let at = t(10 + burst * 10);
+        h.begin(at, tid);
+        for r in 0..10u32 {
+            h.write(at + t(1), tid, 1000 + tid * 100 + u64::from(r), r + 1, 100);
+        }
+        h.commit(at + t(5), tid);
+        tid += 1;
+    }
+    h.commit(t(500), 999);
+    h.drain(t(501));
+    assert!(h.kills.is_empty());
+    assert!(h.acks.contains(&Tid(999)));
+    assert_eq!(h.lm.stats().unsafe_drops, 0);
+}
+
+#[test]
+fn abort_cleans_everything() {
+    let mut h = Host::new(small_el(8, 8, false));
+    h.begin(t(0), 1);
+    h.write(t(1), 1, 42, 1, 100);
+    h.write(t(2), 1, 43, 2, 100);
+    h.abort(t(3), 1);
+    assert_eq!(h.lm.ltt_len(), 0);
+    assert_eq!(h.lm.lot_len(), 0);
+    assert_eq!(h.lm.stats().aborts, 1);
+    h.lm.check_invariants();
+
+    // A write after abort is ignored, not fatal.
+    h.write(t(4), 1, 44, 3, 100);
+    assert_eq!(h.lm.stats().ignored_writes, 1);
+    h.drain(t(5));
+    assert!(h.lm.stable_db().is_empty(), "aborted updates never flush");
+}
+
+#[test]
+fn supersession_makes_old_committed_update_garbage() {
+    // Txn 1 commits an update of oid 42, then txn 2 overwrites it before
+    // the flush completes — provoked by a flush array with one slow drive.
+    let log = LogConfig { generation_blocks: vec![8, 8], ..LogConfig::default() };
+    let flush = FlushConfig { drives: 1, transfer_time: SimTime::from_millis(500) };
+    let mut h = Host::new(ElManager::ephemeral(log, flush));
+
+    h.begin(t(0), 1);
+    h.write(t(1), 1, 42, 1, 100);
+    h.commit(t(2), 1);
+    h.quiesce(t(2));
+    h.run_until(t(30)); // ack for txn 1; flush of (42, txn1) in service
+
+    h.begin(t(31), 2);
+    h.write(t(32), 2, 42, 1, 100);
+    h.commit(t(33), 2);
+    let end = h.drain(t(34));
+
+    assert_eq!(h.acks, vec![Tid(1), Tid(2)]);
+    let v = h.lm.stable_db().version(Oid(42)).unwrap();
+    assert_eq!(v.tid, Tid(2), "newest committed version wins in the stable DB");
+    assert_eq!(h.lm.ltt_len(), 0);
+    assert_eq!(h.lm.lot_len(), 0);
+    let _ = end;
+    h.lm.check_invariants();
+}
+
+#[test]
+fn memory_models_price_differently() {
+    let flush = FlushConfig::default();
+    let log = LogConfig { generation_blocks: vec![8, 8], ..LogConfig::default() };
+
+    let mut el = Host::new(ElManager::ephemeral(log, flush.clone()));
+    let mut fw = Host::new(ElManager::firewall(16, flush));
+    for h in [&mut el, &mut fw] {
+        h.begin(t(0), 1);
+        h.write(t(1), 1, 42, 1, 100);
+        h.write(t(2), 1, 43, 2, 100);
+    }
+    // EL: 40 per txn + 40 per object = 40 + 80 = 120.
+    assert_eq!(el.lm.peak_memory_bytes(), 120);
+    // FW: 22 per txn = 22.
+    assert_eq!(fw.lm.peak_memory_bytes(), 22);
+}
+
+#[test]
+fn force_flush_policy_expedites() {
+    let log = LogConfig {
+        generation_blocks: vec![3, 8],
+        unflushed_at_head: UnflushedAtHead::ForceFlush,
+        ..LogConfig::default()
+    };
+    // Slow single drive so committed updates are still unflushed when
+    // gen0's head reaches them.
+    let flush = FlushConfig { drives: 1, transfer_time: SimTime::from_millis(2000) };
+    let mut h = Host::new(ElManager::ephemeral(log, flush));
+
+    let mut tid = 0;
+    for burst in 0..30u64 {
+        let at = t(10 + burst * 10);
+        h.begin(at, tid);
+        for r in 0..10u32 {
+            h.write(at + t(1), tid, 1000 + tid * 100 + u64::from(r), r + 1, 100);
+        }
+        h.commit(at + t(5), tid);
+        tid += 1;
+    }
+    h.drain(t(10_000));
+    assert!(h.lm.stats().forced_flushes > 0, "policy must expedite head arrivals");
+    h.lm.check_invariants();
+}
+
+#[test]
+fn quiesce_is_idempotent() {
+    let mut h = Host::new(small_el(8, 8, false));
+    h.begin(t(0), 1);
+    h.write(t(1), 1, 42, 1, 100);
+    h.commit(t(2), 1);
+    h.quiesce(t(3));
+    h.quiesce(t(3));
+    h.quiesce(t(3));
+    h.run_until(SimTime::MAX);
+    assert_eq!(h.acks, vec![Tid(1)]);
+}
+
+#[test]
+fn log_surface_contains_committed_records() {
+    let mut h = Host::new(small_el(8, 8, false));
+    h.begin(t(0), 1);
+    h.write(t(1), 1, 42, 1, 100);
+    h.commit(t(2), 1);
+    h.quiesce(t(2));
+    h.run_until(t(17)); // install done at +15 ms
+
+    let surface = h.lm.log_surface();
+    assert_eq!(surface.len(), 2);
+    let gen0_records: usize = surface[0].iter().map(|b| b.records.len()).sum();
+    assert_eq!(gen0_records, 3, "BEGIN + data + COMMIT all durable");
+    assert!(surface[1].is_empty(), "nothing forwarded yet");
+}
+
+#[test]
+fn group_commit_timeout_bounds_latency() {
+    let log = LogConfig { generation_blocks: vec![8, 8], ..LogConfig::default() };
+    let mut cfg = ElConfig::ephemeral(log, FlushConfig::default());
+    cfg.group_commit_timeout = Some(SimTime::from_millis(20));
+    let mut h = Host::new(ElManager::new(cfg).unwrap());
+
+    h.begin(t(0), 1);
+    h.write(t(1), 1, 42, 1, 100);
+    h.commit(t(2), 1);
+    // No quiesce: the 20 ms timeout seals the buffer, +15 ms write.
+    h.run_until(t(120));
+    assert_eq!(h.acks, vec![Tid(1)], "timeout must bound commit latency");
+}
+
+#[test]
+fn metrics_snapshot_consistency() {
+    let mut h = Host::new(small_el(8, 8, false));
+    for tid in 0..10u64 {
+        h.begin(t(tid * 10), tid);
+        h.write(t(tid * 10 + 1), tid, 100 + tid, 1, 100);
+        h.commit(t(tid * 10 + 5), tid);
+    }
+    let end = h.drain(t(200));
+    let m = h.lm.metrics(end);
+    assert_eq!(m.total_blocks, 16);
+    assert_eq!(m.per_gen_blocks, vec![8, 8]);
+    assert_eq!(m.log_writes, m.per_gen_writes.iter().sum::<u64>());
+    assert_eq!(m.stats.acks, 10);
+    assert_eq!(m.flushes, 10);
+    assert!(m.log_write_rate > 0.0);
+    assert!(m.peak_memory_bytes > 0);
+    assert_eq!(m.flush_backlog, 0);
+}
+
+#[test]
+fn commit_of_update_free_transaction() {
+    let mut h = Host::new(small_el(8, 8, false));
+    h.begin(t(0), 1);
+    h.commit(t(1), 1);
+    h.drain(t(2));
+    assert_eq!(h.acks, vec![Tid(1)]);
+    assert_eq!(h.lm.ltt_len(), 0, "entry disposed immediately after ack");
+    h.lm.check_invariants();
+}
+
+#[test]
+fn memory_model_flag_is_respected() {
+    let log = LogConfig { generation_blocks: vec![8], ..LogConfig::default() };
+    let mut cfg = ElConfig::ephemeral(log, FlushConfig::default());
+    cfg.memory_model = MemoryModel::Firewall;
+    let lm = ElManager::new(cfg).unwrap();
+    assert_eq!(lm.config().memory_model, MemoryModel::Firewall);
+}
+
+#[test]
+fn invalid_configs_rejected() {
+    let log = LogConfig { generation_blocks: vec![], ..LogConfig::default() };
+    assert!(ElManager::new(ElConfig::ephemeral(log, FlushConfig::default())).is_err());
+
+    let log = LogConfig { generation_blocks: vec![2], ..LogConfig::default() };
+    assert!(ElManager::new(ElConfig::ephemeral(log, FlushConfig::default())).is_err());
+}

@@ -1,0 +1,88 @@
+#![allow(clippy::explicit_counter_loop)] // tids advance with bursts by design
+//! Tests of the §6 lifetime-hint placement (`begin_in` /
+//! `pick_generation_for`).
+
+use elog_core::{ElManager, SimpleHost};
+use elog_model::{FlushConfig, LogConfig, Oid, Tid};
+use elog_sim::SimTime;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+fn el(blocks: Vec<u32>, recirc: bool) -> ElManager {
+    let log = LogConfig { generation_blocks: blocks, recirculation: recirc, ..LogConfig::default() };
+    ElManager::ephemeral(log, FlushConfig::default())
+}
+
+#[test]
+fn hinted_transaction_lives_entirely_in_its_home_generation() {
+    let mut h = SimpleHost::new(el(vec![8, 8], false));
+    // Home the transaction in generation 1.
+    let fx = h.lm.begin_in(SimTime::ZERO, Tid(1), 1);
+    for (at, timer) in fx.timers {
+        let _ = (at, timer); // no timers expected before any seal
+    }
+    h.write(t(1), Tid(1), Oid(5), 1, 100);
+    h.commit(t(2), Tid(1));
+    h.quiesce(t(3));
+    h.run_to_completion();
+
+    assert_eq!(h.acks, vec![Tid(1)]);
+    let surface = h.lm.log_surface();
+    let gen0_records: usize = surface[0].iter().map(|b| b.records.len()).sum();
+    let gen1_records: usize = surface[1].iter().map(|b| b.records.len()).sum();
+    assert_eq!(gen0_records, 0, "nothing must touch generation 0");
+    assert_eq!(gen1_records, 3, "BEGIN + data + COMMIT all in generation 1");
+    assert_eq!(h.lm.stats().forwarded_records, 0);
+    h.lm.check_invariants();
+}
+
+#[test]
+fn hinted_commit_is_acknowledged_from_a_deep_generation() {
+    // Commit-pending bookkeeping must work for any generation, not just 0.
+    let mut h = SimpleHost::new(el(vec![6, 6, 6], true));
+    let fx = h.lm.begin_in(SimTime::ZERO, Tid(9), 2);
+    assert!(fx.acks.is_empty());
+    h.write(t(1), Tid(9), Oid(77), 1, 100);
+    h.commit(t(2), Tid(9));
+    h.quiesce(t(3));
+    h.run_to_completion();
+    assert_eq!(h.acks, vec![Tid(9)]);
+    assert_eq!(h.lm.stable_db().len(), 1);
+}
+
+#[test]
+fn picker_uses_observed_wrap_times() {
+    let mut h = SimpleHost::new(el(vec![4, 32], false));
+    // Before any traffic the picker defaults to generation 0.
+    assert_eq!(h.lm.pick_generation_for(SimTime::ZERO, SimTime::from_secs(10)), 0);
+
+    // Push ~2 s of traffic through generation 0 so its wrap time becomes
+    // observable (~4 blocks at ~1 block/63 ms of 316 B/10 ms traffic).
+    let mut tid = 0u64;
+    for burst in 0..200u64 {
+        let at = t(10 + burst * 10);
+        h.begin(at, Tid(tid));
+        for r in 0..3u32 {
+            let oid = ((tid * 3 + u64::from(r)) * 997_003) % 10_000_000;
+            h.write(at + t(1), Tid(tid), Oid(oid), r + 1, 100);
+        }
+        h.commit(at + t(5), Tid(tid));
+        tid += 1;
+    }
+    h.run_until(t(2_100));
+
+    let now = h.now();
+    // A short transaction fits generation 0's observed wrap.
+    assert_eq!(h.lm.pick_generation_for(now, SimTime::from_millis(50)), 0);
+    // A long transaction does not: it belongs deeper.
+    assert_eq!(h.lm.pick_generation_for(now, SimTime::from_secs(10)), 1);
+}
+
+#[test]
+#[should_panic]
+fn out_of_range_home_generation_panics() {
+    let mut lm = el(vec![8, 8], false);
+    let _ = lm.begin_in(SimTime::ZERO, Tid(1), 5);
+}

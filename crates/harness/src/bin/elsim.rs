@@ -1,0 +1,164 @@
+//! `elsim` — run one ephemeral-logging simulation from the command line.
+//!
+//! ```text
+//! elsim [options]
+//!   --mode el|fw            technique (default el)
+//!   --gens G0,G1[,G2...]    generation sizes in blocks (default 18,16)
+//!   --fw-blocks N           FW log size (default 123; implies --mode fw)
+//!   --recirc                enable recirculation in the last generation
+//!   --frac-long P           fraction of 10 s transactions (default 0.05)
+//!   --tps R                 arrivals per second (default 100)
+//!   --poisson               Poisson instead of deterministic arrivals
+//!   --runtime S             simulated seconds (default 500)
+//!   --drives N              flush drives (default 10)
+//!   --flush-ms T            flush transfer time, ms (default 25)
+//!   --seed N                random seed (default 0x5EED1993)
+//!   --min-space             search the minimum geometry instead of running
+//! ```
+
+use elog_core::{ElConfig, MemoryModel};
+use elog_harness::minspace::{el_min_space, fw_min_space};
+use elog_harness::runner::{run, RunConfig};
+use elog_model::{FlushConfig, LogConfig};
+use elog_sim::SimTime;
+use elog_workload::{ArrivalProcess, TxMix};
+
+#[derive(Debug)]
+struct Args {
+    mode_fw: bool,
+    gens: Vec<u32>,
+    recirc: bool,
+    frac_long: f64,
+    tps: f64,
+    poisson: bool,
+    runtime: u64,
+    drives: u32,
+    flush_ms: u64,
+    seed: u64,
+    min_space: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            mode_fw: false,
+            gens: vec![18, 16],
+            recirc: false,
+            frac_long: 0.05,
+            tps: 100.0,
+            poisson: false,
+            runtime: 500,
+            drives: 10,
+            flush_ms: 25,
+            seed: 0x5EED_1993,
+            min_space: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("see `elsim --help` in the module docs; common: elsim --gens 18,16 --frac-long 0.05");
+    std::process::exit(2)
+}
+
+fn parse() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => a.mode_fw = next(&mut it, "--mode") == "fw",
+            "--gens" => {
+                a.gens = next(&mut it, "--gens")
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--fw-blocks" => {
+                a.mode_fw = true;
+                a.gens = vec![next(&mut it, "--fw-blocks").parse().unwrap_or_else(|_| usage())];
+            }
+            "--recirc" => a.recirc = true,
+            "--frac-long" => a.frac_long = next(&mut it, "--frac-long").parse().unwrap_or_else(|_| usage()),
+            "--tps" => a.tps = next(&mut it, "--tps").parse().unwrap_or_else(|_| usage()),
+            "--poisson" => a.poisson = true,
+            "--runtime" => a.runtime = next(&mut it, "--runtime").parse().unwrap_or_else(|_| usage()),
+            "--drives" => a.drives = next(&mut it, "--drives").parse().unwrap_or_else(|_| usage()),
+            "--flush-ms" => a.flush_ms = next(&mut it, "--flush-ms").parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = next(&mut it, "--seed").parse().unwrap_or_else(|_| usage()),
+            "--min-space" => a.min_space = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn main() {
+    let a = parse();
+    let log = LogConfig {
+        generation_blocks: a.gens.clone(),
+        recirculation: a.recirc,
+        ..LogConfig::default()
+    };
+    let flush = FlushConfig {
+        drives: a.drives,
+        transfer_time: SimTime::from_millis(a.flush_ms),
+    };
+    let mut el = ElConfig::ephemeral(log, flush);
+    if a.mode_fw {
+        el.memory_model = MemoryModel::Firewall;
+    }
+    let cfg = RunConfig {
+        mix: TxMix::paper_mix(a.frac_long),
+        arrivals: if a.poisson {
+            ArrivalProcess::Poisson { rate_tps: a.tps }
+        } else {
+            ArrivalProcess::Deterministic { rate_tps: a.tps }
+        },
+        runtime: SimTime::from_secs(a.runtime),
+        el,
+        seed: a.seed,
+        stop_on_kill: false,
+        track_oracle: false,
+        lifetime_hints: false,
+    };
+
+    if a.min_space {
+        if a.mode_fw || a.gens.len() == 1 {
+            let r = fw_min_space(&cfg, 4096);
+            println!("minimum FW log: {} blocks ({} probes)", r.total_blocks, r.probes);
+        } else {
+            let r = el_min_space(&cfg, 48, 1024);
+            println!(
+                "minimum EL log: {:?} = {} blocks ({} probes)",
+                r.generation_blocks, r.total_blocks, r.probes
+            );
+        }
+        return;
+    }
+
+    let r = run(&cfg);
+    let m = &r.metrics;
+    println!("== elsim run ==");
+    println!("geometry            : {:?} blocks (recirc {})", m.per_gen_blocks, a.recirc);
+    println!("transactions        : {} started, {} committed, {} killed", r.started, r.committed, r.killed);
+    println!("log bandwidth       : {:.2} block writes/s (per gen {:?})", m.log_write_rate, m.per_gen_write_rate);
+    println!(
+        "block fill          : {:?}",
+        m.per_gen_fill.iter().map(|f| f.map(|v| (v * 100.0).round() / 100.0)).collect::<Vec<_>>()
+    );
+    println!("peak memory         : {} B (LTT peak {}, LOT peak {})", m.peak_memory_bytes, m.ltt_peak, m.lot_peak);
+    println!("forwarded           : {} records ({} B)", m.stats.forwarded_records, m.stats.forwarded_bytes);
+    println!("recirculated        : {} records ({} B)", m.stats.recirculated_records, m.stats.recirculated_bytes);
+    println!("flushes             : {} (mean oid distance {:?})", m.flushes, m.mean_seek_distance.map(|d| d.round()));
+    println!("flush utilisation   : {:.1}% (backlog {})", m.flush_utilisation * 100.0, m.flush_backlog);
+    println!("p50 commit latency  : {:?} ms", r.mean_commit_latency_ms);
+    println!("anomalies           : {} unsafe drops, {} durability violations, {} stalls",
+        m.stats.unsafe_drops, m.stats.durability_violations, m.stats.buffer_stalls);
+}

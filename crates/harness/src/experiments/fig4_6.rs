@@ -1,0 +1,239 @@
+//! Figures 4, 5 and 6: minimum disk space, log bandwidth and peak memory
+//! versus the transaction mix, FW against EL (two generations, no
+//! recirculation).
+//!
+//! Paper headline (5 % mix): EL needs 34 blocks (18 + 16) against FW's
+//! 123 — a 3.6× reduction — at an 11 % bandwidth premium (12.87 vs 11.63
+//! block writes/s) and modest memory. The EL advantage shrinks as the
+//! long-transaction fraction grows.
+
+use crate::minspace::{el_min_space, fw_min_space, MinSpaceResult};
+use crate::report::{f, Table};
+use crate::runner::{run, RunConfig, RunResult};
+use elog_core::{ElConfig, MemoryModel};
+use elog_model::{FlushConfig, LogConfig};
+use elog_sim::SimTime;
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Long-transaction fractions to evaluate (paper: 5 %–40 %).
+    pub mixes: Vec<f64>,
+    /// Simulated seconds per probe/measurement run (paper: 500).
+    pub runtime_secs: u64,
+    /// gen0 scan ceiling for the EL search.
+    pub g0_max: u32,
+    /// gen1 binary-search ceiling.
+    pub g1_limit: u32,
+    /// FW binary-search ceiling.
+    pub fw_limit: u32,
+}
+
+impl Config {
+    /// Full paper-scale sweep.
+    pub fn paper() -> Self {
+        Config {
+            mixes: vec![0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40],
+            runtime_secs: 500,
+            g0_max: 32,
+            g1_limit: 512,
+            fw_limit: 1024,
+        }
+    }
+
+    /// Reduced sweep for tests and smoke runs.
+    pub fn quick() -> Self {
+        Config {
+            mixes: vec![0.05, 0.20, 0.40],
+            runtime_secs: 60,
+            g0_max: 24,
+            g1_limit: 256,
+            fw_limit: 512,
+        }
+    }
+}
+
+/// One mix's outcome for one technique.
+#[derive(Clone, Debug)]
+pub struct TechniquePoint {
+    /// Minimum geometry found.
+    pub min: MinSpaceResult,
+    /// Full measured run at that geometry.
+    pub measured: RunResult,
+}
+
+/// One row of the sweep.
+#[derive(Clone, Debug)]
+pub struct MixPoint {
+    /// Long-transaction fraction.
+    pub frac_long: f64,
+    /// Firewall baseline.
+    pub fw: TechniquePoint,
+    /// Ephemeral logging (2 generations, no recirculation).
+    pub el: TechniquePoint,
+}
+
+impl MixPoint {
+    /// Figure 4's headline ratio: FW blocks / EL blocks.
+    pub fn space_ratio(&self) -> f64 {
+        f64::from(self.fw.min.total_blocks) / f64::from(self.el.min.total_blocks)
+    }
+
+    /// Figure 5's premium: EL bandwidth / FW bandwidth − 1.
+    pub fn bandwidth_premium(&self) -> f64 {
+        self.el.measured.metrics.log_write_rate / self.fw.measured.metrics.log_write_rate - 1.0
+    }
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug)]
+pub struct Result {
+    /// One point per mix.
+    pub points: Vec<MixPoint>,
+}
+
+fn base_cfg(frac_long: f64, runtime_secs: u64, memory: MemoryModel) -> RunConfig {
+    let log = LogConfig { recirculation: false, ..LogConfig::default() };
+    let mut el = ElConfig::ephemeral(log, FlushConfig::default());
+    el.memory_model = memory;
+    let mut cfg = RunConfig::paper(frac_long, el);
+    cfg.runtime = SimTime::from_secs(runtime_secs);
+    cfg
+}
+
+fn measure(base: &RunConfig, blocks: &[u32]) -> RunResult {
+    let mut cfg = base.clone();
+    cfg.el.log.generation_blocks = blocks.to_vec();
+    cfg.stop_on_kill = false;
+    run(&cfg)
+}
+
+/// Runs the sweep.
+pub fn run_experiment(cfg: &Config) -> Result {
+    let points = cfg
+        .mixes
+        .iter()
+        .map(|&frac| {
+            let fw_base = base_cfg(frac, cfg.runtime_secs, MemoryModel::Firewall);
+            let fw_min = fw_min_space(&fw_base, cfg.fw_limit);
+            let fw_measured = measure(&fw_base, &fw_min.generation_blocks);
+
+            let el_base = base_cfg(frac, cfg.runtime_secs, MemoryModel::Ephemeral);
+            let el_min = el_min_space(&el_base, cfg.g0_max, cfg.g1_limit);
+            let el_measured = measure(&el_base, &el_min.generation_blocks);
+
+            MixPoint {
+                frac_long: frac,
+                fw: TechniquePoint { min: fw_min, measured: fw_measured },
+                el: TechniquePoint { min: el_min, measured: el_measured },
+            }
+        })
+        .collect();
+    Result { points }
+}
+
+impl Result {
+    /// Figure 4: disk space (blocks) vs mix.
+    pub fn fig4_table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 4 — minimum disk space (blocks) vs transaction mix",
+            &["% 10s txns", "FW blocks", "EL blocks", "EL geometry", "FW/EL ratio"],
+        );
+        for p in &self.points {
+            t.row(vec![
+                f(p.frac_long * 100.0, 0),
+                p.fw.min.total_blocks.to_string(),
+                p.el.min.total_blocks.to_string(),
+                format!("{:?}", p.el.min.generation_blocks),
+                f(p.space_ratio(), 2),
+            ]);
+        }
+        t
+    }
+
+    /// Figure 5: log bandwidth (block writes/s) vs mix.
+    pub fn fig5_table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 5 — log bandwidth (block writes/s) vs transaction mix",
+            &["% 10s txns", "FW w/s", "EL w/s", "EL premium %"],
+        );
+        for p in &self.points {
+            t.row(vec![
+                f(p.frac_long * 100.0, 0),
+                f(p.fw.measured.metrics.log_write_rate, 2),
+                f(p.el.measured.metrics.log_write_rate, 2),
+                f(p.bandwidth_premium() * 100.0, 1),
+            ]);
+        }
+        t
+    }
+
+    /// Figure 6: peak main memory (bytes) vs mix.
+    pub fn fig6_table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 6 — peak LM memory (bytes) vs transaction mix",
+            &["% 10s txns", "FW bytes", "EL bytes", "EL/FW ratio"],
+        );
+        for p in &self.points {
+            let fw = p.fw.measured.metrics.peak_memory_bytes;
+            let el = p.el.measured.metrics.peak_memory_bytes;
+            t.row(vec![
+                f(p.frac_long * 100.0, 0),
+                fw.to_string(),
+                el.to_string(),
+                f(el as f64 / fw as f64, 2),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_shape_matches_paper() {
+        let mut cfg = Config::quick();
+        cfg.mixes = vec![0.05, 0.40];
+        cfg.runtime_secs = 40;
+        let out = run_experiment(&cfg);
+        assert_eq!(out.points.len(), 2);
+
+        for p in &out.points {
+            // No kills at the minima, by construction.
+            assert_eq!(p.fw.measured.killed, 0, "FW minimum must survive");
+            assert_eq!(p.el.measured.killed, 0, "EL minimum must survive");
+            // The central claim: EL saves disk space.
+            assert!(
+                p.space_ratio() > 1.3,
+                "mix {}: EL must beat FW on space, ratio {}",
+                p.frac_long,
+                p.space_ratio()
+            );
+            // And pays some bandwidth for it.
+            assert!(
+                p.bandwidth_premium() > -0.01,
+                "EL bandwidth at least FW's, premium {}",
+                p.bandwidth_premium()
+            );
+            // Memory: EL costs more than FW (40 B/txn + 40 B/object vs 22).
+            assert!(
+                p.el.measured.metrics.peak_memory_bytes
+                    > p.fw.measured.metrics.peak_memory_bytes
+            );
+        }
+        // The advantage shrinks as long transactions proliferate.
+        assert!(
+            out.points[0].space_ratio() > out.points[1].space_ratio(),
+            "5% ratio {} must exceed 40% ratio {}",
+            out.points[0].space_ratio(),
+            out.points[1].space_ratio()
+        );
+
+        // Tables render.
+        assert_eq!(out.fig4_table().len(), 2);
+        assert_eq!(out.fig5_table().len(), 2);
+        assert_eq!(out.fig6_table().len(), 2);
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per paper result (see crate docs for the index).
+
+pub mod ablations;
+pub mod fig4_6;
+pub mod fig7;
+pub mod hybrid;
+pub mod rates;
+pub mod recovery_time;
+pub mod scarce;

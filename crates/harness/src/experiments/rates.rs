@@ -1,0 +1,88 @@
+//! §4 prose check: "As the fraction of 10 s transactions increases from
+//! 5% to 40%, the average number of updates per second rises from 210 to
+//! 280."
+//!
+//! The analytic value is `100 TPS × (2(1−p) + 4p)`; the measured value is
+//! the workload driver's data-record count over the horizon. Both are
+//! reported so the table doubles as a calibration check of the driver.
+
+use crate::report::{f, Table};
+use crate::runner::{build_model, RunConfig};
+use elog_core::ElConfig;
+use elog_model::{FlushConfig, LogConfig};
+use elog_sim::SimTime;
+use elog_workload::TxMix;
+
+/// One mix's analytic and measured update rates.
+#[derive(Clone, Debug)]
+pub struct RatePoint {
+    /// Long-transaction fraction.
+    pub frac_long: f64,
+    /// Analytic updates/s.
+    pub analytic: f64,
+    /// Measured updates/s.
+    pub measured: f64,
+}
+
+/// Runs the check over the paper's mix endpoints and midpoints.
+pub fn run_experiment(runtime_secs: u64) -> Vec<RatePoint> {
+    [0.05, 0.10, 0.20, 0.30, 0.40]
+        .into_iter()
+        .map(|frac| {
+            let analytic = TxMix::paper_mix(frac).mean_update_rate(100.0);
+            // A roomy geometry: this experiment measures the workload, not
+            // the log manager.
+            let log = LogConfig { generation_blocks: vec![64, 64], ..LogConfig::default() };
+            let mut cfg =
+                RunConfig::paper(frac, ElConfig::ephemeral(log, FlushConfig::default()));
+            cfg.runtime = SimTime::from_secs(runtime_secs);
+            let mut engine = build_model(&cfg);
+            engine.run_until(cfg.runtime);
+            let measured = engine.model().driver.stats().data_records as f64
+                / cfg.runtime.as_secs_f64();
+            RatePoint { frac_long: frac, analytic, measured }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(points: &[RatePoint]) -> Table {
+    let mut t = Table::new(
+        "§4 prose — update rate vs mix (paper: 210/s at 5% to 280/s at 40%)",
+        &["% 10s txns", "analytic updates/s", "measured updates/s"],
+    );
+    for p in points {
+        t.row(vec![f(p.frac_long * 100.0, 0), f(p.analytic, 1), f(p.measured, 1)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rates_match_analytic() {
+        let runtime = 60;
+        let points = run_experiment(runtime);
+        assert_eq!(points.len(), 5);
+        assert!((points[0].analytic - 210.0).abs() < 1e-9);
+        assert!((points[4].analytic - 280.0).abs() < 1e-9);
+        for p in &points {
+            // Long transactions arriving in the final 10 s have written
+            // only part of their records by the horizon, so the measured
+            // rate undershoots by up to ~frac·4·(10/runtime)·100/2 per
+            // second; allow that truncation plus sampling noise.
+            let truncation = p.frac_long * 4.0 * 100.0 * (10.0 / runtime as f64) / 2.0;
+            let tol = truncation + 0.03 * p.analytic;
+            assert!(
+                (p.measured - p.analytic).abs() < tol,
+                "mix {}: measured {} vs analytic {} (tol {tol})",
+                p.frac_long,
+                p.measured,
+                p.analytic
+            );
+        }
+        assert_eq!(table(&points).len(), 5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Minimum-disk-space search.
+//!
+//! §4: "For both FW and EL, we continued to run simulations and reduce the
+//! disk space until we observed transactions being killed. Hence, these
+//! results reflect the minimum disk space requirements to support 500 s of
+//! logging activity in which no transaction is killed."
+//!
+//! Kill-freedom is monotone in a single generation's size (more blocks
+//! can only delay head arrivals), so per-axis binary search is sound. For
+//! two-generation EL the total is *not* jointly monotone — a bigger gen0
+//! changes what reaches gen1 — so the search scans gen0 and binary-searches
+//! the minimal gen1 for each, parallelised across threads.
+
+use crate::runner::{run, RunConfig};
+use elog_core::ElConfig;
+use elog_sim::SimTime;
+
+/// Outcome of a minimum-space search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinSpaceResult {
+    /// Minimal per-generation sizes found (blocks).
+    pub generation_blocks: Vec<u32>,
+    /// Total blocks.
+    pub total_blocks: u32,
+    /// Number of probe simulations executed.
+    pub probes: u32,
+}
+
+/// True when the configuration survives the whole horizon without kills.
+fn survives(base: &RunConfig, blocks: &[u32]) -> bool {
+    let mut cfg = base.clone();
+    cfg.el.log.generation_blocks = blocks.to_vec();
+    cfg.stop_on_kill = true;
+    cfg.track_oracle = false;
+    let r = run(&cfg);
+    r.killed == 0
+}
+
+/// Smallest single-generation (firewall) log with no kills.
+///
+/// `hi_limit` caps the search; the result is clamped there if even the cap
+/// kills (the caller should treat hitting the cap as "infeasible").
+pub fn fw_min_space(base: &RunConfig, hi_limit: u32) -> MinSpaceResult {
+    let mut probes = 0;
+    let k = base.el.log.gap_blocks;
+    let mut lo = k + 1; // smallest valid geometry
+    let mut hi = hi_limit;
+    // Establish a surviving upper bound by doubling.
+    let mut upper = (lo * 2).min(hi);
+    loop {
+        probes += 1;
+        if survives(base, &[upper]) {
+            hi = upper;
+            break;
+        }
+        if upper >= hi_limit {
+            return MinSpaceResult {
+                generation_blocks: vec![hi_limit],
+                total_blocks: hi_limit,
+                probes,
+            };
+        }
+        lo = upper + 1;
+        upper = (upper * 2).min(hi_limit);
+    }
+    // Binary search smallest surviving size in [lo, hi].
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        if survives(base, &[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    MinSpaceResult { generation_blocks: vec![hi], total_blocks: hi, probes }
+}
+
+/// For a fixed gen0, the smallest last generation with no kills, or `None`
+/// if even `hi_limit` kills.
+fn min_g1_for(base: &RunConfig, g0: u32, hi_limit: u32, probes: &mut u32) -> Option<u32> {
+    let k = base.el.log.gap_blocks;
+    let mut lo = k + 1;
+    let mut hi = hi_limit;
+    *probes += 1;
+    if !survives(base, &[g0, hi]) {
+        return None;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        *probes += 1;
+        if survives(base, &[g0, mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(hi)
+}
+
+/// Minimum-total two-generation EL geometry.
+///
+/// Scans gen0 over `[gap+1, g0_max]`, binary-searching the minimal gen1
+/// for each, in parallel. Returns the geometry minimising the total (ties
+/// prefer the larger gen0, which gives lower bandwidth).
+pub fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceResult {
+    let k = base.el.log.gap_blocks;
+    let g0_range: Vec<u32> = (k + 1..=g0_max).collect();
+    let results: Vec<(u32, Option<u32>, u32)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = g0_range
+            .iter()
+            .map(|&g0| {
+                let base = base.clone();
+                scope.spawn(move || {
+                    let mut probes = 0;
+                    let g1 = min_g1_for(&base, g0, g1_limit, &mut probes);
+                    (g0, g1, probes)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("probe thread")).collect()
+    });
+    let mut probes = 0;
+    let mut best: Option<(u32, u32)> = None;
+    for (g0, g1, p) in results {
+        probes += p;
+        if let Some(g1) = g1 {
+            let better = match best {
+                None => true,
+                // Prefer smaller total; on ties prefer larger gen0 (less
+                // forwarded traffic, lower bandwidth).
+                Some((b0, b1)) => g0 + g1 < b0 + b1 || (g0 + g1 == b0 + b1 && g0 > b0),
+            };
+            if better {
+                best = Some((g0, g1));
+            }
+        }
+    }
+    let (g0, g1) = best.expect("no feasible EL geometry within limits");
+    MinSpaceResult {
+        generation_blocks: vec![g0, g1],
+        total_blocks: g0 + g1,
+        probes,
+    }
+}
+
+/// With gen0 fixed, the smallest last generation with no kills (Figure 7's
+/// "progressively decreased its size until we observed transactions being
+/// killed").
+pub fn el_min_last_gen(base: &RunConfig, g0: u32, g1_limit: u32) -> Option<MinSpaceResult> {
+    let mut probes = 0;
+    let g1 = min_g1_for(base, g0, g1_limit, &mut probes)?;
+    Some(MinSpaceResult {
+        generation_blocks: vec![g0, g1],
+        total_blocks: g0 + g1,
+        probes,
+    })
+}
+
+/// Convenience: the paper's base run (5 % long transactions, default flush
+/// array) shortened to `secs` for tests.
+pub fn paper_base(frac_long: f64, recirc: bool, secs: u64) -> RunConfig {
+    let log = elog_model::LogConfig { recirculation: recirc, ..Default::default() };
+    let mut cfg = RunConfig::paper(frac_long, ElConfig::ephemeral(log, Default::default()));
+    cfg.runtime = SimTime::from_secs(secs);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elog_core::MemoryModel;
+
+    #[test]
+    fn fw_search_finds_monotone_boundary() {
+        let mut base = paper_base(0.05, false, 20);
+        base.el.memory_model = MemoryModel::Firewall;
+        let r = fw_min_space(&base, 512);
+        // The boundary must actually be a boundary.
+        assert!(survives(&base, &[r.total_blocks]));
+        if r.total_blocks > base.el.log.gap_blocks + 1 {
+            assert!(!survives(&base, &[r.total_blocks - 1]));
+        }
+        // 20 s of 5% mix needs well under 512 blocks.
+        assert!(r.total_blocks < 512);
+        assert!(r.probes > 0);
+    }
+
+    #[test]
+    fn el_search_finds_feasible_minimum() {
+        let base = paper_base(0.05, false, 20);
+        let r = el_min_space(&base, 24, 128);
+        assert_eq!(r.generation_blocks.len(), 2);
+        assert!(survives(&base, &r.generation_blocks));
+        assert!(r.total_blocks >= 6);
+    }
+
+    #[test]
+    fn fixed_g0_last_gen_search() {
+        let base = paper_base(0.05, true, 20);
+        let r = el_min_last_gen(&base, 18, 128).expect("feasible");
+        assert_eq!(r.generation_blocks[0], 18);
+        assert!(survives(&base, &r.generation_blocks));
+        if r.generation_blocks[1] > base.el.log.gap_blocks + 1 {
+            assert!(!survives(&base, &[18, r.generation_blocks[1] - 1]));
+        }
+    }
+
+    #[test]
+    fn infeasible_limit_detected() {
+        // 40% long transactions cannot fit a 4-block last generation with
+        // a 3-block gen0.
+        let base = paper_base(0.4, false, 20);
+        let mut probes = 0;
+        assert_eq!(min_g1_for(&base, 3, 4, &mut probes), None);
+    }
+}

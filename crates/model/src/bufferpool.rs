@@ -1,0 +1,208 @@
+//! The main-memory buffer pool of updated object values.
+//!
+//! §6: "We assume that main memory is large enough to buffer the original
+//! and updated values for all objects which an active transaction has
+//! modified." This assumption is what lets EL treat the log as *write-only*
+//! disk storage: when a record is forwarded or recirculated, its contents
+//! are regenerated from RAM instead of being read back from the log (the
+//! contrast the paper draws with Hagmann & Garcia-Molina's forwarding and
+//! with LFS cleaning, both of which must read the disk).
+//!
+//! The pool keeps, per object, at most one *uncommitted* staged update (the
+//! workload guarantees an object is updated by one active transaction at a
+//! time) and at most one *committed-but-unflushed* update. Values themselves
+//! are synthesised on demand ([`crate::synth_payload`]); the pool tracks the
+//! version metadata a real buffer manager would key its frames by.
+
+use crate::ids::{Oid, Tid};
+use crate::stabledb::ObjectVersion;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Slot {
+    uncommitted: Option<ObjectVersion>,
+    committed: Option<ObjectVersion>,
+}
+
+impl Slot {
+    fn is_empty(&self) -> bool {
+        self.uncommitted.is_none() && self.committed.is_none()
+    }
+}
+
+/// RAM image of in-flight and committed-unflushed object versions.
+#[derive(Clone, Debug, Default)]
+pub struct BufferPool {
+    slots: HashMap<Oid, Slot>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages an uncommitted update from an active transaction.
+    ///
+    /// Replaces any earlier uncommitted version (a transaction may update
+    /// the same object repeatedly; only the newest value survives commit).
+    pub fn stage(&mut self, oid: Oid, version: ObjectVersion) {
+        self.slots.entry(oid).or_default().uncommitted = Some(version);
+    }
+
+    /// Promotes `tid`'s staged update on `oid` to committed-unflushed.
+    ///
+    /// Returns the superseded committed version, if one was still waiting to
+    /// be flushed (its log record becomes garbage, per §2.3).
+    pub fn promote(&mut self, oid: Oid, tid: Tid) -> Option<ObjectVersion> {
+        let slot = self.slots.get_mut(&oid)?;
+        match slot.uncommitted {
+            Some(v) if v.tid == tid => {
+                slot.uncommitted = None;
+                slot.committed.replace(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Drops `tid`'s staged update on `oid` (abort/kill path).
+    pub fn discard_uncommitted(&mut self, oid: Oid, tid: Tid) {
+        if let Some(slot) = self.slots.get_mut(&oid) {
+            if slot.uncommitted.is_some_and(|v| v.tid == tid) {
+                slot.uncommitted = None;
+            }
+            if slot.is_empty() {
+                self.slots.remove(&oid);
+            }
+        }
+    }
+
+    /// Evicts the committed-unflushed version of `oid` after its flush
+    /// completes. Returns it, or `None` if a newer commit already replaced
+    /// the version being flushed (the eviction then must not happen).
+    pub fn evict_flushed(&mut self, oid: Oid, flushed: ObjectVersion) -> Option<ObjectVersion> {
+        let slot = self.slots.get_mut(&oid)?;
+        let out = match slot.committed {
+            Some(v) if v.ts == flushed.ts && v.tid == flushed.tid => slot.committed.take(),
+            _ => None,
+        };
+        if slot.is_empty() {
+            self.slots.remove(&oid);
+        }
+        out
+    }
+
+    /// The committed-unflushed version of `oid`, if any.
+    pub fn committed(&self, oid: Oid) -> Option<ObjectVersion> {
+        self.slots.get(&oid).and_then(|s| s.committed)
+    }
+
+    /// The uncommitted staged version of `oid`, if any.
+    pub fn uncommitted(&self, oid: Oid) -> Option<ObjectVersion> {
+        self.slots.get(&oid).and_then(|s| s.uncommitted)
+    }
+
+    /// Number of objects with at least one resident version.
+    pub fn resident_objects(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elog_sim::SimTime;
+
+    fn v(tid: u64, seq: u32, ms: u64) -> ObjectVersion {
+        ObjectVersion { tid: Tid(tid), seq, ts: SimTime::from_millis(ms) }
+    }
+
+    #[test]
+    fn stage_then_promote() {
+        let mut p = BufferPool::new();
+        p.stage(Oid(1), v(7, 1, 10));
+        assert_eq!(p.uncommitted(Oid(1)), Some(v(7, 1, 10)));
+        assert_eq!(p.committed(Oid(1)), None);
+
+        let superseded = p.promote(Oid(1), Tid(7));
+        assert_eq!(superseded, None);
+        assert_eq!(p.committed(Oid(1)), Some(v(7, 1, 10)));
+        assert_eq!(p.uncommitted(Oid(1)), None);
+    }
+
+    #[test]
+    fn promote_supersedes_earlier_committed() {
+        let mut p = BufferPool::new();
+        p.stage(Oid(1), v(1, 1, 10));
+        p.promote(Oid(1), Tid(1));
+        p.stage(Oid(1), v(2, 1, 20));
+        let superseded = p.promote(Oid(1), Tid(2));
+        assert_eq!(superseded, Some(v(1, 1, 10)));
+        assert_eq!(p.committed(Oid(1)), Some(v(2, 1, 20)));
+    }
+
+    #[test]
+    fn promote_wrong_tid_is_noop() {
+        let mut p = BufferPool::new();
+        p.stage(Oid(1), v(1, 1, 10));
+        assert_eq!(p.promote(Oid(1), Tid(99)), None);
+        assert_eq!(p.uncommitted(Oid(1)), Some(v(1, 1, 10)));
+    }
+
+    #[test]
+    fn restage_replaces_uncommitted() {
+        let mut p = BufferPool::new();
+        p.stage(Oid(1), v(1, 1, 10));
+        p.stage(Oid(1), v(1, 2, 20)); // same txn updates the object again
+        assert_eq!(p.uncommitted(Oid(1)), Some(v(1, 2, 20)));
+    }
+
+    #[test]
+    fn abort_discards_and_cleans_slot() {
+        let mut p = BufferPool::new();
+        p.stage(Oid(1), v(1, 1, 10));
+        p.discard_uncommitted(Oid(1), Tid(1));
+        assert!(p.is_empty());
+
+        // Discard leaves an unrelated committed version alone.
+        p.stage(Oid(2), v(2, 1, 5));
+        p.promote(Oid(2), Tid(2));
+        p.stage(Oid(2), v(3, 1, 9));
+        p.discard_uncommitted(Oid(2), Tid(3));
+        assert_eq!(p.committed(Oid(2)), Some(v(2, 1, 5)));
+        assert_eq!(p.resident_objects(), 1);
+    }
+
+    #[test]
+    fn discard_wrong_tid_keeps_update() {
+        let mut p = BufferPool::new();
+        p.stage(Oid(1), v(1, 1, 10));
+        p.discard_uncommitted(Oid(1), Tid(2));
+        assert_eq!(p.uncommitted(Oid(1)), Some(v(1, 1, 10)));
+    }
+
+    #[test]
+    fn evict_exact_version_only() {
+        let mut p = BufferPool::new();
+        p.stage(Oid(1), v(1, 1, 10));
+        p.promote(Oid(1), Tid(1));
+
+        // A stale flush completion for a different version must not evict.
+        assert_eq!(p.evict_flushed(Oid(1), v(9, 1, 99)), None);
+        assert_eq!(p.committed(Oid(1)), Some(v(1, 1, 10)));
+
+        assert_eq!(p.evict_flushed(Oid(1), v(1, 1, 10)), Some(v(1, 1, 10)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn evict_missing_object() {
+        let mut p = BufferPool::new();
+        assert_eq!(p.evict_flushed(Oid(42), v(1, 1, 1)), None);
+    }
+}

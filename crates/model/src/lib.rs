@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Shared vocabulary of the ephemeral-logging reproduction.
+//!
+//! This crate defines the objects every other crate talks about:
+//!
+//! * identifiers ([`Tid`], [`Oid`], [`GenId`]) and versions,
+//! * the log-record model of the paper (§2.1: *data* records chronicling
+//!   object updates and *transaction* records marking BEGIN/COMMIT/ABORT),
+//! * the fixed simulation parameters of §3 ([`config`]),
+//! * the in-RAM [`bufferpool`] of updated object values — EL's log is
+//!   *write-only*, so forwarded/recirculated record contents are regenerated
+//!   from main memory, never read back from disk,
+//! * the [`stabledb`]: the version-stamped stable database that committed
+//!   updates are flushed to, plus a committed-state oracle used to verify
+//!   recovery end-to-end.
+
+pub mod bufferpool;
+pub mod config;
+pub mod ids;
+pub mod record;
+pub mod stabledb;
+
+pub use bufferpool::BufferPool;
+pub use config::{DbConfig, FlushConfig, LogConfig};
+pub use ids::{GenId, Oid, Tid};
+pub use record::{synth_payload, DataRecord, LogRecord, TxMark, TxRecord};
+pub use stabledb::{CommittedOracle, ObjectVersion, StableDb};

@@ -1,0 +1,241 @@
+//! The stable database and the committed-state oracle.
+//!
+//! §2.1: "A stable version of the database resides elsewhere on disk. It
+//! does not necessarily incorporate the most recent changes to the database,
+//! but the log contains sufficient information to restore it to the most
+//! recent consistent state if a crash were to occur."
+//!
+//! The paper also notes (§6) that EL was formulated for databases that
+//! retain a *version-number timestamp* with each object; recovery compares a
+//! log record's timestamp against the stable version to decide whether to
+//! apply it. [`StableDb`] models exactly that: a map from oid to the version
+//! stamp of the most recently *flushed* update. Only touched objects are
+//! materialised, so a 10^7-object database costs memory proportional to the
+//! working set, not the universe.
+//!
+//! [`CommittedOracle`] tracks ground truth — the newest *committed* version
+//! of every object — and is what recovery results are checked against in
+//! tests.
+
+use crate::ids::{Oid, Tid};
+use elog_sim::SimTime;
+use std::collections::HashMap;
+
+/// One installed (or committed) version of an object.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ObjectVersion {
+    /// Transaction that wrote the version.
+    pub tid: Tid,
+    /// Update sequence number within that transaction.
+    pub seq: u32,
+    /// Timestamp of the data log record (the version number of §6).
+    pub ts: SimTime,
+}
+
+/// The on-disk stable version of the database.
+#[derive(Clone, Debug, Default)]
+pub struct StableDb {
+    versions: HashMap<Oid, ObjectVersion>,
+    installs: u64,
+}
+
+impl StableDb {
+    /// An empty stable database (every object at its unborn version).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a flushed update. Returns `false` (and ignores the write)
+    /// when the stable version is already as new — which can happen when a
+    /// superseded flush request was already in flight on a drive.
+    pub fn install(&mut self, oid: Oid, version: ObjectVersion) -> bool {
+        let newer = match self.versions.get(&oid) {
+            Some(v) => version.ts > v.ts,
+            None => true,
+        };
+        if newer {
+            self.versions.insert(oid, version);
+            self.installs += 1;
+        }
+        newer
+    }
+
+    /// The stable version of `oid`, if it was ever flushed.
+    pub fn version(&self, oid: Oid) -> Option<ObjectVersion> {
+        self.versions.get(&oid).copied()
+    }
+
+    /// Number of distinct objects with a stable version.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when nothing has been flushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Total successful installs (measures effective flush work).
+    pub fn installs(&self) -> u64 {
+        self.installs
+    }
+
+    /// Iterates over `(oid, version)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, ObjectVersion)> + '_ {
+        self.versions.iter().map(|(&o, &v)| (o, v))
+    }
+}
+
+/// Ground-truth committed state, maintained by the workload/test harness.
+///
+/// `commit` applies a whole transaction's updates atomically, mirroring the
+/// all-or-nothing semantics the log manager must preserve through a crash.
+#[derive(Clone, Debug, Default)]
+pub struct CommittedOracle {
+    versions: HashMap<Oid, ObjectVersion>,
+    committed_txns: u64,
+}
+
+impl CommittedOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a committed transaction's updates: `(oid, seq, record ts)`.
+    pub fn commit(&mut self, tid: Tid, updates: impl IntoIterator<Item = (Oid, u32, SimTime)>) {
+        for (oid, seq, ts) in updates {
+            let v = ObjectVersion { tid, seq, ts };
+            match self.versions.get_mut(&oid) {
+                Some(existing) if existing.ts >= v.ts => {}
+                Some(existing) => *existing = v,
+                None => {
+                    self.versions.insert(oid, v);
+                }
+            }
+        }
+        self.committed_txns += 1;
+    }
+
+    /// The committed version of `oid`, if any transaction ever updated it.
+    pub fn version(&self, oid: Oid) -> Option<ObjectVersion> {
+        self.versions.get(&oid).copied()
+    }
+
+    /// Number of committed transactions recorded.
+    pub fn committed_txns(&self) -> u64 {
+        self.committed_txns
+    }
+
+    /// Number of distinct committed objects.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when no transaction has committed.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Iterates over `(oid, version)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, ObjectVersion)> + '_ {
+        self.versions.iter().map(|(&o, &v)| (o, v))
+    }
+
+    /// Compares against a reconstructed state, returning the oids that
+    /// disagree (missing, extra, or wrong version). Empty means identical.
+    pub fn diff(&self, other: &HashMap<Oid, ObjectVersion>) -> Vec<Oid> {
+        let mut bad: Vec<Oid> = Vec::new();
+        for (&oid, &v) in &self.versions {
+            if other.get(&oid) != Some(&v) {
+                bad.push(oid);
+            }
+        }
+        for &oid in other.keys() {
+            if !self.versions.contains_key(&oid) {
+                bad.push(oid);
+            }
+        }
+        bad.sort_unstable();
+        bad.dedup();
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(tid: u64, seq: u32, ms: u64) -> ObjectVersion {
+        ObjectVersion { tid: Tid(tid), seq, ts: SimTime::from_millis(ms) }
+    }
+
+    #[test]
+    fn install_keeps_newest() {
+        let mut db = StableDb::new();
+        assert!(db.install(Oid(1), v(1, 1, 10)));
+        assert!(!db.install(Oid(1), v(2, 1, 5))); // stale in-flight flush
+        assert!(db.install(Oid(1), v(3, 1, 20)));
+        assert_eq!(db.version(Oid(1)).unwrap().tid, Tid(3));
+        assert_eq!(db.installs(), 2);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = StableDb::new();
+        assert!(db.is_empty());
+        assert_eq!(db.version(Oid(0)), None);
+    }
+
+    #[test]
+    fn oracle_applies_newest_committed() {
+        let mut o = CommittedOracle::new();
+        o.commit(Tid(1), [(Oid(5), 1, SimTime::from_millis(10))]);
+        o.commit(Tid(2), [(Oid(5), 1, SimTime::from_millis(30))]);
+        // An out-of-order late commit with an older record loses.
+        o.commit(Tid(3), [(Oid(5), 1, SimTime::from_millis(20))]);
+        assert_eq!(o.version(Oid(5)).unwrap().tid, Tid(2));
+        assert_eq!(o.committed_txns(), 3);
+    }
+
+    #[test]
+    fn diff_detects_all_mismatch_kinds() {
+        let mut o = CommittedOracle::new();
+        o.commit(Tid(1), [(Oid(1), 1, SimTime::from_millis(1)), (Oid(2), 2, SimTime::from_millis(1))]);
+
+        let mut rebuilt: HashMap<Oid, ObjectVersion> = HashMap::new();
+        rebuilt.insert(Oid(1), v(1, 1, 1)); // correct
+        rebuilt.insert(Oid(3), v(9, 1, 9)); // extra
+        // Oid(2) missing.
+        let bad = o.diff(&rebuilt);
+        assert_eq!(bad, vec![Oid(2), Oid(3)]);
+
+        rebuilt.remove(&Oid(3));
+        rebuilt.insert(Oid(2), ObjectVersion { tid: Tid(1), seq: 2, ts: SimTime::from_millis(1) });
+        assert!(o.diff(&rebuilt).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_wrong_version() {
+        let mut o = CommittedOracle::new();
+        o.commit(Tid(4), [(Oid(7), 1, SimTime::from_millis(4))]);
+        let mut rebuilt = HashMap::new();
+        rebuilt.insert(Oid(7), v(4, 2, 4)); // wrong seq
+        assert_eq!(o.diff(&rebuilt), vec![Oid(7)]);
+    }
+
+    #[test]
+    fn iterators_cover_contents() {
+        let mut db = StableDb::new();
+        db.install(Oid(1), v(1, 1, 1));
+        db.install(Oid(2), v(1, 2, 1));
+        assert_eq!(db.iter().count(), 2);
+
+        let mut o = CommittedOracle::new();
+        o.commit(Tid(1), [(Oid(9), 1, SimTime::ZERO)]);
+        assert_eq!(o.iter().count(), 1);
+        assert!(!o.is_empty());
+        assert_eq!(o.len(), 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Crash-injection tests: run a workload against the log manager, "crash"
+//! at an arbitrary instant (losing open and in-flight buffers), recover
+//! from the durable surface plus the stable database, and verify against
+//! the oracle of acknowledged commits.
+
+use elog_core::{ElManager, SimpleHost};
+use elog_model::{CommittedOracle, FlushConfig, LogConfig, Oid, Tid};
+use elog_recovery::{check_against_oracle, recover, scan_blocks, scan_bytes};
+use elog_sim::SimTime;
+
+fn t(ms: u64) -> SimTime {
+    SimTime::from_millis(ms)
+}
+
+/// Runs `bursts` short transactions (one every 10 ms, 3 spread-oid records
+/// each, commit 5 ms in) against `lm`, tracking which commits were
+/// acknowledged and what they wrote. Returns the host and the oracle.
+fn run_workload(lm: ElManager, bursts: u64, crash_at: SimTime) -> (SimpleHost, CommittedOracle) {
+    let mut h = SimpleHost::new(lm);
+    let mut oracle = CommittedOracle::new();
+    // Updates per tid recorded so acks can be folded into the oracle.
+    let mut updates: Vec<Vec<(Oid, u32, SimTime)>> = Vec::new();
+    let mut acked = 0usize;
+
+    for tid in 0..bursts {
+        let at = t(10 + tid * 10);
+        if at >= crash_at {
+            break;
+        }
+        h.begin(at, Tid(tid));
+        let mut my_updates = Vec::new();
+        for r in 0..3u32 {
+            let wt = at + t(1 + u64::from(r));
+            if wt >= crash_at {
+                break;
+            }
+            let oid = Oid(((tid * 3 + u64::from(r)) * 997_003) % 10_000_000);
+            h.write(wt, Tid(tid), oid, r + 1, 100);
+            my_updates.push((oid, r + 1, wt));
+        }
+        updates.push(my_updates);
+        let ct = at + t(5);
+        if ct < crash_at {
+            h.commit(ct, Tid(tid));
+        }
+        // Fold any acks received so far into the oracle.
+        while acked < h.acks.len() {
+            let tid = h.acks[acked];
+            oracle.commit(tid, updates[tid.get() as usize].iter().copied());
+            acked += 1;
+        }
+    }
+    h.run_until(crash_at);
+    while acked < h.acks.len() {
+        let tid = h.acks[acked];
+        oracle.commit(tid, updates[tid.get() as usize].iter().copied());
+        acked += 1;
+    }
+    (h, oracle)
+}
+
+fn el_manager() -> ElManager {
+    let log = LogConfig { generation_blocks: vec![4, 8], ..LogConfig::default() };
+    ElManager::ephemeral(log, FlushConfig::default())
+}
+
+#[test]
+fn recovery_after_mid_run_crash_loses_nothing_acknowledged() {
+    for crash_ms in [57, 143, 288, 401, 666, 999] {
+        let (h, oracle) = run_workload(el_manager(), 120, t(crash_ms));
+        assert_eq!(h.lm.stats().durability_violations, 0);
+        let surface = h.lm.log_surface();
+        let image = scan_blocks(surface.iter());
+        let state = recover(&image, h.lm.stable_db());
+        let report = check_against_oracle(&oracle, &state);
+        assert!(
+            report.is_ok(),
+            "crash at {crash_ms} ms lost data: missing {:?}, stale {:?}",
+            report.missing,
+            report.stale
+        );
+        assert!(
+            report.exact + report.acceptable_newer >= oracle.len() as u64,
+            "crash at {crash_ms} ms: report does not cover the oracle"
+        );
+    }
+}
+
+#[test]
+fn recovery_with_firewall_manager() {
+    for crash_ms in [100, 500, 900] {
+        let (h, oracle) = run_workload(
+            ElManager::firewall(32, FlushConfig::default()),
+            100,
+            t(crash_ms),
+        );
+        let surface = h.lm.log_surface();
+        let state = recover(&scan_blocks(surface.iter()), h.lm.stable_db());
+        let report = check_against_oracle(&oracle, &state);
+        assert!(report.is_ok(), "FW crash at {crash_ms} ms: {report:?}");
+    }
+}
+
+#[test]
+fn recovery_through_serialised_bytes() {
+    // The byte-level path: encode every surface block, decode, recover.
+    let (h, oracle) = run_workload(el_manager(), 80, t(700));
+    let surface = h.lm.log_surface();
+    let encoded: Vec<Vec<u8>> = surface
+        .iter()
+        .flat_map(|g| g.iter().map(|b| b.to_bytes()))
+        .collect();
+    let (image, errors) = scan_bytes(encoded.iter().map(Vec::as_slice));
+    assert!(errors.is_empty());
+    let state = recover(&image, h.lm.stable_db());
+    let report = check_against_oracle(&oracle, &state);
+    assert!(report.is_ok(), "{report:?}");
+}
+
+#[test]
+fn recovery_tolerates_torn_blocks_that_carry_no_unique_state() {
+    // Corrupt one *stale* block (its records were forwarded, so their
+    // surviving copies are elsewhere): recovery must still succeed.
+    let (h, oracle) = run_workload(el_manager(), 80, t(700));
+    let surface = h.lm.log_surface();
+    let mut encoded: Vec<Vec<u8>> = surface
+        .iter()
+        .flat_map(|g| g.iter().map(|b| b.to_bytes()))
+        .collect();
+    // Find a gen0 block whose every data record also appears in gen1
+    // (i.e. a block fully superseded by forwarding) — corrupt that one.
+    let gen1_ids: std::collections::HashSet<(Tid, Oid, u32)> = surface[1]
+        .iter()
+        .flat_map(|b| b.records.iter())
+        .filter_map(|r| match r {
+            elog_model::LogRecord::Data(d) => Some((d.tid, d.oid, d.seq)),
+            _ => None,
+        })
+        .collect();
+    let victim = surface[0].iter().position(|b| {
+        !b.records.is_empty()
+            && b.records.iter().all(|r| match r {
+                elog_model::LogRecord::Data(d) => gen1_ids.contains(&(d.tid, d.oid, d.seq)),
+                elog_model::LogRecord::Tx(_) => true, // tx records re-logged on commit
+            })
+    });
+    let Some(victim) = victim else {
+        // No fully-superseded block in this run; nothing to test.
+        return;
+    };
+    // Corrupting may still lose a *commit* record; only proceed if this
+    // block has none (commit evidence must survive elsewhere).
+    let has_commit = surface[0][victim].records.iter().any(|r| {
+        matches!(r, elog_model::LogRecord::Tx(t) if t.mark == elog_model::TxMark::Commit)
+    });
+    if has_commit {
+        return;
+    }
+    let n = encoded[victim].len();
+    encoded[victim][n - 1] ^= 0xFF;
+
+    let (image, errors) = scan_bytes(encoded.iter().map(Vec::as_slice));
+    assert_eq!(errors.len(), 1);
+    let state = recover(&image, h.lm.stable_db());
+    let report = check_against_oracle(&oracle, &state);
+    assert!(report.is_ok(), "{report:?}");
+}
+
+#[test]
+fn clean_shutdown_recovers_exact_state() {
+    let log = LogConfig { generation_blocks: vec![6, 6], ..LogConfig::default() };
+    let mut h = SimpleHost::new(ElManager::ephemeral(log, FlushConfig::default()));
+    let mut oracle = CommittedOracle::new();
+    for tid in 0..20u64 {
+        let at = t(tid * 20);
+        h.begin(at, Tid(tid));
+        let oid = Oid(tid * 500_000);
+        h.write(at + t(1), Tid(tid), oid, 1, 100);
+        h.commit(at + t(5), Tid(tid));
+        oracle.commit(Tid(tid), [(oid, 1, at + t(1))]);
+    }
+    h.quiesce(t(500));
+    h.run_to_completion();
+    assert_eq!(h.acks.len(), 20);
+
+    let state = recover(&scan_blocks(h.lm.log_surface().iter()), h.lm.stable_db());
+    let report = check_against_oracle(&oracle, &state);
+    assert!(report.is_ok());
+    assert_eq!(report.exact, 20);
+    assert_eq!(report.acceptable_newer, 0);
+}

@@ -1,0 +1,242 @@
+//! The pending-event set of the simulator.
+//!
+//! A binary heap keyed on `(time, sequence)` gives O(log n) scheduling and a
+//! *stable* order: two events scheduled for the same instant fire in the
+//! order they were scheduled. Stability matters for reproducibility — the
+//! paper's workload writes a COMMIT record exactly ε after the final data
+//! record, and several log-manager actions can legitimately coincide.
+//!
+//! Cancellation is supported through tombstones: `cancel` marks a token dead
+//! and the heap lazily discards dead entries on pop. This is how the workload
+//! driver retracts the remaining record writes of a killed transaction.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Identifies a scheduled event so it can later be cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventToken(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
+        // entry surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of future events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Seqs of events scheduled but not yet fired or cancelled.
+    pending: HashSet<u64>,
+    next_seq: u64,
+    scheduled_total: u64,
+    cancelled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+            cancelled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            ..Self::new()
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// Returns a token usable with [`EventQueue::cancel`].
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.pending.insert(seq);
+        self.heap.push(Entry { at, seq, event });
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an event that already fired (or was already cancelled) is a
+    /// harmless no-op. The heap entry becomes a tombstone that is discarded
+    /// lazily when the heap drains past its timestamp.
+    pub fn cancel(&mut self, token: EventToken) {
+        if self.pending.remove(&token.0) {
+            self.cancelled_total += 1;
+        }
+    }
+
+    /// Removes and returns the earliest live event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.pending.remove(&entry.seq) {
+                return Some((entry.at, entry.event));
+            }
+            // else: tombstone of a cancelled event, skip
+        }
+        None
+    }
+
+    /// Time of the earliest live event, if any, without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.pending.contains(&entry.seq) {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Count of live (scheduled, not yet fired or cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of `schedule` calls over the queue's lifetime.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total number of effective `cancel` calls over the queue's lifetime.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancelled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_suppresses_delivery() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(t(1), "keep");
+        let drop_ = q.schedule(t(2), "drop");
+        q.cancel(drop_);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(1), "keep")));
+        assert_eq!(q.pop(), None);
+        // Cancelling after the fact is a no-op.
+        q.cancel(keep);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let first = q.schedule(t(1), 1u32);
+        q.schedule(t(2), 2u32);
+        q.cancel(first);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), 2)));
+    }
+
+    #[test]
+    fn counters_track_lifetime_activity() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.schedule(t(2), ());
+        q.cancel(a);
+        q.cancel(a); // double-cancel counted once
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.cancelled_total(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), ());
+        q.pop();
+        q.cancel(a); // event already fired: must not count or corrupt len
+        assert_eq!(q.cancelled_total(), 0);
+        let _b = q.schedule(t(2), ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some((t(2), ())));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 10u64);
+        assert_eq!(q.pop(), Some((t(10), 10)));
+        q.schedule(t(5), 5);
+        q.schedule(t(15), 15);
+        assert_eq!(q.pop(), Some((t(5), 5)));
+        assert_eq!(q.peek_time(), Some(t(15)));
+    }
+}

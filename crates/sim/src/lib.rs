@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation kernel for the `elog` project.
+//!
+//! This crate rebuilds the substrate of the SIGMOD '93 ephemeral-logging
+//! evaluation: an event-driven simulator with a microsecond virtual clock, a
+//! stable priority event queue with cancellation, deterministic seeded random
+//! streams, and statistics accumulators (counters, time-weighted gauges,
+//! histograms).
+//!
+//! The kernel is deliberately single-threaded: runs are deterministic for a
+//! given seed, which the experiment harness relies on when searching for
+//! minimum disk-space configurations.
+//!
+//! # Example
+//!
+//! ```
+//! use elog_sim::{Engine, EventQueue, SimTime, Simulate};
+//!
+//! struct Countdown(u32);
+//!
+//! impl Simulate for Countdown {
+//!     type Event = ();
+//!     fn handle(&mut self, now: SimTime, _ev: (), q: &mut EventQueue<()>) {
+//!         if self.0 > 0 {
+//!             self.0 -= 1;
+//!             q.schedule(now + SimTime::from_millis(10), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Countdown(3));
+//! engine.queue_mut().schedule(SimTime::ZERO, ());
+//! let end = engine.run_to_completion();
+//! assert_eq!(end, SimTime::from_millis(30));
+//! ```
+
+pub mod engine;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, Simulate};
+pub use event::{EventQueue, EventToken};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, MaxGauge, MeanAccumulator, TimeWeighted};
+pub use time::SimTime;
+pub use trace::{TraceRing, TraceSink};

@@ -1,0 +1,357 @@
+//! Statistics accumulators.
+//!
+//! The paper's evaluation reports rates (block writes per second), peaks
+//! (main-memory consumption) and means (distance between successively
+//! flushed oids). These small accumulators compute each of those online, in
+//! O(1) space, so instrumentation never perturbs a run.
+
+use crate::time::SimTime;
+
+/// A monotone event counter with a rate helper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Events per simulated second over `elapsed`.
+    pub fn rate_per_sec(self, elapsed: SimTime) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs == 0.0 { 0.0 } else { self.0 as f64 / secs }
+    }
+}
+
+/// Running arithmetic mean (and count) of a stream of samples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanAccumulator {
+    sum: f64,
+    n: u64,
+}
+
+impl MeanAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.sum += x;
+        self.n += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean, or `None` before the first sample.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.sum / self.n as f64)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// Tracks the maximum of a time-varying quantity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxGauge {
+    current: u64,
+    peak: u64,
+    peak_at: SimTime,
+}
+
+impl MaxGauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the current value, updating the peak.
+    pub fn set(&mut self, now: SimTime, v: u64) {
+        self.current = v;
+        if v > self.peak {
+            self.peak = v;
+            self.peak_at = now;
+        }
+    }
+
+    /// Most recent value.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Greatest value ever set.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Time at which the peak was (first) reached.
+    pub fn peak_at(&self) -> SimTime {
+        self.peak_at
+    }
+}
+
+/// Time-weighted average of a piecewise-constant quantity.
+///
+/// `update(now, v)` declares that the quantity has held its previous value
+/// since the last update and is `v` from `now` on.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeWeighted {
+    last_value: f64,
+    last_at: SimTime,
+    weighted_sum: f64,
+    origin: SimTime,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new(SimTime::ZERO, 0.0)
+    }
+}
+
+impl TimeWeighted {
+    /// Starts tracking at `start` with initial value `v0`.
+    pub fn new(start: SimTime, v0: f64) -> Self {
+        TimeWeighted { last_value: v0, last_at: start, weighted_sum: 0.0, origin: start }
+    }
+
+    /// Records a change of value at time `now`.
+    pub fn update(&mut self, now: SimTime, v: f64) {
+        debug_assert!(now >= self.last_at, "time-weighted update out of order");
+        let dt = now.saturating_sub(self.last_at).as_secs_f64();
+        self.weighted_sum += self.last_value * dt;
+        self.last_value = v;
+        self.last_at = now;
+    }
+
+    /// Average over `[origin, now]`, extending the last value to `now`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let tail = now.saturating_sub(self.last_at).as_secs_f64();
+        let span = now.saturating_sub(self.origin).as_secs_f64();
+        if span == 0.0 {
+            self.last_value
+        } else {
+            (self.weighted_sum + self.last_value * tail) / span
+        }
+    }
+
+    /// Current (most recently set) value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+}
+
+/// Fixed-boundary histogram with overflow bucket.
+///
+/// Used for commit-latency and flush-queue-depth distributions, where we
+/// care about shape and tail percentiles rather than exact moments.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket upper bounds.
+    /// A sample lands in the first bucket whose bound it does not exceed;
+    /// larger samples land in the overflow bucket.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Evenly spaced bounds over `[0, hi]` with `n` buckets (plus overflow).
+    pub fn linear(hi: f64, n: usize) -> Self {
+        assert!(n > 0 && hi > 0.0);
+        Self::new((1..=n).map(|i| hi * i as f64 / n as f64).collect())
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        let idx = self.bounds.partition_point(|&b| b < x);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest sample seen, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile (0.0..=1.0) by bucket upper bound.
+    ///
+    /// Returns `None` when empty. The overflow bucket reports the true max.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i < self.bounds.len() { self.bounds[i] } else { self.max });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// (upper-bound, count) pairs including the overflow bucket (bound =
+    /// +inf).
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rate() {
+        let mut c = Counter::new();
+        c.add(500);
+        c.incr();
+        assert_eq!(c.get(), 501);
+        assert!((c.rate_per_sec(SimTime::from_secs(100)) - 5.01).abs() < 1e-9);
+        assert_eq!(Counter::new().rate_per_sec(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mean_accumulator() {
+        let mut m = MeanAccumulator::new();
+        assert_eq!(m.mean(), None);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            m.record(x);
+        }
+        assert_eq!(m.mean(), Some(2.5));
+        assert_eq!(m.count(), 4);
+        assert_eq!(m.sum(), 10.0);
+    }
+
+    #[test]
+    fn max_gauge_tracks_peak_and_time() {
+        let mut g = MaxGauge::new();
+        g.set(SimTime::from_secs(1), 10);
+        g.set(SimTime::from_secs(2), 30);
+        g.set(SimTime::from_secs(3), 20);
+        assert_eq!(g.current(), 20);
+        assert_eq!(g.peak(), 30);
+        assert_eq!(g.peak_at(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.update(SimTime::from_secs(10), 100.0); // 0 for 10 s
+        tw.update(SimTime::from_secs(20), 0.0); // 100 for 10 s
+        // over 20 s: (0*10 + 100*10)/20 = 50
+        assert!((tw.average(SimTime::from_secs(20)) - 50.0).abs() < 1e-9);
+        // extend 20 more seconds at 0: (1000)/40 = 25
+        assert!((tw.average(SimTime::from_secs(40)) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_degenerate_span() {
+        let tw = TimeWeighted::new(SimTime::from_secs(5), 7.0);
+        assert_eq!(tw.average(SimTime::from_secs(5)), 7.0);
+    }
+
+    #[test]
+    fn histogram_basic_shape() {
+        let mut h = Histogram::linear(10.0, 5); // bounds 2,4,6,8,10
+        for x in [1.0, 3.0, 3.5, 9.0, 42.0] {
+            h.record(x);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets[0], (2.0, 1));
+        assert_eq!(buckets[1], (4.0, 2));
+        assert_eq!(buckets[4], (10.0, 1));
+        assert_eq!(buckets[5].1, 1); // overflow
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(42.0));
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::linear(100.0, 100);
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(Histogram::linear(1.0, 1).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_boundary_sample_goes_low() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.record(1.0); // exactly on a bound → that bucket
+        assert_eq!(h.buckets().next().unwrap().1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Lightweight execution tracing.
+//!
+//! A [`TraceRing`] keeps the last N trace lines of a run in a fixed-size
+//! ring. It exists for debugging minimum-space searches: when a probe run
+//! kills a transaction, the tail of the trace shows exactly which generation
+//! ran out of space and why, without paying for unbounded logging on the
+//! thousands of probe runs that behave.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Destination for trace lines.
+pub trait TraceSink {
+    /// Records one line at virtual time `now`. Implementations should be
+    /// cheap when tracing is disabled.
+    fn emit(&mut self, now: SimTime, line: &str);
+
+    /// True when the sink will actually keep what is emitted. Callers can
+    /// skip formatting work when this is false.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that drops everything. The default for experiment sweeps.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _now: SimTime, _line: &str) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Fixed-capacity ring of recent trace lines.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    lines: VecDeque<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` lines.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing { lines: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+    }
+
+    /// Lines currently retained, oldest first.
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.lines.iter().map(String::as_str)
+    }
+
+    /// Number of lines evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained tail as one string (for failure messages).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... ({} earlier lines dropped)", self.dropped);
+        }
+        for l in &self.lines {
+            let _ = writeln!(out, "{l}");
+        }
+        out
+    }
+}
+
+impl TraceSink for TraceRing {
+    fn emit(&mut self, now: SimTime, line: &str) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.lines.len() == self.capacity {
+            self.lines.pop_front();
+            self.dropped += 1;
+        }
+        self.lines.push_back(format!("[{now}] {line}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.emit(SimTime::ZERO, "ignored");
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_lines() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5 {
+            r.emit(SimTime::from_secs(i), &format!("line{i}"));
+        }
+        let lines: Vec<_> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("line2"));
+        assert!(lines[2].contains("line4"));
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn render_mentions_drops() {
+        let mut r = TraceRing::new(1);
+        r.emit(SimTime::ZERO, "a");
+        r.emit(SimTime::ZERO, "b");
+        let s = r.render();
+        assert!(s.contains("1 earlier lines dropped"));
+        assert!(s.contains('b'));
+        assert!(!s.contains("] a"));
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut r = TraceRing::new(0);
+        r.emit(SimTime::ZERO, "x");
+        assert_eq!(r.lines().count(), 0);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn lines_are_timestamped() {
+        let mut r = TraceRing::new(4);
+        r.emit(SimTime::from_millis(1500), "hello");
+        assert_eq!(r.lines().next().unwrap(), "[1.500s] hello");
+    }
+}

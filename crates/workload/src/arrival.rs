@@ -1,0 +1,186 @@
+//! Transaction arrival processes.
+//!
+//! §3: "Transactions are initiated at regular intervals, according to the
+//! specified arrival rate (transactions per second). We believe that this
+//! simple, deterministic arrival pattern is sufficient for a first order
+//! evaluation of EL. More complicated probabilistic models (such as Markov
+//! arrivals) may be investigated in future work."
+//!
+//! We implement the deterministic process the paper used, plus two of the
+//! probabilistic models it gestures at: a Poisson process and a two-state
+//! Markov-modulated Poisson process (bursty arrivals), both used by the
+//! robustness ablations.
+
+use elog_sim::{SimRng, SimTime};
+
+/// How transaction arrivals are spaced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed interval `1/rate` (the paper's model).
+    Deterministic {
+        /// Arrivals per second.
+        rate_tps: f64,
+    },
+    /// Exponentially distributed inter-arrival times with mean `1/rate`.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_tps: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: the paper's "Markov
+    /// arrivals" future-work pointer. Alternates between a quiet state at
+    /// `base_tps` and a burst state at `burst_tps`; after each arrival the
+    /// process switches state with probability chosen so state dwell times
+    /// average `mean_dwell_s` seconds. The long-run mean rate is the
+    /// dwell-weighted average of the two rates.
+    MarkovBursty {
+        /// Quiet-state arrivals per second.
+        base_tps: f64,
+        /// Burst-state arrivals per second.
+        burst_tps: f64,
+        /// Mean seconds spent in each state before switching.
+        mean_dwell_s: f64,
+        /// Current state (start value; evolves as intervals are drawn).
+        in_burst: bool,
+    },
+}
+
+impl ArrivalProcess {
+    /// The configured long-run mean rate in arrivals per second.
+    pub fn rate_tps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Deterministic { rate_tps } | ArrivalProcess::Poisson { rate_tps } => {
+                rate_tps
+            }
+            // Equal mean dwell in each state ⇒ time-weighted average rate.
+            ArrivalProcess::MarkovBursty { base_tps, burst_tps, .. } => {
+                (base_tps + burst_tps) / 2.0
+            }
+        }
+    }
+
+    /// Draws the next inter-arrival interval, evolving any internal state
+    /// (the Markov process switches between quiet and burst phases).
+    ///
+    /// # Panics
+    /// Panics (debug) on non-positive rates; validate configs upstream.
+    pub fn next_interval(&mut self, rng: &mut SimRng) -> SimTime {
+        match self {
+            ArrivalProcess::Deterministic { rate_tps } => {
+                debug_assert!(*rate_tps > 0.0, "arrival rate must be positive");
+                SimTime::from_secs_f64(1.0 / *rate_tps)
+            }
+            ArrivalProcess::Poisson { rate_tps } => {
+                debug_assert!(*rate_tps > 0.0, "arrival rate must be positive");
+                SimTime::from_secs_f64(rng.next_exp(1.0 / *rate_tps))
+            }
+            ArrivalProcess::MarkovBursty { base_tps, burst_tps, mean_dwell_s, in_burst } => {
+                debug_assert!(*base_tps > 0.0 && *burst_tps > 0.0 && *mean_dwell_s > 0.0);
+                let rate = if *in_burst { *burst_tps } else { *base_tps };
+                // Expected arrivals per dwell = rate × dwell; switching
+                // after each arrival with probability 1/(rate × dwell)
+                // makes dwell times geometric with the right mean.
+                let p_switch = (1.0 / (rate * *mean_dwell_s)).min(1.0);
+                if rng.next_f64() < p_switch {
+                    *in_burst = !*in_burst;
+                }
+                SimTime::from_secs_f64(rng.next_exp(1.0 / rate))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_interval_is_exact() {
+        let mut p = ArrivalProcess::Deterministic { rate_tps: 100.0 };
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(p.next_interval(&mut rng), SimTime::from_millis(10));
+        }
+        assert_eq!(p.rate_tps(), 100.0);
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut p = ArrivalProcess::Poisson { rate_tps: 200.0 };
+        let mut rng = SimRng::new(2);
+        let n = 100_000;
+        let total: SimTime = (0..n).map(|_| p.next_interval(&mut rng)).sum();
+        let mean_secs = total.as_secs_f64() / n as f64;
+        assert!((mean_secs - 0.005).abs() < 2e-4, "mean interval {mean_secs}");
+    }
+
+    #[test]
+    fn poisson_intervals_vary() {
+        let mut p = ArrivalProcess::Poisson { rate_tps: 10.0 };
+        let mut rng = SimRng::new(3);
+        let a = p.next_interval(&mut rng);
+        let b = p.next_interval(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn markov_mean_rate_between_phases() {
+        let mut p = ArrivalProcess::MarkovBursty {
+            base_tps: 50.0,
+            burst_tps: 200.0,
+            mean_dwell_s: 0.5,
+            in_burst: false,
+        };
+        assert_eq!(p.rate_tps(), 125.0);
+        let mut rng = SimRng::new(4);
+        let n = 200_000;
+        let total: SimTime = (0..n).map(|_| p.next_interval(&mut rng)).sum();
+        let rate = n as f64 / total.as_secs_f64();
+        // Arrival-weighted rate exceeds the time-weighted mean (more
+        // arrivals are drawn while bursting); it must land between the
+        // phase rates and above the time-weighted mean.
+        assert!(rate > 125.0 && rate < 200.0, "observed rate {rate}");
+    }
+
+    #[test]
+    fn markov_is_burstier_than_poisson() {
+        // Compare squared coefficient of variation of inter-arrival times.
+        let cv2 = |mut p: ArrivalProcess, seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let xs: Vec<f64> = (0..100_000).map(|_| p.next_interval(&mut rng).as_secs_f64()).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = cv2(ArrivalProcess::Poisson { rate_tps: 100.0 }, 5);
+        let markov = cv2(
+            ArrivalProcess::MarkovBursty {
+                base_tps: 25.0,
+                burst_tps: 400.0,
+                mean_dwell_s: 1.0,
+                in_burst: false,
+            },
+            5,
+        );
+        assert!((poisson - 1.0).abs() < 0.05, "Poisson CV² ≈ 1, got {poisson}");
+        assert!(markov > 1.5, "MMPP must be over-dispersed, CV² {markov}");
+    }
+
+    #[test]
+    fn markov_switches_states() {
+        let mut p = ArrivalProcess::MarkovBursty {
+            base_tps: 10.0,
+            burst_tps: 1000.0,
+            mean_dwell_s: 0.05,
+            in_burst: false,
+        };
+        let mut rng = SimRng::new(6);
+        let mut saw_burst = false;
+        for _ in 0..10_000 {
+            let _ = p.next_interval(&mut rng);
+            if let ArrivalProcess::MarkovBursty { in_burst, .. } = p {
+                saw_burst |= in_burst;
+            }
+        }
+        assert!(saw_burst, "process must visit the burst state");
+    }
+}

@@ -1,0 +1,391 @@
+//! The workload driver.
+//!
+//! Produces the event stream of Figure 3 for every transaction: BEGIN at
+//! arrival, N evenly spaced data-record writes, a COMMIT record write T
+//! after arrival, then a wait for the group-commit acknowledgement. The
+//! driver is queue-agnostic: each callback returns the *new events* (absolute
+//! time + payload) the caller must schedule, so the experiment harness can
+//! wrap them in its own composite event type and keep the cancellation
+//! tokens needed to retract a killed transaction's remaining writes.
+
+use crate::arrival::ArrivalProcess;
+use crate::oidpick::OidPicker;
+use crate::spec::TxMix;
+use elog_model::{Oid, Tid};
+use elog_sim::{Histogram, MaxGauge, SimRng, SimTime};
+use std::collections::HashMap;
+
+/// Events the driver asks to be scheduled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadEvent {
+    /// A new transaction arrives.
+    Arrival,
+    /// Transaction `tid` writes its `seq`-th data record.
+    WriteData {
+        /// The writing transaction.
+        tid: Tid,
+        /// 1-based record index within the transaction.
+        seq: u32,
+    },
+    /// Transaction `tid` writes its COMMIT record.
+    WriteCommit {
+        /// The committing transaction.
+        tid: Tid,
+    },
+}
+
+/// A freshly arrived transaction, to be announced to the log manager.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NewTxn {
+    /// Assigned transaction id.
+    pub tid: Tid,
+    /// Index into the mix's type list.
+    pub type_idx: usize,
+}
+
+/// One update performed by a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Update {
+    /// Updated object.
+    pub oid: Oid,
+    /// 1-based update index within the transaction.
+    pub seq: u32,
+    /// Time the data record was written.
+    pub ts: SimTime,
+}
+
+#[derive(Clone, Debug)]
+struct ActiveTxn {
+    type_idx: usize,
+    updates: Vec<Update>,
+    commit_written: Option<SimTime>,
+}
+
+/// Aggregate workload statistics.
+#[derive(Clone, Debug)]
+pub struct WorkloadStats {
+    /// Transactions started.
+    pub started: u64,
+    /// Transactions acknowledged as committed.
+    pub committed: u64,
+    /// Transactions killed by the log manager.
+    pub killed: u64,
+    /// Data records written.
+    pub data_records: u64,
+    /// Commit-ack latency (t4 − t3), in milliseconds.
+    pub commit_latency_ms: Histogram,
+    /// Concurrently active transactions.
+    pub active: MaxGauge,
+    /// Started count per type index.
+    pub per_type_started: Vec<u64>,
+}
+
+impl WorkloadStats {
+    fn new(n_types: usize) -> Self {
+        WorkloadStats {
+            started: 0,
+            committed: 0,
+            killed: 0,
+            data_records: 0,
+            commit_latency_ms: Histogram::linear(500.0, 100),
+            active: MaxGauge::new(),
+            per_type_started: vec![0; n_types],
+        }
+    }
+}
+
+/// The workload driver (see module docs).
+#[derive(Clone, Debug)]
+pub struct WorkloadDriver {
+    mix: TxMix,
+    arrivals: ArrivalProcess,
+    rng_mix: SimRng,
+    rng_oid: SimRng,
+    picker: OidPicker,
+    /// No arrivals are generated at or after this time.
+    horizon: SimTime,
+    next_tid: u64,
+    active: HashMap<Tid, ActiveTxn>,
+    stats: WorkloadStats,
+}
+
+impl WorkloadDriver {
+    /// Creates a driver.
+    ///
+    /// * `mix` — transaction types and pdf;
+    /// * `arrivals` — arrival process (the paper uses deterministic);
+    /// * `num_objects` — oid space size;
+    /// * `horizon` — arrivals stop at this time (the paper's 500 s runtime);
+    /// * `rng` — parent random stream; the driver derives independent
+    ///   substreams for type sampling and oid picking.
+    pub fn new(
+        mix: TxMix,
+        arrivals: ArrivalProcess,
+        num_objects: u64,
+        horizon: SimTime,
+        rng: &SimRng,
+    ) -> Self {
+        let n_types = mix.types().len();
+        WorkloadDriver {
+            mix,
+            arrivals,
+            rng_mix: rng.substream("workload/mix"),
+            rng_oid: rng.substream("workload/oid"),
+            picker: OidPicker::new(num_objects),
+            horizon,
+            next_tid: 0,
+            active: HashMap::new(),
+            stats: WorkloadStats::new(n_types),
+        }
+    }
+
+    /// The first event to schedule: an arrival at `start`.
+    pub fn bootstrap(&self, start: SimTime) -> Vec<(SimTime, WorkloadEvent)> {
+        vec![(start, WorkloadEvent::Arrival)]
+    }
+
+    /// Handles an arrival: assigns a tid and type, and returns the new
+    /// transaction plus the events to schedule (its record writes and the
+    /// next arrival). Returns `None` past the horizon.
+    pub fn on_arrival(
+        &mut self,
+        now: SimTime,
+    ) -> Option<(NewTxn, Vec<(SimTime, WorkloadEvent)>)> {
+        if now >= self.horizon {
+            return None;
+        }
+        let tid = Tid(self.next_tid);
+        self.next_tid += 1;
+        let type_idx = self.mix.sample(&mut self.rng_mix);
+        let ty = self.mix.types()[type_idx];
+
+        let mut events = Vec::with_capacity(ty.data_records as usize + 2);
+        for seq in 1..=ty.data_records {
+            events.push((now + ty.data_write_offset(seq), WorkloadEvent::WriteData { tid, seq }));
+        }
+        events.push((now + ty.duration, WorkloadEvent::WriteCommit { tid }));
+
+        let next = now + self.arrivals.next_interval(&mut self.rng_mix);
+        if next < self.horizon {
+            events.push((next, WorkloadEvent::Arrival));
+        }
+
+        self.active.insert(
+            tid,
+            ActiveTxn { type_idx, updates: Vec::with_capacity(ty.data_records as usize), commit_written: None },
+        );
+        self.stats.started += 1;
+        self.stats.per_type_started[type_idx] += 1;
+        self.stats.active.set(now, self.active.len() as u64);
+        Some((NewTxn { tid, type_idx }, events))
+    }
+
+    /// Handles a data-record write: picks the oid and returns it with the
+    /// record size. Returns `None` when the transaction no longer exists
+    /// (killed, and the cancellation raced this event).
+    pub fn on_write_data(&mut self, now: SimTime, tid: Tid, seq: u32) -> Option<(Oid, u32)> {
+        let txn = self.active.get_mut(&tid)?;
+        debug_assert!(txn.commit_written.is_none(), "data write after commit for {tid}");
+        let oid = self.picker.pick(&mut self.rng_oid);
+        txn.updates.push(Update { oid, seq, ts: now });
+        self.stats.data_records += 1;
+        let size = self.mix.types()[txn.type_idx].record_size;
+        Some((oid, size))
+    }
+
+    /// Handles the COMMIT-record write (t3). Returns `false` when the
+    /// transaction no longer exists.
+    pub fn on_write_commit(&mut self, now: SimTime, tid: Tid) -> bool {
+        match self.active.get_mut(&tid) {
+            Some(txn) => {
+                txn.commit_written = Some(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Handles the commit acknowledgement (t4): the transaction's oids stop
+    /// being "chosen by an active transaction", and its updates are
+    /// returned so the caller can feed a committed-state oracle.
+    pub fn on_commit_ack(&mut self, now: SimTime, tid: Tid) -> Vec<Update> {
+        let Some(txn) = self.active.remove(&tid) else {
+            return Vec::new();
+        };
+        self.picker.release_all(txn.updates.iter().map(|u| u.oid));
+        if let Some(t3) = txn.commit_written {
+            self.stats
+                .commit_latency_ms
+                .record(now.saturating_sub(t3).as_micros() as f64 / 1000.0);
+        }
+        self.stats.committed += 1;
+        self.stats.active.set(now, self.active.len() as u64);
+        txn.updates
+    }
+
+    /// Handles a kill from the log manager: drops the transaction and
+    /// releases its oids. The caller is responsible for cancelling the
+    /// transaction's still-pending events.
+    pub fn on_kill(&mut self, now: SimTime, tid: Tid) {
+        if let Some(txn) = self.active.remove(&tid) {
+            self.picker.release_all(txn.updates.iter().map(|u| u.oid));
+            self.stats.killed += 1;
+            self.stats.active.set(now, self.active.len() as u64);
+        }
+    }
+
+    /// Number of transactions currently between BEGIN and ack.
+    pub fn active_txns(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The updates a live transaction has performed so far.
+    pub fn updates_of(&self, tid: Tid) -> Option<&[Update]> {
+        self.active.get(&tid).map(|t| t.updates.as_slice())
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &WorkloadStats {
+        &self.stats
+    }
+
+    /// The oid picker (for diagnostics).
+    pub fn picker(&self) -> &OidPicker {
+        &self.picker
+    }
+
+    /// The configured mix.
+    pub fn mix(&self) -> &TxMix {
+        &self.mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TxMix;
+
+    fn driver(frac_long: f64, horizon_s: u64) -> WorkloadDriver {
+        WorkloadDriver::new(
+            TxMix::paper_mix(frac_long),
+            ArrivalProcess::Deterministic { rate_tps: 100.0 },
+            10_000_000,
+            SimTime::from_secs(horizon_s),
+            &SimRng::new(42),
+        )
+    }
+
+    #[test]
+    fn arrival_produces_plan_and_schedule() {
+        let mut d = driver(0.0, 10);
+        let boot = d.bootstrap(SimTime::ZERO);
+        assert_eq!(boot, vec![(SimTime::ZERO, WorkloadEvent::Arrival)]);
+
+        let (new, events) = d.on_arrival(SimTime::ZERO).unwrap();
+        assert_eq!(new.tid, Tid(0));
+        assert_eq!(new.type_idx, 0, "frac_long 0 ⇒ always short type");
+        // Short type: 2 data writes + 1 commit + next arrival.
+        assert_eq!(events.len(), 4);
+        let commit_at = events
+            .iter()
+            .find_map(|(t, e)| matches!(e, WorkloadEvent::WriteCommit { .. }).then_some(*t))
+            .unwrap();
+        assert_eq!(commit_at, SimTime::from_secs(1));
+        let last_data = events
+            .iter()
+            .filter_map(|(t, e)| matches!(e, WorkloadEvent::WriteData { seq: 2, .. }).then_some(*t))
+            .next()
+            .unwrap();
+        assert_eq!(commit_at.saturating_sub(last_data), SimTime::from_millis(1), "ε gap");
+        // Next arrival 10 ms later (100 TPS).
+        assert!(events.contains(&(SimTime::from_millis(10), WorkloadEvent::Arrival)));
+    }
+
+    #[test]
+    fn horizon_stops_arrivals() {
+        let mut d = driver(0.0, 1);
+        // Arrival exactly at the horizon is rejected.
+        assert!(d.on_arrival(SimTime::from_secs(1)).is_none());
+        // An arrival just before the horizon happens but does not chain a
+        // next arrival past it.
+        let (_, events) = d.on_arrival(SimTime::from_micros(999_999)).unwrap();
+        assert!(!events.iter().any(|(_, e)| *e == WorkloadEvent::Arrival));
+    }
+
+    #[test]
+    fn full_transaction_lifecycle() {
+        let mut d = driver(0.0, 10);
+        let (new, _) = d.on_arrival(SimTime::ZERO).unwrap();
+        let tid = new.tid;
+
+        let (oid1, size) = d.on_write_data(SimTime::from_millis(500), tid, 1).unwrap();
+        assert_eq!(size, 100);
+        let (oid2, _) = d.on_write_data(SimTime::from_millis(999), tid, 2).unwrap();
+        assert_ne!(oid1, oid2, "same txn never reuses an oid");
+        assert!(d.picker().is_held(oid1));
+
+        assert!(d.on_write_commit(SimTime::from_secs(1), tid));
+        let updates = d.on_commit_ack(SimTime::from_micros(1_030_000), tid);
+        assert_eq!(updates.len(), 2);
+        assert_eq!(updates[0].oid, oid1);
+        assert!(!d.picker().is_held(oid1), "ack releases oids");
+        assert_eq!(d.stats().committed, 1);
+        assert_eq!(d.stats().commit_latency_ms.total(), 1);
+        // ~30 ms latency recorded.
+        assert!(d.stats().commit_latency_ms.max().unwrap() >= 30.0);
+    }
+
+    #[test]
+    fn kill_releases_and_counts() {
+        let mut d = driver(0.0, 10);
+        let (new, _) = d.on_arrival(SimTime::ZERO).unwrap();
+        let (oid, _) = d.on_write_data(SimTime::from_millis(1), new.tid, 1).unwrap();
+        d.on_kill(SimTime::from_millis(2), new.tid);
+        assert!(!d.picker().is_held(oid));
+        assert_eq!(d.stats().killed, 1);
+        assert_eq!(d.active_txns(), 0);
+        // Stray events for the dead txn are ignored gracefully.
+        assert!(d.on_write_data(SimTime::from_millis(3), new.tid, 2).is_none());
+        assert!(!d.on_write_commit(SimTime::from_millis(4), new.tid));
+        assert!(d.on_commit_ack(SimTime::from_millis(5), new.tid).is_empty());
+        assert_eq!(d.stats().killed, 1, "double kill not counted");
+        d.on_kill(SimTime::from_millis(6), new.tid);
+        assert_eq!(d.stats().killed, 1);
+    }
+
+    #[test]
+    fn tids_are_dense_and_unique() {
+        let mut d = driver(0.5, 100);
+        let mut t = SimTime::ZERO;
+        for i in 0..50 {
+            let (new, _) = d.on_arrival(t).unwrap();
+            assert_eq!(new.tid, Tid(i));
+            t += SimTime::from_millis(10);
+        }
+        assert_eq!(d.stats().started, 50);
+        assert_eq!(d.active_txns(), 50);
+        assert_eq!(d.stats().active.peak(), 50);
+    }
+
+    #[test]
+    fn per_type_counts_follow_pdf() {
+        let mut d = driver(0.3, 1_000_000);
+        let mut t = SimTime::ZERO;
+        for _ in 0..20_000 {
+            d.on_arrival(t).unwrap();
+            t += SimTime::from_millis(10);
+        }
+        let frac = d.stats().per_type_started[1] as f64 / 20_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "long fraction {frac}");
+    }
+
+    #[test]
+    fn updates_of_live_txn_visible() {
+        let mut d = driver(0.0, 10);
+        let (new, _) = d.on_arrival(SimTime::ZERO).unwrap();
+        assert_eq!(d.updates_of(new.tid).unwrap().len(), 0);
+        d.on_write_data(SimTime::from_millis(1), new.tid, 1);
+        assert_eq!(d.updates_of(new.tid).unwrap().len(), 1);
+        assert!(d.updates_of(Tid(999)).is_none());
+    }
+}

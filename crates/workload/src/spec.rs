@@ -1,0 +1,260 @@
+//! Transaction types and mixes.
+
+use elog_sim::{SimRng, SimTime};
+use std::fmt;
+
+/// The fixed gap between a transaction's last data record and its COMMIT
+/// record. §3: "The delay ε between the writes for the last data log record
+/// and the COMMIT tx log record for a transaction is fixed at 1 ms."
+pub const EPSILON: SimTime = SimTime::from_millis(1);
+
+/// One transaction type from the workload pdf.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TxType {
+    /// Probability of occurrence, in `[0, 1]`.
+    pub probability: f64,
+    /// Execution duration T (begin to commit-record write).
+    pub duration: SimTime,
+    /// Number of data log records written (N in Figure 3).
+    pub data_records: u32,
+    /// Accounting size of each data record, in bytes.
+    pub record_size: u32,
+}
+
+impl TxType {
+    /// Time of the `seq`-th (1-based) data-record write, relative to t0.
+    ///
+    /// Records are evenly spaced: record j is written at j·(T−ε)/N, so the
+    /// last lands exactly ε before the COMMIT record.
+    pub fn data_write_offset(&self, seq: u32) -> SimTime {
+        debug_assert!(seq >= 1 && seq <= self.data_records);
+        let span = self.duration.saturating_sub(EPSILON);
+        span * u64::from(seq) / u64::from(self.data_records)
+    }
+
+    /// Validation: positive probability-compatible fields.
+    fn validate(&self, idx: usize) -> Result<(), MixError> {
+        if !(0.0..=1.0).contains(&self.probability) || !self.probability.is_finite() {
+            return Err(MixError(format!("type {idx}: probability must be in [0,1]")));
+        }
+        if self.duration <= EPSILON {
+            return Err(MixError(format!("type {idx}: duration must exceed ε (1 ms)")));
+        }
+        if self.data_records == 0 {
+            return Err(MixError(format!("type {idx}: needs at least one data record")));
+        }
+        if self.record_size == 0 {
+            return Err(MixError(format!("type {idx}: record size must be positive")));
+        }
+        Ok(())
+    }
+}
+
+/// A validated probability mix of transaction types.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxMix {
+    types: Vec<TxType>,
+    /// Cumulative probabilities for sampling.
+    cdf: Vec<f64>,
+}
+
+impl TxMix {
+    /// Builds a mix, validating that probabilities sum to 1 (±1e-9).
+    pub fn new(types: Vec<TxType>) -> Result<Self, MixError> {
+        if types.is_empty() {
+            return Err(MixError("a mix needs at least one transaction type".into()));
+        }
+        let mut cdf = Vec::with_capacity(types.len());
+        let mut acc = 0.0;
+        for (i, t) in types.iter().enumerate() {
+            t.validate(i)?;
+            acc += t.probability;
+            cdf.push(acc);
+        }
+        if (acc - 1.0).abs() > 1e-9 {
+            return Err(MixError(format!("probabilities sum to {acc}, expected 1")));
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Ok(TxMix { types, cdf })
+    }
+
+    /// The paper's standard two-type workload: a fraction `frac_long` of
+    /// transactions last 10 s and write 4 × 100 B data records; the rest
+    /// last 1 s and write 2 × 100 B records (§4).
+    pub fn paper_mix(frac_long: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac_long));
+        TxMix::new(vec![
+            TxType {
+                probability: 1.0 - frac_long,
+                duration: SimTime::from_secs(1),
+                data_records: 2,
+                record_size: 100,
+            },
+            TxType {
+                probability: frac_long,
+                duration: SimTime::from_secs(10),
+                data_records: 4,
+                record_size: 100,
+            },
+        ])
+        .expect("paper mix is always valid")
+    }
+
+    /// The transaction types.
+    pub fn types(&self) -> &[TxType] {
+        &self.types
+    }
+
+    /// Draws a type index according to the pdf.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.types.len() - 1)
+    }
+
+    /// Expected data records per transaction.
+    pub fn mean_updates_per_txn(&self) -> f64 {
+        self.types
+            .iter()
+            .map(|t| t.probability * f64::from(t.data_records))
+            .sum()
+    }
+
+    /// Expected object-update rate at `tps` arrivals per second.
+    ///
+    /// §4: at 100 TPS this rises from 210/s (5 % long) to 280/s (40 %).
+    pub fn mean_update_rate(&self, tps: f64) -> f64 {
+        tps * self.mean_updates_per_txn()
+    }
+
+    /// Expected log payload bytes per second at `tps` arrivals, counting
+    /// data records plus BEGIN and COMMIT records of `tx_record_size` each.
+    pub fn mean_log_bytes_per_sec(&self, tps: f64, tx_record_size: u32) -> f64 {
+        let data: f64 = self
+            .types
+            .iter()
+            .map(|t| t.probability * f64::from(t.data_records) * f64::from(t.record_size))
+            .sum();
+        tps * (data + 2.0 * f64::from(tx_record_size))
+    }
+
+    /// Expected concurrently active transactions (Little's law: tps · E[T]).
+    pub fn mean_active_txns(&self, tps: f64) -> f64 {
+        tps * self
+            .types
+            .iter()
+            .map(|t| t.probability * t.duration.as_secs_f64())
+            .sum::<f64>()
+    }
+}
+
+/// Mix-validation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MixError(String);
+
+impl fmt::Display for MixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid transaction mix: {}", self.0)
+    }
+}
+
+impl std::error::Error for MixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_statistics() {
+        let mix = TxMix::paper_mix(0.05);
+        // 0.95·2 + 0.05·4 = 2.1 updates per txn → 210/s at 100 TPS.
+        assert!((mix.mean_update_rate(100.0) - 210.0).abs() < 1e-9);
+        let mix40 = TxMix::paper_mix(0.40);
+        assert!((mix40.mean_update_rate(100.0) - 280.0).abs() < 1e-9);
+        // Active txns at 5 %: 100·(0.95·1 + 0.05·10) = 145.
+        assert!((mix.mean_active_txns(100.0) - 145.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_byte_rate() {
+        let mix = TxMix::paper_mix(0.05);
+        // data 210·100 + tx 2·100·8 = 22 600 B/s.
+        assert!((mix.mean_log_bytes_per_sec(100.0, 8) - 22_600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_write_offsets_match_figure3() {
+        let t = TxType {
+            probability: 1.0,
+            duration: SimTime::from_secs(10),
+            data_records: 4,
+            record_size: 100,
+        };
+        // span = 9.999 s; record 4 lands ε before commit.
+        assert_eq!(t.data_write_offset(4), SimTime::from_millis(9_999));
+        assert_eq!(t.data_write_offset(1), SimTime::from_micros(9_999_000 / 4));
+        assert!(t.data_write_offset(1) < t.data_write_offset(2));
+    }
+
+    #[test]
+    fn sampling_respects_pdf() {
+        let mix = TxMix::paper_mix(0.25);
+        let mut rng = SimRng::new(11);
+        let n = 100_000;
+        let long = (0..n).filter(|_| mix.sample(&mut rng) == 1).count();
+        let frac = long as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "observed {frac}");
+    }
+
+    #[test]
+    fn degenerate_single_type_mix() {
+        let mix = TxMix::new(vec![TxType {
+            probability: 1.0,
+            duration: SimTime::from_secs(1),
+            data_records: 1,
+            record_size: 50,
+        }])
+        .unwrap();
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(mix.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert!(TxMix::new(vec![]).is_err());
+
+        let bad_sum = TxMix::new(vec![TxType {
+            probability: 0.5,
+            duration: SimTime::from_secs(1),
+            data_records: 1,
+            record_size: 1,
+        }]);
+        assert!(bad_sum.is_err());
+
+        let base = TxType {
+            probability: 1.0,
+            duration: SimTime::from_secs(1),
+            data_records: 1,
+            record_size: 1,
+        };
+        assert!(TxMix::new(vec![TxType { duration: EPSILON, ..base }]).is_err());
+        assert!(TxMix::new(vec![TxType { data_records: 0, ..base }]).is_err());
+        assert!(TxMix::new(vec![TxType { record_size: 0, ..base }]).is_err());
+        assert!(TxMix::new(vec![TxType { probability: f64::NAN, ..base }]).is_err());
+        assert!(TxMix::new(vec![TxType { probability: 1.5, ..base }]).is_err());
+    }
+
+    #[test]
+    fn error_message_names_field() {
+        let e = TxMix::new(vec![TxType {
+            probability: 1.0,
+            duration: SimTime::from_secs(1),
+            data_records: 0,
+            record_size: 1,
+        }])
+        .unwrap_err();
+        assert!(e.to_string().contains("data record"));
+    }
+}

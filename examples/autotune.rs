@@ -1,0 +1,59 @@
+//! The §6 "adaptable EL" tuner in action.
+//!
+//! The paper closes wishing for "an adaptable version of EL that
+//! dynamically chooses the number and sizes of generations itself". This
+//! example runs our advisory tuner: one exploration pass observes the
+//! generation-0 fill rate and the garbage-age distribution, an analytic
+//! estimate sizes both generations, and a few validation probes walk the
+//! estimate to the kill boundary — then the result is compared with the
+//! brute-force grid search.
+//!
+//! ```text
+//! cargo run --release --example autotune [frac_long] [runtime_secs]
+//! ```
+
+use elog_harness::autotune::{autotune, observe};
+use elog_harness::minspace::{el_min_space, paper_base};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let frac_long: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let runtime: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
+
+    let base = paper_base(frac_long, false, runtime);
+    println!(
+        "tuning EL for {:.0}% long transactions over {runtime} s runs...\n",
+        frac_long * 100.0
+    );
+
+    let obs = observe(&base, runtime);
+    println!("observation (roomy 96+96 exploration run):");
+    println!("  gen0 fill rate      : {:.2} blocks/s", obs.gen0_blocks_per_sec);
+    println!("  bulk garbage age    : {:.0} ms (90th percentile)", obs.bulk_age_ms);
+    println!("  straggler horizon   : {:.0} ms (max observed)", obs.max_age_ms);
+    println!("  forwarded bytes     : {:.0} B/s\n", obs.forwarded_bytes_per_sec);
+
+    let t0 = std::time::Instant::now();
+    let tuned = autotune(&base, runtime);
+    let tune_time = t0.elapsed();
+    println!(
+        "tuner estimate {:?} -> validated {:?} = {} blocks in {} probes ({tune_time:?})\n",
+        tuned.estimate,
+        tuned.tuned.generation_blocks,
+        tuned.tuned.total_blocks,
+        tuned.probes
+    );
+
+    let t0 = std::time::Instant::now();
+    let grid = el_min_space(&base, 28, 256);
+    let grid_time = t0.elapsed();
+    println!(
+        "grid search        -> {:?} = {} blocks in {} probes ({grid_time:?})",
+        grid.generation_blocks, grid.total_blocks, grid.probes
+    );
+    println!(
+        "\ntuner used {:.1}x fewer probes and landed within {} blocks of the grid minimum",
+        grid.probes as f64 / tuned.probes as f64,
+        tuned.tuned.total_blocks.abs_diff(grid.total_blocks)
+    );
+}

@@ -1,0 +1,77 @@
+//! Reproducibility: a seed fully determines a run, across techniques,
+//! arrival processes and crash instants.
+
+use elog_core::ElConfig;
+use elog_harness::runner::{build_model, run, RunConfig};
+use elog_model::{FlushConfig, LogConfig};
+use elog_recovery::{recover, scan_blocks};
+use elog_sim::SimTime;
+use elog_workload::ArrivalProcess;
+
+fn cfg(seed: u64, poisson: bool) -> RunConfig {
+    let log = LogConfig {
+        generation_blocks: vec![18, 16],
+        recirculation: true,
+        ..LogConfig::default()
+    };
+    let mut c = RunConfig::paper(0.2, ElConfig::ephemeral(log, FlushConfig::default()));
+    c.runtime = SimTime::from_secs(20);
+    c.seed = seed;
+    if poisson {
+        c.arrivals = ArrivalProcess::Poisson { rate_tps: 100.0 };
+    }
+    c
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    for poisson in [false, true] {
+        let a = run(&cfg(77, poisson));
+        let b = run(&cfg(77, poisson));
+        assert_eq!(a.started, b.started);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.killed, b.killed);
+        assert_eq!(a.metrics.log_writes, b.metrics.log_writes);
+        assert_eq!(a.metrics.flushes, b.metrics.flushes);
+        assert_eq!(a.metrics.peak_memory_bytes, b.metrics.peak_memory_bytes);
+        assert_eq!(
+            a.metrics.stats.forwarded_records,
+            b.metrics.stats.forwarded_records
+        );
+        assert_eq!(
+            a.metrics.stats.recirculated_records,
+            b.metrics.stats.recirculated_records
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_identical_crash_surfaces() {
+    let snapshot = |seed: u64| {
+        let mut c = cfg(seed, false);
+        c.track_oracle = true;
+        let mut engine = build_model(&c);
+        engine.run_until(SimTime::from_secs(9));
+        let model = engine.model();
+        let surface = model.lm.log_surface();
+        let image = scan_blocks(surface.iter());
+        let state = recover(&image, model.lm.stable_db());
+        (
+            image.stats.records,
+            image.stats.blocks,
+            state.versions.len(),
+            state.committed_txns,
+        )
+    };
+    assert_eq!(snapshot(123), snapshot(123));
+    assert_ne!(snapshot(123), snapshot(321), "different seeds must diverge");
+}
+
+#[test]
+fn seed_changes_only_stochastic_choices() {
+    // Deterministic arrivals: the *count* of started transactions is fixed
+    // by the clock regardless of seed; only type draws and oids move.
+    let a = run(&cfg(1, false));
+    let b = run(&cfg(2, false));
+    assert_eq!(a.started, b.started);
+}

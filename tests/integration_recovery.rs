@@ -1,0 +1,115 @@
+//! Cross-crate integration: crash the *full* simulation (workload driver +
+//! log manager + flush array) at many instants and verify single-pass
+//! recovery against the oracle, for EL and FW, with and without
+//! recirculation, through both the typed and byte-level scan paths.
+
+use elog_core::{ElConfig, MemoryModel};
+use elog_harness::runner::{build_model, RunConfig};
+use elog_model::{FlushConfig, LogConfig};
+use elog_recovery::{check_against_oracle, recover, scan_blocks, scan_bytes};
+use elog_sim::SimTime;
+
+fn crash_and_verify(mut cfg: RunConfig, crash_secs: f64) {
+    cfg.track_oracle = true;
+    cfg.runtime = SimTime::from_secs_f64(crash_secs + 5.0);
+    let mut engine = build_model(&cfg);
+    engine.run_until(SimTime::from_secs_f64(crash_secs));
+    let model = engine.model();
+    assert_eq!(
+        model.lm.stats().durability_violations,
+        0,
+        "paper-scale geometry must never violate durability holds"
+    );
+
+    let surface = model.lm.log_surface();
+    let image = scan_blocks(surface.iter());
+    let state = recover(&image, model.lm.stable_db());
+    let report = check_against_oracle(&model.oracle, &state);
+    assert!(
+        report.is_ok(),
+        "crash at {crash_secs}s: missing {:?} stale {:?}",
+        report.missing,
+        report.stale
+    );
+    // The oracle's every object must be covered.
+    assert!(report.exact + report.acceptable_newer >= model.oracle.len() as u64);
+}
+
+fn el_cfg(recirc: bool) -> RunConfig {
+    let log = LogConfig {
+        generation_blocks: vec![18, 16],
+        recirculation: recirc,
+        ..LogConfig::default()
+    };
+    RunConfig::paper(0.05, ElConfig::ephemeral(log, FlushConfig::default()))
+}
+
+#[test]
+fn el_crash_matrix() {
+    for crash in [3.3, 7.7, 15.2] {
+        crash_and_verify(el_cfg(false), crash);
+        crash_and_verify(el_cfg(true), crash);
+    }
+}
+
+#[test]
+fn fw_crash_matrix() {
+    for crash in [4.1, 12.9] {
+        let mut cfg = RunConfig::paper(0.05, ElConfig::firewall(140, FlushConfig::default()));
+        cfg.el.memory_model = MemoryModel::Firewall;
+        crash_and_verify(cfg, crash);
+    }
+}
+
+#[test]
+fn byte_level_recovery_agrees_with_typed_recovery() {
+    let mut cfg = el_cfg(true);
+    cfg.track_oracle = true;
+    cfg.runtime = SimTime::from_secs(12);
+    let mut engine = build_model(&cfg);
+    engine.run_until(SimTime::from_secs(10));
+    let model = engine.model();
+
+    let surface = model.lm.log_surface();
+    let typed = recover(&scan_blocks(surface.iter()), model.lm.stable_db());
+
+    let encoded: Vec<Vec<u8>> = surface
+        .iter()
+        .flat_map(|g| g.iter().map(|b| b.to_bytes()))
+        .collect();
+    let (image, errors) = scan_bytes(encoded.iter().map(Vec::as_slice));
+    assert!(errors.is_empty(), "clean surface must decode: {errors:?}");
+    let bytes = recover(&image, model.lm.stable_db());
+
+    assert_eq!(typed.versions.len(), bytes.versions.len());
+    for (oid, v) in &typed.versions {
+        assert_eq!(bytes.versions.get(oid), Some(v), "divergence at {oid}");
+    }
+}
+
+#[test]
+fn recovery_scales_with_log_size_not_history() {
+    // Ten times more history does not grow the scan: the log is bounded by
+    // its geometry. (This is the whole point of the paper.)
+    let mut short = el_cfg(true);
+    short.track_oracle = false;
+    short.runtime = SimTime::from_secs(10);
+    let mut long = short.clone();
+    long.runtime = SimTime::from_secs(100);
+
+    let mut records = Vec::new();
+    for cfg in [short, long] {
+        let mut engine = build_model(&cfg);
+        engine.run_until(cfg.runtime);
+        let surface = engine.model().lm.log_surface();
+        let image = scan_blocks(surface.iter());
+        records.push(image.stats.records);
+    }
+    let ratio = records[1] as f64 / records[0].max(1) as f64;
+    assert!(
+        ratio < 1.6,
+        "scan size must be bounded by geometry, not history: {} vs {}",
+        records[0],
+        records[1]
+    );
+}
