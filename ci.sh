@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI gate, entirely offline: formatting, lints, release build,
+# tests. Run before every push; any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --offline --release --workspace
+
+echo "== cargo test =="
+cargo test -q --offline --workspace
+
+echo "CI green."

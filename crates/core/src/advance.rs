@@ -76,7 +76,8 @@ impl ElManager {
                 }
                 consumed = 0;
             }
-            let Some(seq) = self.consume_head_block(now, gi, &mut gathered, &mut gathered_bytes, fx)
+            let Some(seq) =
+                self.consume_head_block(now, gi, &mut gathered, &mut gathered_bytes, fx)
             else {
                 break;
             };
@@ -183,9 +184,10 @@ impl ElManager {
                         // the head of a generation and require flushing").
                         if (self.cfg.log.unflushed_at_head == UnflushedAtHead::ForceFlush
                             || no_recirc_last)
-                            && self.flush.expedite(d.oid) {
-                                self.stats.forced_flushes += 1;
-                            }
+                            && self.flush.expedite(d.oid)
+                        {
+                            self.stats.forced_flushes += 1;
+                        }
                         if no_recirc_last {
                             // Nowhere to keep it: drop from the log and rely
                             // on the expedited flush. Counted as unsafe —
@@ -258,7 +260,12 @@ impl ElManager {
                 // The batch was just sealed; the newest allocation of the
                 // destination generation carries its final records.
                 let dest_block = self.gens[gi + 1].ring.tail().saturating_sub(1);
-                self.holds.push(Hold { src_gen: gi, src_seq, dest_gen: gi + 1, dest_block });
+                self.holds.push(Hold {
+                    src_gen: gi,
+                    src_seq,
+                    dest_gen: gi + 1,
+                    dest_block,
+                });
             }
         }
     }
@@ -328,7 +335,11 @@ impl ElManager {
             self.arena.push_tail(&mut h, cell);
             self.gens[gi].h = h;
             let record = self.arena.get(cell).record;
-            self.gens[gi].open.as_mut().expect("open").push(record, payload_cap);
+            self.gens[gi]
+                .open
+                .as_mut()
+                .expect("open")
+                .push(record, payload_cap);
             self.stats.recirculated_records += 1;
             self.stats.recirculated_bytes += u64::from(record.size());
             self.holds.push(Hold {

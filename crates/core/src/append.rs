@@ -129,7 +129,10 @@ impl ElManager {
         if let Some(timeout) = self.cfg.group_commit_timeout {
             fx.timers.push((
                 now + timeout,
-                LmTimer::GroupCommitTimeout { gen: gi, block_seq: addr.seq },
+                LmTimer::GroupCommitTimeout {
+                    gen: gi,
+                    block_seq: addr.seq,
+                },
             ));
         }
         // Maintain the full k-block gap now that the buffer exists (the
@@ -154,7 +157,8 @@ impl ElManager {
             self.stats.buffer_stalls += 1;
         }
         self.inflight.insert(write_id, Inflight { gen: gi, block });
-        fx.timers.push((done_at, LmTimer::BufferWrite { gen: gi, write_id }));
+        fx.timers
+            .push((done_at, LmTimer::BufferWrite { gen: gi, write_id }));
     }
 
     /// Completes a buffer write: the block becomes durable, holds pinned on

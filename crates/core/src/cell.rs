@@ -89,7 +89,12 @@ impl Default for CellArena {
 impl CellArena {
     /// An empty arena.
     pub fn new() -> Self {
-        CellArena { slots: Vec::new(), free_head: NIL, live: 0, peak_live: 0 }
+        CellArena {
+            slots: Vec::new(),
+            free_head: NIL,
+            live: 0,
+            peak_live: 0,
+        }
     }
 
     /// Allocates a cell for `record` located at (`gen`, `block`), not yet
@@ -97,7 +102,13 @@ impl CellArena {
     pub fn alloc(&mut self, record: LogRecord, gen: u8, block: u64) -> CellIdx {
         self.live += 1;
         self.peak_live = self.peak_live.max(self.live);
-        let cell = Cell { record, gen, block, left: NIL, right: NIL };
+        let cell = Cell {
+            record,
+            gen,
+            block,
+            left: NIL,
+            right: NIL,
+        };
         if self.free_head != NIL {
             let idx = self.free_head;
             match self.slots[idx as usize] {
@@ -116,7 +127,10 @@ impl CellArena {
 
     /// Frees a cell. The caller must have unlinked it first.
     pub fn free(&mut self, idx: CellIdx) {
-        debug_assert!(matches!(self.slots[idx as usize], Slot::Used(_)), "double free of cell {idx}");
+        debug_assert!(
+            matches!(self.slots[idx as usize], Slot::Used(_)),
+            "double free of cell {idx}"
+        );
         debug_assert!(
             {
                 let c = self.get(idx);
@@ -124,7 +138,9 @@ impl CellArena {
             },
             "freeing a linked cell {idx}"
         );
-        self.slots[idx as usize] = Slot::Free { next: self.free_head };
+        self.slots[idx as usize] = Slot::Free {
+            next: self.free_head,
+        };
         self.free_head = idx;
         self.live -= 1;
     }
@@ -332,11 +348,13 @@ mod tests {
     fn fifo_order_and_circularity() {
         let mut a = CellArena::new();
         let mut head = NIL;
-        let cells: Vec<CellIdx> = (0..5).map(|i| {
-            let c = a.alloc(rec(i), 0, i);
-            a.push_tail(&mut head, c);
-            c
-        }).collect();
+        let cells: Vec<CellIdx> = (0..5)
+            .map(|i| {
+                let c = a.alloc(rec(i), 0, i);
+                a.push_tail(&mut head, c);
+                c
+            })
+            .collect();
         assert_eq!(a.iter_list(head), cells);
         a.check_list(head);
         // Tail reachable via head.left.
@@ -349,11 +367,13 @@ mod tests {
     fn unlink_middle_and_head() {
         let mut a = CellArena::new();
         let mut head = NIL;
-        let cells: Vec<CellIdx> = (0..4).map(|i| {
-            let c = a.alloc(rec(i), 0, i);
-            a.push_tail(&mut head, c);
-            c
-        }).collect();
+        let cells: Vec<CellIdx> = (0..4)
+            .map(|i| {
+                let c = a.alloc(rec(i), 0, i);
+                a.push_tail(&mut head, c);
+                c
+            })
+            .collect();
         a.unlink(&mut head, cells[2]);
         assert_eq!(a.iter_list(head), vec![cells[0], cells[1], cells[3]]);
         a.check_list(head);

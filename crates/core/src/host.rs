@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn host_round_trips_one_transaction() {
-        let log = LogConfig { generation_blocks: vec![8, 8], ..LogConfig::default() };
+        let log = LogConfig {
+            generation_blocks: vec![8, 8],
+            ..LogConfig::default()
+        };
         let mut h = SimpleHost::new(ElManager::ephemeral(log, FlushConfig::default()));
         h.begin(SimTime::ZERO, Tid(1));
         h.write(SimTime::from_millis(1), Tid(1), Oid(5), 1, 100);
@@ -134,7 +137,10 @@ mod tests {
 
     #[test]
     fn host_clock_is_monotone() {
-        let log = LogConfig { generation_blocks: vec![8], ..LogConfig::default() };
+        let log = LogConfig {
+            generation_blocks: vec![8],
+            ..LogConfig::default()
+        };
         let mut h = SimpleHost::new(ElManager::firewall(8, FlushConfig::default()));
         let _ = &log;
         h.begin(SimTime::from_secs(1), Tid(1));

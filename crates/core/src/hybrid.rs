@@ -149,7 +149,13 @@ impl HybridManager {
         let block = self.append(now, 0, record, false, &mut fx);
         let prev = self.txns.insert(
             tid,
-            HTxn { records: vec![record], queue: 0, anchor: block, state: HTxState::Active, unflushed: 0 },
+            HTxn {
+                records: vec![record],
+                queue: 0,
+                anchor: block,
+                state: HTxState::Active,
+                unflushed: 0,
+            },
         );
         assert!(prev.is_none(), "duplicate BEGIN for {tid}");
         self.queues[0].anchors.entry(block).or_default().push(tid);
@@ -167,7 +173,13 @@ impl HybridManager {
             return fx;
         }
         let queue = txn.queue;
-        let record = LogRecord::Data(DataRecord { tid, oid, seq, ts: now, size });
+        let record = LogRecord::Data(DataRecord {
+            tid,
+            oid,
+            seq,
+            ts: now,
+            size,
+        });
         self.append(now, queue, record, false, &mut fx);
         // The append's own space-pressure kill may have taken this very
         // transaction; only record the write if it survived.
@@ -197,7 +209,10 @@ impl HybridManager {
         if let Some(txn) = self.txns.get_mut(&tid) {
             txn.records.push(record);
             txn.state = HTxState::Committing;
-            self.pending_commits.entry((queue, block)).or_default().push(tid);
+            self.pending_commits
+                .entry((queue, block))
+                .or_default()
+                .push(tid);
         }
         fx
     }
@@ -205,7 +220,11 @@ impl HybridManager {
     /// Abort: the whole transaction becomes garbage at once.
     pub fn abort(&mut self, now: SimTime, tid: Tid) -> Effects {
         let fx = Effects::default();
-        if self.txns.get(&tid).is_some_and(|t| t.state != HTxState::Committed) {
+        if self
+            .txns
+            .get(&tid)
+            .is_some_and(|t| t.state != HTxState::Committed)
+        {
             self.dispose(tid);
             self.update_memory(now);
         }
@@ -217,8 +236,10 @@ impl HybridManager {
         let mut fx = Effects::default();
         match timer {
             LmTimer::BufferWrite { gen, write_id } => {
-                let (q, mut block) =
-                    self.inflight.remove(&write_id).expect("unknown write completion");
+                let (q, mut block) = self
+                    .inflight
+                    .remove(&write_id)
+                    .expect("unknown write completion");
                 debug_assert_eq!(q, gen);
                 block.written_at = now;
                 let seq = block.addr.seq;
@@ -270,7 +291,11 @@ impl HybridManager {
         let mut newest: HashMap<Oid, ObjectVersion> = HashMap::new();
         for r in &txn.records {
             if let LogRecord::Data(d) = r {
-                let v = ObjectVersion { tid, seq: d.seq, ts: d.ts };
+                let v = ObjectVersion {
+                    tid,
+                    seq: d.seq,
+                    ts: d.ts,
+                };
                 match newest.get_mut(&d.oid) {
                     Some(e) if e.ts >= v.ts => {}
                     Some(e) => *e = v,
@@ -331,7 +356,14 @@ impl HybridManager {
     }
 
     /// Appends one record to queue `qi`, returning its block seq.
-    fn append(&mut self, now: SimTime, qi: usize, record: LogRecord, immediate: bool, fx: &mut Effects) -> u64 {
+    fn append(
+        &mut self,
+        now: SimTime,
+        qi: usize,
+        record: LogRecord,
+        immediate: bool,
+        fx: &mut Effects,
+    ) -> u64 {
         let size = record.size();
         let payload = self.log.block_payload;
         let mut spins = 0;
@@ -366,7 +398,9 @@ impl HybridManager {
     }
 
     fn seal(&mut self, now: SimTime, qi: usize, fx: &mut Effects) {
-        let Some(block) = self.queues[qi].open.take() else { return };
+        let Some(block) = self.queues[qi].open.take() else {
+            return;
+        };
         if block.is_empty() {
             return;
         }
@@ -374,7 +408,8 @@ impl HybridManager {
         self.next_write_id += 1;
         let done_at = self.device.begin_write(now, qi, block.payload_used);
         self.inflight.insert(write_id, (qi, block));
-        fx.timers.push((done_at, LmTimer::BufferWrite { gen: qi, write_id }));
+        fx.timers
+            .push((done_at, LmTimer::BufferWrite { gen: qi, write_id }));
     }
 
     /// Advances queue `qi`'s head until at least `target` blocks are free,
@@ -390,9 +425,13 @@ impl HybridManager {
                 // Lapped without progress: space exhaustion — kill the
                 // oldest anchored active transaction.
                 let victim = self.queues[qi]
-                    .anchors.values().flat_map(|v| v.iter().copied())
+                    .anchors
+                    .values()
+                    .flat_map(|v| v.iter().copied())
                     .find(|t| {
-                        self.txns.get(t).is_some_and(|x| x.state != HTxState::Committed)
+                        self.txns
+                            .get(t)
+                            .is_some_and(|x| x.state != HTxState::Committed)
                     });
                 match victim {
                     Some(tid) => {
@@ -405,7 +444,9 @@ impl HybridManager {
                     None => break,
                 }
             }
-            let Some(seq) = self.queues[qi].ring.advance_head() else { break };
+            let Some(seq) = self.queues[qi].ring.advance_head() else {
+                break;
+            };
             consumed += 1;
             if let Some(tids) = self.queues[qi].anchors.remove(&seq) {
                 for tid in tids {
@@ -420,7 +461,9 @@ impl HybridManager {
     /// last one), or the transaction is killed if it is active at the last
     /// head without recirculation.
     fn relocate(&mut self, now: SimTime, qi: usize, tid: Tid, fx: &mut Effects) {
-        let Some(txn) = self.txns.get(&tid) else { return };
+        let Some(txn) = self.txns.get(&tid) else {
+            return;
+        };
         let is_last = qi + 1 == self.queues.len();
         if is_last && !self.log.recirculation && txn.state != HTxState::Committed {
             self.dispose(tid);
@@ -447,12 +490,17 @@ impl HybridManager {
         if let Some(txn) = self.txns.get_mut(&tid) {
             txn.queue = dest;
             txn.anchor = anchor;
-            self.queues[dest].anchors.entry(anchor).or_default().push(tid);
+            self.queues[dest]
+                .anchors
+                .entry(anchor)
+                .or_default()
+                .push(tid);
         }
     }
 
     fn update_memory(&mut self, now: SimTime) {
-        self.mem.set(now, HYBRID_BYTES_PER_TXN * self.txns.len() as u64);
+        self.mem
+            .set(now, HYBRID_BYTES_PER_TXN * self.txns.len() as u64);
     }
 
     // ---------------------------------------------------------------
@@ -471,7 +519,8 @@ impl HybridManager {
 
     /// Total log-block writes per second over `elapsed`.
     pub fn log_write_rate(&self, now: SimTime) -> f64 {
-        self.device.total_write_rate(now.saturating_sub(self.started_at))
+        self.device
+            .total_write_rate(now.saturating_sub(self.started_at))
     }
 
     /// Total completed log-block writes.
@@ -504,7 +553,12 @@ mod tests {
 
     impl Host {
         fn new(lm: HybridManager) -> Self {
-            Host { lm, q: EventQueue::new(), acks: vec![], kills: vec![] }
+            Host {
+                lm,
+                q: EventQueue::new(),
+                acks: vec![],
+                kills: vec![],
+            }
         }
         fn apply(&mut self, fx: Effects) {
             for (at, t) in fx.timers {
@@ -536,7 +590,11 @@ mod tests {
     }
 
     fn hybrid(blocks: Vec<u32>, recirc: bool) -> HybridManager {
-        let log = LogConfig { generation_blocks: blocks, recirculation: recirc, ..LogConfig::default() };
+        let log = LogConfig {
+            generation_blocks: blocks,
+            recirculation: recirc,
+            ..LogConfig::default()
+        };
         HybridManager::new(DbConfig::default(), log, FlushConfig::default()).unwrap()
     }
 
@@ -603,7 +661,10 @@ mod tests {
         h.apply(fx);
         h.drain(t(501));
 
-        assert!(h.acks.contains(&Tid(999)), "long txn survives via regeneration");
+        assert!(
+            h.acks.contains(&Tid(999)),
+            "long txn survives via regeneration"
+        );
         assert!(h.lm.stats().regenerations > 0);
         assert!(
             h.lm.stats().regenerated_records >= 2 * h.lm.stats().regenerations,
@@ -636,7 +697,10 @@ mod tests {
             tid += 1;
         }
         h.drain(t(2000));
-        assert!(h.kills.contains(&Tid(999)), "6-block hybrid log must kill it");
+        assert!(
+            h.kills.contains(&Tid(999)),
+            "6-block hybrid log must kill it"
+        );
     }
 
     #[test]
@@ -653,7 +717,13 @@ mod tests {
         let fx = big.lm.begin(t(0), Tid(1));
         big.apply(fx);
         for i in 0..15u32 {
-            let fx = big.lm.write_data(t(1 + u64::from(i)), Tid(1), Oid(u64::from(i) * 500_000), i + 1, 100);
+            let fx = big.lm.write_data(
+                t(1 + u64::from(i)),
+                Tid(1),
+                Oid(u64::from(i) * 500_000),
+                i + 1,
+                100,
+            );
             big.apply(fx);
         }
         assert_eq!(small.lm.peak_memory_bytes(), big.lm.peak_memory_bytes());

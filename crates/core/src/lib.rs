@@ -54,13 +54,15 @@ pub mod lot;
 pub mod ltt;
 pub mod manager;
 pub mod metrics;
+pub mod traits;
 pub mod types;
 
 pub use host::SimpleHost;
 pub use hybrid::{HybridManager, HybridStats, HYBRID_BYTES_PER_TXN};
 pub use manager::ElManager;
 pub use metrics::LmMetrics;
+pub use traits::LogManager;
 pub use types::{
-    ElConfig, Effects, LmStats, LmTimer, MemoryModel, EL_BYTES_PER_OBJECT, EL_BYTES_PER_TXN,
+    Effects, ElConfig, LmStats, LmTimer, MemoryModel, EL_BYTES_PER_OBJECT, EL_BYTES_PER_TXN,
     FW_BYTES_PER_TXN,
 };

@@ -71,7 +71,11 @@ impl Lot {
     /// Registers a new uncommitted update's cell (a data record just
     /// entered the log). Creates the entry on first touch.
     pub fn insert_uncommitted(&mut self, oid: Oid, tid: Tid, cell: CellIdx) {
-        self.map.entry(oid).or_default().uncommitted.push((tid, cell));
+        self.map
+            .entry(oid)
+            .or_default()
+            .uncommitted
+            .push((tid, cell));
         self.peak_len = self.peak_len.max(self.map.len());
     }
 
@@ -106,7 +110,9 @@ impl Lot {
     /// Removes an uncommitted cell (abort/kill of its transaction).
     /// Returns `true` if found; prunes empty entries.
     pub fn remove_uncommitted(&mut self, oid: Oid, tid: Tid, cell: CellIdx) -> bool {
-        let Some(entry) = self.map.get_mut(&oid) else { return false };
+        let Some(entry) = self.map.get_mut(&oid) else {
+            return false;
+        };
         let before = entry.uncommitted.len();
         entry.uncommitted.retain(|&(t, c)| !(t == tid && c == cell));
         let removed = entry.uncommitted.len() != before;
@@ -135,7 +141,9 @@ impl Lot {
 
     /// Is `cell` the committed-unflushed cell of `oid`?
     pub fn is_committed_cell(&self, oid: Oid, cell: CellIdx) -> bool {
-        self.map.get(&oid).is_some_and(|e| e.committed == Some(cell))
+        self.map
+            .get(&oid)
+            .is_some_and(|e| e.committed == Some(cell))
     }
 
     /// The committed-unflushed cell of `oid`, if any.

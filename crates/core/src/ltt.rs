@@ -83,7 +83,12 @@ impl Ltt {
     pub fn begin(&mut self, tid: Tid, tx_cell: CellIdx) {
         let prev = self.map.insert(
             tid,
-            LttEntry { tx_cell, oids: BTreeSet::new(), state: TxState::Active, home_gen: 0 },
+            LttEntry {
+                tx_cell,
+                oids: BTreeSet::new(),
+                state: TxState::Active,
+                home_gen: 0,
+            },
         );
         assert!(prev.is_none(), "duplicate BEGIN for {tid}");
         self.peak_len = self.peak_len.max(self.map.len());
@@ -104,7 +109,9 @@ impl Ltt {
     /// disposes its tx-record cell and removes the entry — done by the
     /// caller via [`Ltt::remove`]).
     pub fn remove_oid(&mut self, tid: Tid, oid: Oid) -> bool {
-        let Some(entry) = self.map.get_mut(&tid) else { return false };
+        let Some(entry) = self.map.get_mut(&tid) else {
+            return false;
+        };
         entry.oids.remove(&oid);
         entry.oids.is_empty() && entry.state == TxState::Committed
     }
@@ -185,7 +192,10 @@ mod tests {
         ltt.begin(Tid(1), 100);
         ltt.add_oid(Tid(1), Oid(5));
         ltt.get_mut(Tid(1)).unwrap().state = TxState::Committed;
-        assert!(ltt.remove_oid(Tid(1), Oid(5)), "committed + empty ⇒ finished");
+        assert!(
+            ltt.remove_oid(Tid(1), Oid(5)),
+            "committed + empty ⇒ finished"
+        );
         let entry = ltt.remove(Tid(1)).unwrap();
         assert_eq!(entry.tx_cell, 100);
         assert!(ltt.is_empty());
@@ -201,12 +211,22 @@ mod tests {
     fn state_transitions() {
         let mut ltt = Ltt::new();
         ltt.begin(Tid(1), 100);
-        ltt.get_mut(Tid(1)).unwrap().state =
-            TxState::Committing { commit_block: 7, requested_at: SimTime::from_secs(1) };
-        assert_eq!(ltt.in_progress(), 1, "committing still counts as in progress");
+        ltt.get_mut(Tid(1)).unwrap().state = TxState::Committing {
+            commit_block: 7,
+            requested_at: SimTime::from_secs(1),
+        };
+        assert_eq!(
+            ltt.in_progress(),
+            1,
+            "committing still counts as in progress"
+        );
         ltt.get_mut(Tid(1)).unwrap().state = TxState::Committed;
         assert_eq!(ltt.in_progress(), 0);
-        assert_eq!(ltt.len(), 1, "committed entry lingers for unflushed records");
+        assert_eq!(
+            ltt.len(),
+            1,
+            "committed entry lingers for unflushed records"
+        );
     }
 
     #[test]

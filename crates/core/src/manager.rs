@@ -22,14 +22,12 @@ use crate::lot::Lot;
 use crate::ltt::{Ltt, TxState};
 use crate::metrics::LmMetrics;
 use crate::types::{
-    ElConfig, Effects, LmStats, LmTimer, MemoryModel, EL_BYTES_PER_OBJECT, EL_BYTES_PER_TXN,
+    Effects, ElConfig, LmStats, LmTimer, MemoryModel, EL_BYTES_PER_OBJECT, EL_BYTES_PER_TXN,
     FW_BYTES_PER_TXN,
 };
 use elog_dbdisk::{FlushArray, Submitted};
 use elog_model::config::ConfigError;
-use elog_model::{
-    DataRecord, LogRecord, ObjectVersion, Oid, StableDb, Tid, TxMark, TxRecord,
-};
+use elog_model::{DataRecord, LogRecord, ObjectVersion, Oid, StableDb, Tid, TxMark, TxRecord};
 use elog_sim::{Histogram, MaxGauge, SimTime};
 use elog_storage::{Block, BlockRing, LogDevice};
 use std::collections::HashMap;
@@ -145,7 +143,10 @@ impl ElManager {
     /// # Panics
     /// Panics when `home_gen` is out of range.
     pub fn begin_in(&mut self, now: SimTime, tid: Tid, home_gen: usize) -> Effects {
-        assert!(home_gen < self.gens.len(), "generation {home_gen} out of range");
+        assert!(
+            home_gen < self.gens.len(),
+            "generation {home_gen} out of range"
+        );
         let mut fx = Effects::default();
         let record = LogRecord::Tx(TxRecord {
             tid,
@@ -205,7 +206,13 @@ impl ElManager {
                 return fx;
             }
         };
-        let record = LogRecord::Data(DataRecord { tid, oid, seq, ts: now, size });
+        let record = LogRecord::Data(DataRecord {
+            tid,
+            oid,
+            seq,
+            ts: now,
+            size,
+        });
         let cell = self.arena.alloc(record, home_gen as u8, 0);
         self.lot.insert_uncommitted(oid, tid, cell);
         self.ltt.add_oid(tid, oid);
@@ -250,9 +257,14 @@ impl ElManager {
             return fx;
         }
         let block = self.arena.get(cell).block;
-        self.ltt.get_mut(tid).expect("checked above").state =
-            TxState::Committing { commit_block: block, requested_at: now };
-        self.pending_commits.entry((home_gen, block)).or_default().push(tid);
+        self.ltt.get_mut(tid).expect("checked above").state = TxState::Committing {
+            commit_block: block,
+            requested_at: now,
+        };
+        self.pending_commits
+            .entry((home_gen, block))
+            .or_default()
+            .push(tid);
         fx
     }
 
@@ -342,7 +354,16 @@ impl ElManager {
             let LogRecord::Data(d) = rec else {
                 unreachable!("promoted cell must be a data record")
             };
-            self.submit_flush(now, oid, ObjectVersion { tid, seq: d.seq, ts: d.ts }, fx);
+            self.submit_flush(
+                now,
+                oid,
+                ObjectVersion {
+                    tid,
+                    seq: d.seq,
+                    ts: d.ts,
+                },
+                fx,
+            );
         }
         self.stats.acks += 1;
         fx.acks.push(tid);

@@ -55,12 +55,12 @@ impl LmMetrics {
         let elapsed = now.saturating_sub(lm.started_at);
         let n = lm.gens.len();
         let per_gen_blocks: Vec<u64> = lm.gens.iter().map(|g| g.ring.capacity()).collect();
-        let per_gen_writes: Vec<u64> =
-            (0..n).map(|g| lm.device.stats(g).writes.get()).collect();
+        let per_gen_writes: Vec<u64> = (0..n).map(|g| lm.device.stats(g).writes.get()).collect();
         let per_gen_write_rate: Vec<f64> =
             (0..n).map(|g| lm.device.write_rate(g, elapsed)).collect();
-        let per_gen_fill: Vec<Option<f64>> =
-            (0..n).map(|g| lm.device.mean_fill(g, lm.cfg.log.block_payload)).collect();
+        let per_gen_fill: Vec<Option<f64>> = (0..n)
+            .map(|g| lm.device.mean_fill(g, lm.cfg.log.block_payload))
+            .collect();
         LmMetrics {
             elapsed,
             total_blocks: per_gen_blocks.iter().sum(),

@@ -2,7 +2,7 @@
 //! miniature event loop.
 #![allow(clippy::explicit_counter_loop)] // tids advance with bursts by design
 
-use elog_core::{ElConfig, ElManager, Effects, LmTimer, MemoryModel};
+use elog_core::{Effects, ElConfig, ElManager, LmTimer, MemoryModel};
 use elog_model::config::UnflushedAtHead;
 use elog_model::{FlushConfig, LogConfig, Oid, Tid};
 use elog_sim::{EventQueue, SimTime};
@@ -24,7 +24,13 @@ struct Host {
 
 impl Host {
     fn new(lm: ElManager) -> Self {
-        Host { lm, q: EventQueue::new(), acks: Vec::new(), kills: Vec::new(), now: SimTime::ZERO }
+        Host {
+            lm,
+            q: EventQueue::new(),
+            acks: Vec::new(),
+            kills: Vec::new(),
+            now: SimTime::ZERO,
+        }
     }
 
     fn apply(&mut self, fx: Effects) {
@@ -222,7 +228,10 @@ fn no_recirc_last_generation_kills_long_transaction() {
 
     pump_short_txns(&mut h, 150, 3, 0); // 1.5 s of traffic; 999 never commits
     h.drain(t(2000));
-    assert!(h.kills.contains(&Tid(999)), "long txn must die in a 6-block log");
+    assert!(
+        h.kills.contains(&Tid(999)),
+        "long txn must die in a 6-block log"
+    );
     assert!(h.lm.stats().kills >= 1);
     h.lm.check_invariants();
 }
@@ -234,8 +243,15 @@ fn recirculation_saves_the_long_transaction() {
     // survives by recirculating. A mildly loaded flush array (333/s
     // capacity against 300 updates/s) keeps some committed-unflushed
     // records transiting generation 1, which is what makes its head move.
-    let log = LogConfig { generation_blocks: vec![4, 8], recirculation: true, ..LogConfig::default() };
-    let flush = FlushConfig { drives: 10, transfer_time: SimTime::from_millis(30) };
+    let log = LogConfig {
+        generation_blocks: vec![4, 8],
+        recirculation: true,
+        ..LogConfig::default()
+    };
+    let flush = FlushConfig {
+        drives: 10,
+        transfer_time: SimTime::from_millis(30),
+    };
     let mut h = Host::new(ElManager::ephemeral(log, flush));
     h.begin(t(0), 999);
     h.write(t(1), 999, 5, 1, 100);
@@ -243,9 +259,15 @@ fn recirculation_saves_the_long_transaction() {
     pump_short_txns(&mut h, 150, 3, 0);
     h.commit(t(1600), 999);
     h.drain(t(1601));
-    assert!(!h.kills.contains(&Tid(999)), "recirculation must keep it alive");
+    assert!(
+        !h.kills.contains(&Tid(999)),
+        "recirculation must keep it alive"
+    );
     assert!(h.acks.contains(&Tid(999)));
-    assert!(h.lm.stats().recirculated_records > 0, "gen1 wrapped, so it recirculated");
+    assert!(
+        h.lm.stats().recirculated_records > 0,
+        "gen1 wrapped, so it recirculated"
+    );
     h.lm.check_invariants();
 }
 
@@ -315,8 +337,14 @@ fn abort_cleans_everything() {
 fn supersession_makes_old_committed_update_garbage() {
     // Txn 1 commits an update of oid 42, then txn 2 overwrites it before
     // the flush completes — provoked by a flush array with one slow drive.
-    let log = LogConfig { generation_blocks: vec![8, 8], ..LogConfig::default() };
-    let flush = FlushConfig { drives: 1, transfer_time: SimTime::from_millis(500) };
+    let log = LogConfig {
+        generation_blocks: vec![8, 8],
+        ..LogConfig::default()
+    };
+    let flush = FlushConfig {
+        drives: 1,
+        transfer_time: SimTime::from_millis(500),
+    };
     let mut h = Host::new(ElManager::ephemeral(log, flush));
 
     h.begin(t(0), 1);
@@ -332,7 +360,11 @@ fn supersession_makes_old_committed_update_garbage() {
 
     assert_eq!(h.acks, vec![Tid(1), Tid(2)]);
     let v = h.lm.stable_db().version(Oid(42)).unwrap();
-    assert_eq!(v.tid, Tid(2), "newest committed version wins in the stable DB");
+    assert_eq!(
+        v.tid,
+        Tid(2),
+        "newest committed version wins in the stable DB"
+    );
     assert_eq!(h.lm.ltt_len(), 0);
     assert_eq!(h.lm.lot_len(), 0);
     let _ = end;
@@ -342,7 +374,10 @@ fn supersession_makes_old_committed_update_garbage() {
 #[test]
 fn memory_models_price_differently() {
     let flush = FlushConfig::default();
-    let log = LogConfig { generation_blocks: vec![8, 8], ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: vec![8, 8],
+        ..LogConfig::default()
+    };
 
     let mut el = Host::new(ElManager::ephemeral(log, flush.clone()));
     let mut fw = Host::new(ElManager::firewall(16, flush));
@@ -366,7 +401,10 @@ fn force_flush_policy_expedites() {
     };
     // Slow single drive so committed updates are still unflushed when
     // gen0's head reaches them.
-    let flush = FlushConfig { drives: 1, transfer_time: SimTime::from_millis(2000) };
+    let flush = FlushConfig {
+        drives: 1,
+        transfer_time: SimTime::from_millis(2000),
+    };
     let mut h = Host::new(ElManager::ephemeral(log, flush));
 
     let mut tid = 0;
@@ -380,7 +418,10 @@ fn force_flush_policy_expedites() {
         tid += 1;
     }
     h.drain(t(10_000));
-    assert!(h.lm.stats().forced_flushes > 0, "policy must expedite head arrivals");
+    assert!(
+        h.lm.stats().forced_flushes > 0,
+        "policy must expedite head arrivals"
+    );
     h.lm.check_invariants();
 }
 
@@ -415,7 +456,10 @@ fn log_surface_contains_committed_records() {
 
 #[test]
 fn group_commit_timeout_bounds_latency() {
-    let log = LogConfig { generation_blocks: vec![8, 8], ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: vec![8, 8],
+        ..LogConfig::default()
+    };
     let mut cfg = ElConfig::ephemeral(log, FlushConfig::default());
     cfg.group_commit_timeout = Some(SimTime::from_millis(20));
     let mut h = Host::new(ElManager::new(cfg).unwrap());
@@ -461,7 +505,10 @@ fn commit_of_update_free_transaction() {
 
 #[test]
 fn memory_model_flag_is_respected() {
-    let log = LogConfig { generation_blocks: vec![8], ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: vec![8],
+        ..LogConfig::default()
+    };
     let mut cfg = ElConfig::ephemeral(log, FlushConfig::default());
     cfg.memory_model = MemoryModel::Firewall;
     let lm = ElManager::new(cfg).unwrap();
@@ -470,9 +517,15 @@ fn memory_model_flag_is_respected() {
 
 #[test]
 fn invalid_configs_rejected() {
-    let log = LogConfig { generation_blocks: vec![], ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: vec![],
+        ..LogConfig::default()
+    };
     assert!(ElManager::new(ElConfig::ephemeral(log, FlushConfig::default())).is_err());
 
-    let log = LogConfig { generation_blocks: vec![2], ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: vec![2],
+        ..LogConfig::default()
+    };
     assert!(ElManager::new(ElConfig::ephemeral(log, FlushConfig::default())).is_err());
 }

@@ -11,7 +11,11 @@ fn t(ms: u64) -> SimTime {
 }
 
 fn el(blocks: Vec<u32>, recirc: bool) -> ElManager {
-    let log = LogConfig { generation_blocks: blocks, recirculation: recirc, ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: blocks,
+        recirculation: recirc,
+        ..LogConfig::default()
+    };
     ElManager::ephemeral(log, FlushConfig::default())
 }
 
@@ -56,7 +60,10 @@ fn hinted_commit_is_acknowledged_from_a_deep_generation() {
 fn picker_uses_observed_wrap_times() {
     let mut h = SimpleHost::new(el(vec![4, 32], false));
     // Before any traffic the picker defaults to generation 0.
-    assert_eq!(h.lm.pick_generation_for(SimTime::ZERO, SimTime::from_secs(10)), 0);
+    assert_eq!(
+        h.lm.pick_generation_for(SimTime::ZERO, SimTime::from_secs(10)),
+        0
+    );
 
     // Push ~2 s of traffic through generation 0 so its wrap time becomes
     // observable (~4 blocks at ~1 block/63 ms of 316 B/10 ms traffic).

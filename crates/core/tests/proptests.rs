@@ -1,7 +1,7 @@
 //! Property-based tests of the core data structures and the manager.
 
-use elog_core::{ElManager, Effects, LmTimer};
 use elog_core::cell::{CellArena, CellIdx, NIL};
+use elog_core::{Effects, ElManager, LmTimer};
 use elog_model::{DataRecord, FlushConfig, LogConfig, LogRecord, Oid, Tid};
 use elog_sim::{EventQueue, SimTime};
 use proptest::prelude::*;

@@ -141,11 +141,7 @@ impl Drive {
     /// work is pending. Returns `Some(seek_distance)` on start — `None`
     /// inside means "first ever service, no origin". Returns `None` when
     /// nothing starts.
-    pub fn start_nearest(
-        &mut self,
-        now: SimTime,
-        _transfer: SimTime,
-    ) -> Option<Option<u64>> {
+    pub fn start_nearest(&mut self, now: SimTime, _transfer: SimTime) -> Option<Option<u64>> {
         if self.is_busy() {
             return None;
         }
@@ -196,7 +192,11 @@ mod tests {
     use elog_model::Tid;
 
     fn ver(n: u64) -> ObjectVersion {
-        ObjectVersion { tid: Tid(n), seq: 1, ts: SimTime::from_micros(n) }
+        ObjectVersion {
+            tid: Tid(n),
+            seq: 1,
+            ts: SimTime::from_micros(n),
+        }
     }
 
     #[test]
@@ -204,10 +204,14 @@ mod tests {
         let mut d = Drive::new(0, 0, 100);
         d.enqueue(Oid(10), ver(1), false);
         assert!(!d.is_busy());
-        let dist = d.start_nearest(SimTime::ZERO, SimTime::from_millis(25)).unwrap();
+        let dist = d
+            .start_nearest(SimTime::ZERO, SimTime::from_millis(25))
+            .unwrap();
         assert_eq!(dist, None, "first service has no seek origin");
         assert!(d.is_busy());
-        assert!(d.start_nearest(SimTime::ZERO, SimTime::from_millis(25)).is_none());
+        assert!(d
+            .start_nearest(SimTime::ZERO, SimTime::from_millis(25))
+            .is_none());
         let (oid, _) = d.finish_service(SimTime::from_millis(25));
         assert_eq!(oid, Oid(10));
         assert_eq!(d.stats().busy, SimTime::from_millis(25));

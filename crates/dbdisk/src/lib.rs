@@ -73,12 +73,19 @@ impl FlushArray {
     /// drive.
     pub fn new(cfg: &FlushConfig, num_objects: u64) -> Self {
         let d = u64::from(cfg.drives);
-        assert!(d > 0 && num_objects >= d, "need at least one object per drive");
+        assert!(
+            d > 0 && num_objects >= d,
+            "need at least one object per drive"
+        );
         let per = num_objects / d;
         let drives = (0..cfg.drives as usize)
             .map(|i| {
                 let lo = per * i as u64;
-                let hi = if i as u64 == d - 1 { num_objects } else { lo + per };
+                let hi = if i as u64 == d - 1 {
+                    num_objects
+                } else {
+                    lo + per
+                };
                 Drive::new(i, lo, hi)
             })
             .collect();
@@ -109,7 +116,10 @@ impl FlushArray {
         let di = self.drive_for(oid);
         let drive = &mut self.drives[di];
         if let Some(superseded) = drive.replace_pending(oid, version) {
-            return Submitted::Replaced { drive: di, superseded };
+            return Submitted::Replaced {
+                drive: di,
+                superseded,
+            };
         }
         drive.enqueue(oid, version, false);
         if drive.is_busy() {
@@ -191,7 +201,11 @@ impl FlushArray {
         if span == 0.0 {
             return 0.0;
         }
-        let busy: f64 = self.drives.iter().map(|d| d.stats().busy.as_secs_f64()).sum();
+        let busy: f64 = self
+            .drives
+            .iter()
+            .map(|d| d.stats().busy.as_secs_f64())
+            .sum();
         busy / span
     }
 }
@@ -202,11 +216,18 @@ mod tests {
     use elog_model::Tid;
 
     fn cfg(drives: u32, ms: u64) -> FlushConfig {
-        FlushConfig { drives, transfer_time: SimTime::from_millis(ms) }
+        FlushConfig {
+            drives,
+            transfer_time: SimTime::from_millis(ms),
+        }
     }
 
     fn ver(ms: u64) -> ObjectVersion {
-        ObjectVersion { tid: Tid(1), seq: 1, ts: SimTime::from_millis(ms) }
+        ObjectVersion {
+            tid: Tid(1),
+            seq: 1,
+            ts: SimTime::from_millis(ms),
+        }
     }
 
     #[test]
@@ -232,7 +253,13 @@ mod tests {
     fn idle_drive_starts_immediately() {
         let mut a = FlushArray::new(&cfg(2, 25), 100);
         let s = a.submit(SimTime::ZERO, Oid(10), ver(1));
-        assert_eq!(s, Submitted::Started { drive: 0, done_at: SimTime::from_millis(25) });
+        assert_eq!(
+            s,
+            Submitted::Started {
+                drive: 0,
+                done_at: SimTime::from_millis(25)
+            }
+        );
         // Second request on the same drive queues.
         let s2 = a.submit(SimTime::from_millis(1), Oid(20), ver(2));
         assert_eq!(s2, Submitted::Queued { drive: 0 });
@@ -267,7 +294,7 @@ mod tests {
         a.submit(SimTime::ZERO, Oid(40), ver(2));
         a.submit(SimTime::ZERO, Oid(5), ver(3));
         a.complete(SimTime::from_millis(10), 0); // served 95
-        // From 95: wrap distance to 5 is 10, to 40 is 45 → 5 first.
+                                                 // From 95: wrap distance to 5 is 10, to 40 is 45 → 5 first.
         let ((oid, _), _) = a.complete(SimTime::from_millis(20), 0);
         assert_eq!(oid, Oid(5));
     }

@@ -23,7 +23,10 @@ impl NearestOid {
     /// Creates an empty set over a cyclic range of `range` offsets.
     pub fn new(range: u64) -> Self {
         assert!(range > 0);
-        NearestOid { map: BTreeMap::new(), range }
+        NearestOid {
+            map: BTreeMap::new(),
+            range,
+        }
     }
 
     /// Number of pending entries.
@@ -38,7 +41,12 @@ impl NearestOid {
 
     /// Inserts (or replaces) the pending version for a local offset.
     /// Returns the previous version when replacing.
-    pub fn insert(&mut self, local: u64, oid: Oid, version: ObjectVersion) -> Option<ObjectVersion> {
+    pub fn insert(
+        &mut self,
+        local: u64,
+        oid: Oid,
+        version: ObjectVersion,
+    ) -> Option<ObjectVersion> {
         debug_assert!(local < self.range);
         self.map.insert(local, (oid, version)).map(|(_, v)| v)
     }
@@ -59,7 +67,10 @@ impl NearestOid {
     ///
     /// With `pos = None` (drive has not served anything yet) the lowest
     /// offset is taken and no distance is reported.
-    pub fn take_nearest(&mut self, pos: Option<u64>) -> Option<(u64, Oid, ObjectVersion, Option<u64>)> {
+    pub fn take_nearest(
+        &mut self,
+        pos: Option<u64>,
+    ) -> Option<(u64, Oid, ObjectVersion, Option<u64>)> {
         let pos = match pos {
             None => {
                 let (&k, _) = self.map.iter().next()?;
@@ -88,9 +99,7 @@ impl NearestOid {
             let d = dist(k);
             let better = match best {
                 None => true,
-                Some((bk, bd)) => {
-                    d < bd || (d == bd && k >= pos && bk < pos)
-                }
+                Some((bk, bd)) => d < bd || (d == bd && k >= pos && bk < pos),
             };
             if better {
                 best = Some((k, d));
@@ -109,7 +118,11 @@ mod tests {
     use elog_sim::SimTime;
 
     fn ver(n: u64) -> ObjectVersion {
-        ObjectVersion { tid: Tid(n), seq: 1, ts: SimTime::from_micros(n) }
+        ObjectVersion {
+            tid: Tid(n),
+            seq: 1,
+            ts: SimTime::from_micros(n),
+        }
     }
 
     fn set(range: u64, keys: &[u64]) -> NearestOid {

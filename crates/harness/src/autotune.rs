@@ -68,8 +68,7 @@ pub fn observe(base: &RunConfig, explore_secs: u64) -> Observation {
         gen0_blocks_per_sec: model.lm.log_device().write_rate(0, elapsed),
         bulk_age_ms: hist.quantile(0.90).unwrap_or(1_000.0),
         max_age_ms: hist.max().unwrap_or(10_000.0),
-        forwarded_bytes_per_sec: model.lm.stats().forwarded_bytes as f64
-            / elapsed.as_secs_f64(),
+        forwarded_bytes_per_sec: model.lm.stats().forwarded_bytes as f64 / elapsed.as_secs_f64(),
     }
 }
 
@@ -167,7 +166,11 @@ mod tests {
         );
         // Short transactions die ~1.1 s after their records are written;
         // long ones live up to 10 s.
-        assert!(obs.bulk_age_ms > 300.0 && obs.bulk_age_ms < 3_000.0, "bulk {}", obs.bulk_age_ms);
+        assert!(
+            obs.bulk_age_ms > 300.0 && obs.bulk_age_ms < 3_000.0,
+            "bulk {}",
+            obs.bulk_age_ms
+        );
         assert!(obs.max_age_ms > 7_000.0, "max {}", obs.max_age_ms);
     }
 

@@ -14,10 +14,12 @@
 //!   --flush-ms T            flush transfer time, ms (default 25)
 //!   --seed N                random seed (default 0x5EED1993)
 //!   --min-space             search the minimum geometry instead of running
+//!   --jobs N                worker threads for --min-space probes
+//!                           (default: the machine's parallelism)
 //! ```
 
 use elog_core::{ElConfig, MemoryModel};
-use elog_harness::minspace::{el_min_space, fw_min_space};
+use elog_harness::minspace::{el_min_space_jobs, fw_min_space};
 use elog_harness::runner::{run, RunConfig};
 use elog_model::{FlushConfig, LogConfig};
 use elog_sim::SimTime;
@@ -36,6 +38,7 @@ struct Args {
     flush_ms: u64,
     seed: u64,
     min_space: bool,
+    jobs: usize,
 }
 
 impl Default for Args {
@@ -52,6 +55,7 @@ impl Default for Args {
             flush_ms: 25,
             seed: 0x5EED_1993,
             min_space: false,
+            jobs: elog_harness::sweep::default_jobs(),
         }
     }
 }
@@ -81,17 +85,41 @@ fn parse() -> Args {
             }
             "--fw-blocks" => {
                 a.mode_fw = true;
-                a.gens = vec![next(&mut it, "--fw-blocks").parse().unwrap_or_else(|_| usage())];
+                a.gens = vec![next(&mut it, "--fw-blocks")
+                    .parse()
+                    .unwrap_or_else(|_| usage())];
             }
             "--recirc" => a.recirc = true,
-            "--frac-long" => a.frac_long = next(&mut it, "--frac-long").parse().unwrap_or_else(|_| usage()),
+            "--frac-long" => {
+                a.frac_long = next(&mut it, "--frac-long")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--tps" => a.tps = next(&mut it, "--tps").parse().unwrap_or_else(|_| usage()),
             "--poisson" => a.poisson = true,
-            "--runtime" => a.runtime = next(&mut it, "--runtime").parse().unwrap_or_else(|_| usage()),
-            "--drives" => a.drives = next(&mut it, "--drives").parse().unwrap_or_else(|_| usage()),
-            "--flush-ms" => a.flush_ms = next(&mut it, "--flush-ms").parse().unwrap_or_else(|_| usage()),
+            "--runtime" => {
+                a.runtime = next(&mut it, "--runtime")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--drives" => {
+                a.drives = next(&mut it, "--drives")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--flush-ms" => {
+                a.flush_ms = next(&mut it, "--flush-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
             "--seed" => a.seed = next(&mut it, "--seed").parse().unwrap_or_else(|_| usage()),
             "--min-space" => a.min_space = true,
+            "--jobs" => {
+                a.jobs = next(&mut it, "--jobs").parse().unwrap_or_else(|_| usage());
+                if a.jobs == 0 {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -132,9 +160,12 @@ fn main() {
     if a.min_space {
         if a.mode_fw || a.gens.len() == 1 {
             let r = fw_min_space(&cfg, 4096);
-            println!("minimum FW log: {} blocks ({} probes)", r.total_blocks, r.probes);
+            println!(
+                "minimum FW log: {} blocks ({} probes)",
+                r.total_blocks, r.probes
+            );
         } else {
-            let r = el_min_space(&cfg, 48, 1024);
+            let r = el_min_space_jobs(&cfg, 48, 1024, a.jobs);
             println!(
                 "minimum EL log: {:?} = {} blocks ({} probes)",
                 r.generation_blocks, r.total_blocks, r.probes
@@ -146,19 +177,50 @@ fn main() {
     let r = run(&cfg);
     let m = &r.metrics;
     println!("== elsim run ==");
-    println!("geometry            : {:?} blocks (recirc {})", m.per_gen_blocks, a.recirc);
-    println!("transactions        : {} started, {} committed, {} killed", r.started, r.committed, r.killed);
-    println!("log bandwidth       : {:.2} block writes/s (per gen {:?})", m.log_write_rate, m.per_gen_write_rate);
+    println!(
+        "geometry            : {:?} blocks (recirc {})",
+        m.per_gen_blocks, a.recirc
+    );
+    println!(
+        "transactions        : {} started, {} committed, {} killed",
+        r.started, r.committed, r.killed
+    );
+    println!(
+        "log bandwidth       : {:.2} block writes/s (per gen {:?})",
+        m.log_write_rate, m.per_gen_write_rate
+    );
     println!(
         "block fill          : {:?}",
-        m.per_gen_fill.iter().map(|f| f.map(|v| (v * 100.0).round() / 100.0)).collect::<Vec<_>>()
+        m.per_gen_fill
+            .iter()
+            .map(|f| f.map(|v| (v * 100.0).round() / 100.0))
+            .collect::<Vec<_>>()
     );
-    println!("peak memory         : {} B (LTT peak {}, LOT peak {})", m.peak_memory_bytes, m.ltt_peak, m.lot_peak);
-    println!("forwarded           : {} records ({} B)", m.stats.forwarded_records, m.stats.forwarded_bytes);
-    println!("recirculated        : {} records ({} B)", m.stats.recirculated_records, m.stats.recirculated_bytes);
-    println!("flushes             : {} (mean oid distance {:?})", m.flushes, m.mean_seek_distance.map(|d| d.round()));
-    println!("flush utilisation   : {:.1}% (backlog {})", m.flush_utilisation * 100.0, m.flush_backlog);
+    println!(
+        "peak memory         : {} B (LTT peak {}, LOT peak {})",
+        m.peak_memory_bytes, m.ltt_peak, m.lot_peak
+    );
+    println!(
+        "forwarded           : {} records ({} B)",
+        m.stats.forwarded_records, m.stats.forwarded_bytes
+    );
+    println!(
+        "recirculated        : {} records ({} B)",
+        m.stats.recirculated_records, m.stats.recirculated_bytes
+    );
+    println!(
+        "flushes             : {} (mean oid distance {:?})",
+        m.flushes,
+        m.mean_seek_distance.map(|d| d.round())
+    );
+    println!(
+        "flush utilisation   : {:.1}% (backlog {})",
+        m.flush_utilisation * 100.0,
+        m.flush_backlog
+    );
     println!("p50 commit latency  : {:?} ms", r.mean_commit_latency_ms);
-    println!("anomalies           : {} unsafe drops, {} durability violations, {} stalls",
-        m.stats.unsafe_drops, m.stats.durability_violations, m.stats.buffer_stalls);
+    println!(
+        "anomalies           : {} unsafe drops, {} durability violations, {} stalls",
+        m.stats.unsafe_drops, m.stats.durability_violations, m.stats.buffer_stalls
+    );
 }

@@ -1,28 +1,67 @@
 //! Reproduces every figure and numbered result of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--csv DIR]
+//! repro [--quick] [--jobs N] [--only NAME] [--csv DIR] [--progress]
 //! ```
 //!
 //! `--quick` shrinks runtimes and sweeps for a fast smoke pass; the default
 //! runs the full 500-second, all-mix configuration (several minutes).
-//! `--csv DIR` additionally writes each table as a CSV file.
+//! `--jobs N` sets the sweep executor's worker count (default: the
+//! machine's parallelism); stdout is byte-identical for every value.
+//! `--only NAME` keeps only experiments whose name contains NAME
+//! (case-insensitive), e.g. `--only recovery`. `--csv DIR` additionally
+//! writes each table as a CSV file. `--progress` reports per-scenario
+//! completion on stderr.
+//!
+//! Every experiment is a [`elog_harness::sweep::Experiment`]; this binary
+//! just flattens the registry's scenarios through one executor pool and
+//! prints each experiment's tables in registry order.
 
-use elog_harness::experiments::{ablations, fig4_6, fig7, hybrid, rates, recovery_time, scarce};
+use elog_harness::experiments::registry;
 use elog_harness::report::Table;
+use elog_harness::sweep::{run_experiments, ExecOptions};
 use std::io::Write as _;
 
 struct Options {
     quick: bool,
+    only: Option<String>,
     csv_dir: Option<std::path::PathBuf>,
+    exec: ExecOptions,
 }
 
 fn parse_args() -> Options {
-    let mut opts = Options { quick: false, csv_dir: None };
+    let mut opts = Options {
+        quick: false,
+        only: None,
+        csv_dir: None,
+        exec: ExecOptions::default(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--progress" => opts.exec.progress = true,
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+                if n == 0 {
+                    eprintln!("--jobs requires a positive integer");
+                    std::process::exit(2);
+                }
+                opts.exec.jobs = n;
+            }
+            "--only" => {
+                let name = args.next().unwrap_or_else(|| {
+                    eprintln!("--only requires an experiment name fragment");
+                    std::process::exit(2);
+                });
+                opts.only = Some(name.to_lowercase());
+            }
             "--csv" => {
                 let dir = args.next().unwrap_or_else(|| {
                     eprintln!("--csv requires a directory");
@@ -31,7 +70,9 @@ fn parse_args() -> Options {
                 opts.csv_dir = Some(dir.into());
             }
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--csv DIR]");
+                println!(
+                    "usage: repro [--quick] [--jobs N] [--only NAME] [--csv DIR] [--progress]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -62,80 +103,36 @@ fn main() {
         if opts.quick { " [quick mode]" } else { "" }
     );
 
-    // ---- §4 prose: update rates -------------------------------------
-    let rate_points = rates::run_experiment(if opts.quick { 30 } else { 120 });
-    emit(&opts, "rates", &rates::table(&rate_points));
-
-    // ---- Figures 4, 5, 6 ---------------------------------------------
-    let f46_cfg = if opts.quick { fig4_6::Config::quick() } else { fig4_6::Config::paper() };
-    eprintln!("[{:?}] running figure 4/5/6 sweep ({} mixes)...", t0.elapsed(), f46_cfg.mixes.len());
-    let f46 = fig4_6::run_experiment(&f46_cfg);
-    emit(&opts, "fig4_space", &f46.fig4_table());
-    emit(&opts, "fig5_bandwidth", &f46.fig5_table());
-    emit(&opts, "fig6_memory", &f46.fig6_table());
-
-    // The 5% EL minimum seeds Figure 7 and the recovery study.
-    let five = f46
-        .points
-        .iter()
-        .min_by(|a, b| a.frac_long.total_cmp(&b.frac_long))
-        .expect("at least one mix");
-    let g0 = five.el.min.generation_blocks[0];
-    let g1 = five.el.min.generation_blocks[1];
-    let fw_blocks = five.fw.min.total_blocks;
-
-    // ---- Figure 7 -----------------------------------------------------
-    eprintln!("[{:?}] running figure 7 sweep (g0 = {g0})...", t0.elapsed());
-    let f7_cfg = if opts.quick {
-        fig7::Config::quick()
-    } else {
-        fig7::Config::paper(g0, g1)
-    };
-    let f7 = fig7::run_experiment(&f7_cfg);
-    emit(&opts, "fig7_recirc", &f7.table());
-    println!(
-        "EL with recirculation: minimum {} + {} = {} blocks vs FW {} => {:.1}x reduction\n",
-        f7.g0,
-        f7.min_g1,
-        f7.g0 + f7.min_g1,
-        fw_blocks,
-        f64::from(fw_blocks) / f64::from(f7.g0 + f7.min_g1),
-    );
-
-    // ---- §4 scarce flush bandwidth ------------------------------------
-    eprintln!("[{:?}] running scarce-flush study...", t0.elapsed());
-    let scarce_cfg = if opts.quick { scarce::Config::quick() } else { scarce::Config::paper() };
-    let sc = scarce::run_experiment(&scarce_cfg);
-    emit(&opts, "scarce_flush", &sc.table());
-    if let Some(gain) = sc.locality_gain() {
-        println!("locality gain under scarcity (distance ratio 25 ms / 45 ms): {gain:.2}x\n");
+    let mut experiments = registry();
+    if let Some(only) = &opts.only {
+        experiments.retain(|e| e.name().to_lowercase().contains(only));
+        if experiments.is_empty() {
+            eprintln!("--only {only:?} matches no experiment; registry:");
+            for e in registry() {
+                eprintln!("  {}", e.name());
+            }
+            std::process::exit(2);
+        }
     }
-
-    // ---- Recovery -----------------------------------------------------
-    eprintln!("[{:?}] running recovery study...", t0.elapsed());
-    let rec = recovery_time::run_experiment(
-        fw_blocks,
-        &[g0, f7.min_g1],
-        0.05,
-        if opts.quick { 20 } else { 120 },
+    eprintln!(
+        "[{:?}] running {} experiments on {} worker(s)...",
+        t0.elapsed(),
+        experiments.len(),
+        opts.exec.jobs
     );
-    emit(&opts, "recovery", &recovery_time::table(&rec));
+    let reports = run_experiments(&experiments, opts.quick, &opts.exec);
 
-    // ---- Ablations -----------------------------------------------------
-    eprintln!("[{:?}] running ablations...", t0.elapsed());
-    let ab_cfg = if opts.quick {
-        ablations::Config::quick()
-    } else {
-        ablations::Config { geometry: vec![g0, g1], ..ablations::Config::paper() }
-    };
-    let ab = ablations::run_experiment(&ab_cfg);
-    emit(&opts, "ablations", &ablations::table(&ab));
-
-    // ---- §6 hybrid study ------------------------------------------------
-    eprintln!("[{:?}] running hybrid study...", t0.elapsed());
-    let hy_cfg = if opts.quick { hybrid::Config::quick() } else { hybrid::Config::paper() };
-    let hy = hybrid::run_experiment(&hy_cfg);
-    emit(&opts, "hybrid", &hy.table(&hy_cfg));
+    for report in &reports {
+        for (slug, table) in &report.tables {
+            emit(&opts, slug, table);
+        }
+        for note in &report.notes {
+            println!("{note}");
+        }
+        if !report.notes.is_empty() {
+            println!();
+        }
+    }
 
     eprintln!("done in {:?}", t0.elapsed());
 }

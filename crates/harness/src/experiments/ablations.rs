@@ -15,11 +15,11 @@
 //! * **unflushed-at-head policy** (§2.2) — forward (paper) vs force-flush.
 
 use crate::report::{f, Table};
-use crate::runner::{run, RunConfig, RunResult};
+use crate::runner::{RunConfig, RunResult};
+use crate::sweep::{failure_notes, Experiment, Job, RunOutcome, Scenario};
 use elog_core::ElConfig;
 use elog_model::config::UnflushedAtHead;
 use elog_model::{FlushConfig, LogConfig};
-use elog_sim::SimTime;
 use elog_workload::ArrivalProcess;
 
 /// One ablation row.
@@ -43,14 +43,22 @@ pub struct Config {
 }
 
 impl Config {
-    /// Paper-scale ablations.
+    /// Paper-scale ablations at the published minimum geometry.
     pub fn paper() -> Self {
-        Config { frac_long: 0.05, runtime_secs: 500, geometry: vec![18, 16] }
+        Config {
+            frac_long: 0.05,
+            runtime_secs: 500,
+            geometry: vec![18, 16],
+        }
     }
 
     /// Quick ablations for tests.
     pub fn quick() -> Self {
-        Config { frac_long: 0.05, runtime_secs: 40, geometry: vec![14, 12] }
+        Config {
+            frac_long: 0.05,
+            runtime_secs: 40,
+            geometry: vec![14, 12],
+        }
     }
 }
 
@@ -60,74 +68,95 @@ fn base(cfg: &Config) -> RunConfig {
         recirculation: true,
         ..LogConfig::default()
     };
-    let mut rc = RunConfig::paper(cfg.frac_long, ElConfig::ephemeral(log, FlushConfig::default()));
-    rc.runtime = SimTime::from_secs(cfg.runtime_secs);
-    rc
+    RunConfig::paper(
+        cfg.frac_long,
+        ElConfig::ephemeral(log, FlushConfig::default()),
+    )
+    .runtime_secs(cfg.runtime_secs)
 }
 
-fn point(label: &str, rc: &RunConfig) -> AblationPoint {
-    AblationPoint { label: label.to_string(), measured: run(rc) }
-}
-
-/// Runs all ablations.
-pub fn run_experiment(cfg: &Config) -> Vec<AblationPoint> {
-    let mut out = Vec::new();
+/// One `Measure` scenario per design variant. Every variant shares seed
+/// index 0: an ablation is a controlled comparison against the baseline
+/// under one workload.
+pub fn scenarios_for(cfg: &Config) -> Vec<Scenario> {
     let b = base(cfg);
+    let mut out = Vec::new();
+    let mut push = |label: &str, rc: RunConfig| {
+        out.push(Scenario::new(
+            format!("ablation: {label}"),
+            label,
+            0,
+            Job::Measure(rc),
+        ));
+    };
 
-    out.push(point("baseline (paper defaults)", &b));
+    push("baseline (paper defaults)", b.clone());
 
     let mut v = b.clone();
     v.el.log.gather_to_fill = false;
-    out.push(point("gathering off", &v));
+    push("gathering off", v);
 
     for k in [1u32, 3] {
         let mut v = b.clone();
         v.el.log.gap_blocks = k;
-        out.push(point(&format!("gap k={k}"), &v));
+        push(&format!("gap k={k}"), v);
     }
 
     for buffers in [2u32, 8] {
         let mut v = b.clone();
         v.el.log.buffers_per_generation = buffers;
-        out.push(point(&format!("{buffers} buffers/gen"), &v));
+        push(&format!("{buffers} buffers/gen"), v);
     }
 
-    let mut v = b.clone();
-    v.arrivals = ArrivalProcess::Poisson { rate_tps: 100.0 };
-    out.push(point("Poisson arrivals", &v));
+    push(
+        "Poisson arrivals",
+        b.clone()
+            .with_arrivals(ArrivalProcess::Poisson { rate_tps: 100.0 }),
+    );
 
     // The paper's "Markov arrivals" future-work pointer: bursts alternate
     // between half and 1.5x the nominal rate.
-    let mut v = b.clone();
-    v.arrivals = ArrivalProcess::MarkovBursty {
-        base_tps: 50.0,
-        burst_tps: 150.0,
-        mean_dwell_s: 1.0,
-        in_burst: false,
-    };
-    out.push(point("bursty (MMPP 50/150) arrivals", &v));
+    push(
+        "bursty (MMPP 50/150) arrivals",
+        b.clone().with_arrivals(ArrivalProcess::MarkovBursty {
+            base_tps: 50.0,
+            burst_tps: 150.0,
+            mean_dwell_s: 1.0,
+            in_burst: false,
+        }),
+    );
 
     // Generation-count sweep at (approximately) constant total space.
     let total: u32 = cfg.geometry.iter().sum();
-    let mut v = b.clone();
-    v.el.log.generation_blocks = vec![total];
-    out.push(point("1 generation (same total)", &v));
-    let mut v = b.clone();
-    let third = (total / 3).max(v.el.log.gap_blocks + 1);
-    v.el.log.generation_blocks = vec![third, third, total - 2 * third];
-    out.push(point("3 generations (same total)", &v));
+    push("1 generation (same total)", b.clone().geometry(vec![total]));
+    let third = (total / 3).max(b.el.log.gap_blocks + 1);
+    push(
+        "3 generations (same total)",
+        b.clone().geometry(vec![third, third, total - 2 * third]),
+    );
 
     let mut v = b.clone();
     v.el.log.unflushed_at_head = UnflushedAtHead::ForceFlush;
-    out.push(point("force-flush at head", &v));
+    push("force-flush at head", v);
 
     // §6 lifetime hints: long transactions write straight into the last
     // generation, so their records never transit generation 0's head.
-    let mut v = b.clone();
-    v.lifetime_hints = true;
-    out.push(point("lifetime hints", &v));
+    push("lifetime hints", b.clone().lifetime_hints(true));
 
     out
+}
+
+/// The measured rows, skipping failures.
+pub fn points(outcomes: &[RunOutcome]) -> Vec<AblationPoint> {
+    outcomes
+        .iter()
+        .filter_map(|o| {
+            Some(AblationPoint {
+                label: o.variant.clone(),
+                measured: o.measured()?.clone(),
+            })
+        })
+        .collect()
 }
 
 /// Renders the comparison table.
@@ -163,13 +192,47 @@ pub fn table(points: &[AblationPoint]) -> Table {
     t
 }
 
+/// The design-choice ablation experiment.
+pub struct Ablations;
+
+impl Experiment for Ablations {
+    fn name(&self) -> &'static str {
+        "design-choice ablations"
+    }
+
+    fn scenarios(&self, quick: bool) -> Vec<Scenario> {
+        scenarios_for(&if quick {
+            Config::quick()
+        } else {
+            Config::paper()
+        })
+    }
+
+    fn tables(&self, outcomes: &[RunOutcome]) -> Vec<(String, Table)> {
+        vec![("ablations".to_string(), table(&points(outcomes)))]
+    }
+
+    fn notes(&self, outcomes: &[RunOutcome]) -> Vec<String> {
+        failure_notes(outcomes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{run_scenarios, ExecOptions};
 
     #[test]
     fn ablations_run_and_differ() {
-        let points = run_experiment(&Config::quick());
+        let scenarios = scenarios_for(&Config::quick());
+        let outcomes = run_scenarios(
+            &scenarios,
+            &ExecOptions {
+                jobs: 2,
+                progress: false,
+            },
+        );
+        let points = points(&outcomes);
         assert!(points.len() >= 9);
         let baseline = &points[0].measured;
         assert_eq!(baseline.killed, 0, "paper-ish geometry survives at 5%");
@@ -181,8 +244,7 @@ mod tests {
         // Without gathering, forwarding writes are small and frequent: the
         // last generation sees more block writes per forwarded byte.
         let per_fwd = |r: &RunResult| {
-            r.metrics.per_gen_writes[1] as f64
-                / r.metrics.stats.forwarded_records.max(1) as f64
+            r.metrics.per_gen_writes[1] as f64 / r.metrics.stats.forwarded_records.max(1) as f64
         };
         assert!(
             per_fwd(&gather_off.measured) > per_fwd(baseline),

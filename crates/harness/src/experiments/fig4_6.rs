@@ -7,12 +7,12 @@
 //! block writes/s) and modest memory. The EL advantage shrinks as the
 //! long-transaction fraction grows.
 
-use crate::minspace::{el_min_space, fw_min_space, MinSpaceResult};
+use crate::minspace::MinSpaceResult;
 use crate::report::{f, Table};
-use crate::runner::{run, RunConfig, RunResult};
+use crate::runner::{RunConfig, RunResult};
+use crate::sweep::{failure_notes, Experiment, Job, RunOutcome, Scenario};
 use elog_core::{ElConfig, MemoryModel};
 use elog_model::{FlushConfig, LogConfig};
-use elog_sim::SimTime;
 
 /// Sweep parameters.
 #[derive(Clone, Debug)]
@@ -85,122 +85,186 @@ impl MixPoint {
     }
 }
 
-/// The full sweep result.
-#[derive(Clone, Debug)]
-pub struct Result {
-    /// One point per mix.
-    pub points: Vec<MixPoint>,
-}
-
 fn base_cfg(frac_long: f64, runtime_secs: u64, memory: MemoryModel) -> RunConfig {
-    let log = LogConfig { recirculation: false, ..LogConfig::default() };
+    let log = LogConfig {
+        recirculation: false,
+        ..LogConfig::default()
+    };
     let mut el = ElConfig::ephemeral(log, FlushConfig::default());
     el.memory_model = memory;
-    let mut cfg = RunConfig::paper(frac_long, el);
-    cfg.runtime = SimTime::from_secs(runtime_secs);
-    cfg
+    RunConfig::paper(frac_long, el).runtime_secs(runtime_secs)
 }
 
-fn measure(base: &RunConfig, blocks: &[u32]) -> RunResult {
-    let mut cfg = base.clone();
-    cfg.el.log.generation_blocks = blocks.to_vec();
-    cfg.stop_on_kill = false;
-    run(&cfg)
+/// Scenarios for an explicit configuration: per mix, one FW minimum-space
+/// search and one EL search, sharing a seed index so both techniques face
+/// the same workload.
+pub fn scenarios_for(cfg: &Config) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (i, &frac) in cfg.mixes.iter().enumerate() {
+        let pct = frac * 100.0;
+        out.push(Scenario::new(
+            format!("fig4-6 fw {pct:.0}%"),
+            frac.to_string(),
+            i as u64,
+            Job::FwMin {
+                base: base_cfg(frac, cfg.runtime_secs, MemoryModel::Firewall),
+                limit: cfg.fw_limit,
+            },
+        ));
+        out.push(Scenario::new(
+            format!("fig4-6 el {pct:.0}%"),
+            frac.to_string(),
+            i as u64,
+            Job::ElMin {
+                base: base_cfg(frac, cfg.runtime_secs, MemoryModel::Ephemeral),
+                g0_max: cfg.g0_max,
+                g1_limit: cfg.g1_limit,
+            },
+        ));
+    }
+    out
 }
 
-/// Runs the sweep.
-pub fn run_experiment(cfg: &Config) -> Result {
-    let points = cfg
-        .mixes
-        .iter()
-        .map(|&frac| {
-            let fw_base = base_cfg(frac, cfg.runtime_secs, MemoryModel::Firewall);
-            let fw_min = fw_min_space(&fw_base, cfg.fw_limit);
-            let fw_measured = measure(&fw_base, &fw_min.generation_blocks);
-
-            let el_base = base_cfg(frac, cfg.runtime_secs, MemoryModel::Ephemeral);
-            let el_min = el_min_space(&el_base, cfg.g0_max, cfg.g1_limit);
-            let el_measured = measure(&el_base, &el_min.generation_blocks);
-
-            MixPoint {
-                frac_long: frac,
-                fw: TechniquePoint { min: fw_min, measured: fw_measured },
-                el: TechniquePoint { min: el_min, measured: el_measured },
-            }
+/// Reassembles `(fw, el)` outcome pairs into sweep rows, skipping pairs
+/// where either side failed.
+pub fn points(outcomes: &[RunOutcome]) -> Vec<MixPoint> {
+    outcomes
+        .chunks(2)
+        .filter_map(|pair| {
+            let [fw, el] = pair else { return None };
+            let frac_long: f64 = fw.variant.parse().ok()?;
+            let (fw_min, fw_measured) = fw.min_space()?;
+            let (el_min, el_measured) = el.min_space()?;
+            Some(MixPoint {
+                frac_long,
+                fw: TechniquePoint {
+                    min: fw_min.clone(),
+                    measured: fw_measured.clone(),
+                },
+                el: TechniquePoint {
+                    min: el_min.clone(),
+                    measured: el_measured.clone(),
+                },
+            })
         })
-        .collect();
-    Result { points }
+        .collect()
 }
 
-impl Result {
-    /// Figure 4: disk space (blocks) vs mix.
-    pub fn fig4_table(&self) -> Table {
-        let mut t = Table::new(
-            "Figure 4 — minimum disk space (blocks) vs transaction mix",
-            &["% 10s txns", "FW blocks", "EL blocks", "EL geometry", "FW/EL ratio"],
-        );
-        for p in &self.points {
-            t.row(vec![
-                f(p.frac_long * 100.0, 0),
-                p.fw.min.total_blocks.to_string(),
-                p.el.min.total_blocks.to_string(),
-                format!("{:?}", p.el.min.generation_blocks),
-                f(p.space_ratio(), 2),
-            ]);
-        }
-        t
+/// Figure 4: disk space (blocks) vs mix.
+pub fn fig4_table(points: &[MixPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 4 — minimum disk space (blocks) vs transaction mix",
+        &[
+            "% 10s txns",
+            "FW blocks",
+            "EL blocks",
+            "EL geometry",
+            "FW/EL ratio",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            f(p.frac_long * 100.0, 0),
+            p.fw.min.total_blocks.to_string(),
+            p.el.min.total_blocks.to_string(),
+            format!("{:?}", p.el.min.generation_blocks),
+            f(p.space_ratio(), 2),
+        ]);
+    }
+    t
+}
+
+/// Figure 5: log bandwidth (block writes/s) vs mix.
+pub fn fig5_table(points: &[MixPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 5 — log bandwidth (block writes/s) vs transaction mix",
+        &["% 10s txns", "FW w/s", "EL w/s", "EL premium %"],
+    );
+    for p in points {
+        t.row(vec![
+            f(p.frac_long * 100.0, 0),
+            f(p.fw.measured.metrics.log_write_rate, 2),
+            f(p.el.measured.metrics.log_write_rate, 2),
+            f(p.bandwidth_premium() * 100.0, 1),
+        ]);
+    }
+    t
+}
+
+/// Figure 6: peak main memory (bytes) vs mix.
+pub fn fig6_table(points: &[MixPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 6 — peak LM memory (bytes) vs transaction mix",
+        &["% 10s txns", "FW bytes", "EL bytes", "EL/FW ratio"],
+    );
+    for p in points {
+        let fw = p.fw.measured.metrics.peak_memory_bytes;
+        let el = p.el.measured.metrics.peak_memory_bytes;
+        t.row(vec![
+            f(p.frac_long * 100.0, 0),
+            fw.to_string(),
+            el.to_string(),
+            f(el as f64 / fw as f64, 2),
+        ]);
+    }
+    t
+}
+
+/// The figures 4–6 experiment.
+pub struct Fig46;
+
+impl Experiment for Fig46 {
+    fn name(&self) -> &'static str {
+        "fig4-6 space/bandwidth/memory vs mix"
     }
 
-    /// Figure 5: log bandwidth (block writes/s) vs mix.
-    pub fn fig5_table(&self) -> Table {
-        let mut t = Table::new(
-            "Figure 5 — log bandwidth (block writes/s) vs transaction mix",
-            &["% 10s txns", "FW w/s", "EL w/s", "EL premium %"],
-        );
-        for p in &self.points {
-            t.row(vec![
-                f(p.frac_long * 100.0, 0),
-                f(p.fw.measured.metrics.log_write_rate, 2),
-                f(p.el.measured.metrics.log_write_rate, 2),
-                f(p.bandwidth_premium() * 100.0, 1),
-            ]);
-        }
-        t
+    fn scenarios(&self, quick: bool) -> Vec<Scenario> {
+        scenarios_for(&if quick {
+            Config::quick()
+        } else {
+            Config::paper()
+        })
     }
 
-    /// Figure 6: peak main memory (bytes) vs mix.
-    pub fn fig6_table(&self) -> Table {
-        let mut t = Table::new(
-            "Figure 6 — peak LM memory (bytes) vs transaction mix",
-            &["% 10s txns", "FW bytes", "EL bytes", "EL/FW ratio"],
-        );
-        for p in &self.points {
-            let fw = p.fw.measured.metrics.peak_memory_bytes;
-            let el = p.el.measured.metrics.peak_memory_bytes;
-            t.row(vec![
-                f(p.frac_long * 100.0, 0),
-                fw.to_string(),
-                el.to_string(),
-                f(el as f64 / fw as f64, 2),
-            ]);
-        }
-        t
+    fn tables(&self, outcomes: &[RunOutcome]) -> Vec<(String, Table)> {
+        let pts = points(outcomes);
+        vec![
+            ("fig4_space".to_string(), fig4_table(&pts)),
+            ("fig5_bandwidth".to_string(), fig5_table(&pts)),
+            ("fig6_memory".to_string(), fig6_table(&pts)),
+        ]
+    }
+
+    fn notes(&self, outcomes: &[RunOutcome]) -> Vec<String> {
+        failure_notes(outcomes)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{run_scenarios, ExecOptions};
 
     #[test]
     fn quick_sweep_shape_matches_paper() {
-        let mut cfg = Config::quick();
-        cfg.mixes = vec![0.05, 0.40];
-        cfg.runtime_secs = 40;
-        let out = run_experiment(&cfg);
-        assert_eq!(out.points.len(), 2);
+        let cfg = Config {
+            mixes: vec![0.05, 0.40],
+            runtime_secs: 40,
+            ..Config::quick()
+        };
+        let scenarios = scenarios_for(&cfg);
+        assert_eq!(scenarios.len(), 4);
+        let outcomes = run_scenarios(
+            &scenarios,
+            &ExecOptions {
+                jobs: 2,
+                progress: false,
+            },
+        );
+        let pts = points(&outcomes);
+        assert_eq!(pts.len(), 2);
 
-        for p in &out.points {
+        for p in &pts {
             // No kills at the minima, by construction.
             assert_eq!(p.fw.measured.killed, 0, "FW minimum must survive");
             assert_eq!(p.el.measured.killed, 0, "EL minimum must survive");
@@ -219,21 +283,22 @@ mod tests {
             );
             // Memory: EL costs more than FW (40 B/txn + 40 B/object vs 22).
             assert!(
-                p.el.measured.metrics.peak_memory_bytes
-                    > p.fw.measured.metrics.peak_memory_bytes
+                p.el.measured.metrics.peak_memory_bytes > p.fw.measured.metrics.peak_memory_bytes
             );
         }
         // The advantage shrinks as long transactions proliferate.
         assert!(
-            out.points[0].space_ratio() > out.points[1].space_ratio(),
+            pts[0].space_ratio() > pts[1].space_ratio(),
             "5% ratio {} must exceed 40% ratio {}",
-            out.points[0].space_ratio(),
-            out.points[1].space_ratio()
+            pts[0].space_ratio(),
+            pts[1].space_ratio()
         );
 
-        // Tables render.
-        assert_eq!(out.fig4_table().len(), 2);
-        assert_eq!(out.fig5_table().len(), 2);
-        assert_eq!(out.fig6_table().len(), 2);
+        // Tables render through the Experiment impl.
+        let tables = Fig46.tables(&outcomes);
+        assert_eq!(tables.len(), 3);
+        for (_, t) in &tables {
+            assert_eq!(t.len(), 2);
+        }
     }
 }

@@ -11,13 +11,20 @@
 //! capacity, and the last generation is sized for the live record volume
 //! (20 long txns/s × 16 records × ~8.6 s residency ≈ 140 blocks) — the
 //! comparison targets logging costs, not space-pressure kills.
+//!
+//! Both techniques now run through the shared runner: full EL as a plain
+//! measured run, the hybrid via [`Job::Hybrid`], which builds the same
+//! model around a [`elog_core::HybridManager`]. (An earlier revision
+//! duplicated the runner's event loop here; the [`elog_core::LogManager`]
+//! abstraction made that ~70-line copy unnecessary.)
 
 use crate::report::{f, Table};
-use crate::runner::{run, RunConfig};
-use elog_core::{ElConfig, HybridManager, LmTimer};
-use elog_model::{DbConfig, FlushConfig, LogConfig};
-use elog_sim::{EventQueue, SimRng, SimTime};
-use elog_workload::{ArrivalProcess, TxMix, TxType, WorkloadDriver, WorkloadEvent};
+use crate::runner::RunConfig;
+use crate::sweep::{failure_notes, Experiment, Job, RunOutcome, Scenario};
+use elog_core::ElConfig;
+use elog_model::{FlushConfig, LogConfig};
+use elog_sim::SimTime;
+use elog_workload::{TxMix, TxType};
 
 /// Experiment parameters.
 #[derive(Clone, Debug)]
@@ -34,12 +41,20 @@ pub struct Config {
 impl Config {
     /// Paper-scale comparison.
     pub fn paper() -> Self {
-        Config { runtime_secs: 300, updates_per_txn: 16, geometry: vec![32, 170] }
+        Config {
+            runtime_secs: 300,
+            updates_per_txn: 16,
+            geometry: vec![32, 170],
+        }
     }
 
     /// Quick comparison for tests.
     pub fn quick() -> Self {
-        Config { runtime_secs: 40, updates_per_txn: 12, geometry: vec![24, 130] }
+        Config {
+            runtime_secs: 40,
+            updates_per_txn: 12,
+            geometry: vec![24, 130],
+        }
     }
 }
 
@@ -58,15 +73,6 @@ pub struct TechniqueResult {
     pub acks: u64,
     /// Kills.
     pub kills: u64,
-}
-
-/// Both measurements.
-#[derive(Clone, Debug)]
-pub struct Result {
-    /// Full EL.
-    pub el: TechniqueResult,
-    /// EL–FW hybrid.
-    pub hybrid: TechniqueResult,
 }
 
 /// A mix of many-update transactions: 20% of transactions run 10 s and
@@ -89,176 +95,166 @@ fn wide_mix(updates: u32) -> TxMix {
     .expect("valid mix")
 }
 
-fn wide_flush() -> FlushConfig {
-    FlushConfig { drives: 20, ..FlushConfig::default() }
-}
-
-fn measure_el(cfg: &Config) -> TechniqueResult {
+fn base_cfg(cfg: &Config) -> RunConfig {
     let log = LogConfig {
         generation_blocks: cfg.geometry.clone(),
         recirculation: true,
         ..LogConfig::default()
     };
-    let mut rc = RunConfig::paper(0.2, ElConfig::ephemeral(log, wide_flush()));
-    rc.mix = wide_mix(cfg.updates_per_txn);
-    rc.runtime = SimTime::from_secs(cfg.runtime_secs);
-    let r = run(&rc);
-    TechniqueResult {
-        label: "EL".into(),
-        peak_memory_bytes: r.metrics.peak_memory_bytes,
-        log_write_rate: r.metrics.log_write_rate,
-        rewritten_records: r.metrics.stats.forwarded_records
-            + r.metrics.stats.recirculated_records,
-        acks: r.metrics.stats.acks,
-        kills: r.killed,
-    }
+    let flush = FlushConfig {
+        drives: 20,
+        ..FlushConfig::default()
+    };
+    RunConfig::paper(0.2, ElConfig::ephemeral(log, flush))
+        .with_mix(wide_mix(cfg.updates_per_txn))
+        .runtime_secs(cfg.runtime_secs)
 }
 
-fn measure_hybrid(cfg: &Config) -> TechniqueResult {
-    let log = LogConfig {
-        generation_blocks: cfg.geometry.clone(),
-        recirculation: true,
-        ..LogConfig::default()
-    };
-    let runtime = SimTime::from_secs(cfg.runtime_secs);
-    let rng = SimRng::new(0x5EED_1993);
-    let mut driver = WorkloadDriver::new(
-        wide_mix(cfg.updates_per_txn),
-        ArrivalProcess::Deterministic { rate_tps: 100.0 },
-        DbConfig::default().num_objects,
-        runtime,
-        &rng,
+/// Two scenarios — full EL and the hybrid — on one shared seed index, so
+/// both techniques log the identical transaction stream. The variant tag
+/// carries `updates_per_txn` for the table title.
+pub fn scenarios_for(cfg: &Config) -> Vec<Scenario> {
+    let rc = base_cfg(cfg);
+    let u = cfg.updates_per_txn;
+    vec![
+        Scenario::new(
+            format!("hybrid-study el {u}upd"),
+            format!("el {u}"),
+            0,
+            Job::Measure(rc.clone()),
+        ),
+        Scenario::new(
+            format!("hybrid-study hybrid {u}upd"),
+            format!("hybrid {u}"),
+            0,
+            Job::Hybrid(rc),
+        ),
+    ]
+}
+
+/// Reassembles both techniques' measurements, in scenario order.
+pub fn results(outcomes: &[RunOutcome]) -> Vec<TechniqueResult> {
+    outcomes
+        .iter()
+        .filter_map(|o| match (&o.variant, o.measured(), o.hybrid()) {
+            (_, Some(r), _) => Some(TechniqueResult {
+                label: "EL".into(),
+                peak_memory_bytes: r.metrics.peak_memory_bytes,
+                log_write_rate: r.metrics.log_write_rate,
+                rewritten_records: r.metrics.stats.forwarded_records
+                    + r.metrics.stats.recirculated_records,
+                acks: r.metrics.stats.acks,
+                kills: r.killed,
+            }),
+            (_, _, Some(h)) => Some(TechniqueResult {
+                label: "hybrid".into(),
+                peak_memory_bytes: h.peak_memory_bytes,
+                log_write_rate: h.log_write_rate,
+                rewritten_records: h.regenerated_records,
+                acks: h.acks,
+                kills: h.kills,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The comparison table.
+pub fn table(outcomes: &[RunOutcome], results: &[TechniqueResult]) -> Table {
+    let updates = outcomes
+        .first()
+        .and_then(|o| o.variant.split_whitespace().nth(1))
+        .unwrap_or("?")
+        .to_string();
+    let geometry = outcomes
+        .iter()
+        .find_map(|o| o.measured())
+        .map(|r| format!("{:?}", r.metrics.per_gen_blocks))
+        .unwrap_or_else(|| "?".into());
+    let mut t = Table::new(
+        format!("§6 hybrid study — {updates} updates per long transaction, geometry {geometry}"),
+        &[
+            "technique",
+            "peak mem B",
+            "log w/s",
+            "rewritten recs",
+            "acks",
+            "kills",
+        ],
     );
-    let mut lm = HybridManager::new(DbConfig::default(), log, wide_flush())
-        .expect("valid configuration");
-
-    // A dedicated little event loop (the shared runner is EL-typed).
-    #[derive(Clone, Copy, Debug)]
-    enum Ev {
-        W(WorkloadEvent),
-        L(LmTimer),
+    for r in results {
+        t.row(vec![
+            r.label.clone(),
+            r.peak_memory_bytes.to_string(),
+            f(r.log_write_rate, 2),
+            r.rewritten_records.to_string(),
+            r.acks.to_string(),
+            r.kills.to_string(),
+        ]);
     }
-    let mut q: EventQueue<Ev> = EventQueue::new();
-    let mut kills = 0u64;
-    for (at, e) in driver.bootstrap(SimTime::ZERO) {
-        q.schedule(at, Ev::W(e));
-    }
-    let apply = |fx: elog_core::Effects,
-                     q: &mut EventQueue<Ev>,
-                     driver: &mut WorkloadDriver,
-                     kills: &mut u64,
-                     now: SimTime| {
-        for (at, t) in fx.timers {
-            q.schedule(at, Ev::L(t));
-        }
-        for tid in fx.acks {
-            driver.on_commit_ack(now, tid);
-        }
-        for tid in fx.kills {
-            *kills += 1;
-            driver.on_kill(now, tid);
-        }
-    };
-    while let Some(at) = q.peek_time() {
-        if at > runtime {
-            break;
-        }
-        let (now, ev) = q.pop().expect("peeked");
-        match ev {
-            Ev::W(WorkloadEvent::Arrival) => {
-                if let Some((new, events)) = driver.on_arrival(now) {
-                    let fx = lm.begin(now, new.tid);
-                    apply(fx, &mut q, &mut driver, &mut kills, now);
-                    for (at, e) in events {
-                        q.schedule(at, Ev::W(e));
-                    }
-                }
-            }
-            Ev::W(WorkloadEvent::WriteData { tid, seq }) => {
-                if let Some((oid, size)) = driver.on_write_data(now, tid, seq) {
-                    let fx = lm.write_data(now, tid, oid, seq, size);
-                    apply(fx, &mut q, &mut driver, &mut kills, now);
-                }
-            }
-            Ev::W(WorkloadEvent::WriteCommit { tid }) => {
-                if driver.on_write_commit(now, tid) {
-                    let fx = lm.commit_request(now, tid);
-                    apply(fx, &mut q, &mut driver, &mut kills, now);
-                }
-            }
-            Ev::L(t) => {
-                let fx = lm.handle_timer(now, t);
-                apply(fx, &mut q, &mut driver, &mut kills, now);
-            }
-        }
-    }
-    // Note: a killed transaction's already-queued events are delivered to
-    // the driver, which rejects them for unknown tids — same end state as
-    // the runner's token cancellation, without tracking tokens here.
-    TechniqueResult {
-        label: "hybrid".into(),
-        peak_memory_bytes: lm.peak_memory_bytes(),
-        log_write_rate: lm.log_write_rate(runtime),
-        rewritten_records: lm.stats().regenerated_records,
-        acks: lm.stats().acks,
-        kills,
-    }
+    t
 }
 
-/// Runs the comparison.
-pub fn run_experiment(cfg: &Config) -> Result {
-    Result { el: measure_el(cfg), hybrid: measure_hybrid(cfg) }
-}
+/// The §6 hybrid experiment.
+pub struct Hybrid;
 
-impl Result {
-    /// The comparison table.
-    pub fn table(&self, cfg: &Config) -> Table {
-        let mut t = Table::new(
-            format!(
-                "§6 hybrid study — {} updates per long transaction, geometry {:?}",
-                cfg.updates_per_txn, cfg.geometry
-            ),
-            &["technique", "peak mem B", "log w/s", "rewritten recs", "acks", "kills"],
-        );
-        for r in [&self.el, &self.hybrid] {
-            t.row(vec![
-                r.label.clone(),
-                r.peak_memory_bytes.to_string(),
-                f(r.log_write_rate, 2),
-                r.rewritten_records.to_string(),
-                r.acks.to_string(),
-                r.kills.to_string(),
-            ]);
-        }
-        t
+impl Experiment for Hybrid {
+    fn name(&self) -> &'static str {
+        "§6 EL–FW hybrid vs full EL"
+    }
+
+    fn scenarios(&self, quick: bool) -> Vec<Scenario> {
+        scenarios_for(&if quick {
+            Config::quick()
+        } else {
+            Config::paper()
+        })
+    }
+
+    fn tables(&self, outcomes: &[RunOutcome]) -> Vec<(String, Table)> {
+        vec![("hybrid".to_string(), table(outcomes, &results(outcomes)))]
+    }
+
+    fn notes(&self, outcomes: &[RunOutcome]) -> Vec<String> {
+        failure_notes(outcomes)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{run_scenarios, ExecOptions};
 
     #[test]
     fn hybrid_trades_memory_for_bandwidth() {
         let cfg = Config::quick();
-        let out = run_experiment(&cfg);
+        let outcomes = run_scenarios(
+            &scenarios_for(&cfg),
+            &ExecOptions {
+                jobs: 2,
+                progress: false,
+            },
+        );
+        let out = results(&outcomes);
+        assert_eq!(out.len(), 2);
+        let (el, hybrid) = (&out[0], &out[1]);
 
         // Both techniques commit work.
-        assert!(out.el.acks > 1000);
-        assert!(out.hybrid.acks > 1000);
+        assert!(el.acks > 1000);
+        assert!(hybrid.acks > 1000);
 
         // §6's prediction, side one: the hybrid uses far less memory on a
         // many-update workload (EL pays 40 B per unflushed object).
         assert!(
-            out.hybrid.peak_memory_bytes * 2 < out.el.peak_memory_bytes,
+            hybrid.peak_memory_bytes * 2 < el.peak_memory_bytes,
             "hybrid memory {} must be well under EL's {}",
-            out.hybrid.peak_memory_bytes,
-            out.el.peak_memory_bytes
+            hybrid.peak_memory_bytes,
+            el.peak_memory_bytes
         );
 
         // Side two: the hybrid rewrites more log data per relocation.
         // (With roomy geometry relocations may be rare; compare per-event
         // cost instead of totals only when both relocated something.)
-        assert!(out.table(&cfg).len() == 2);
+        assert_eq!(table(&outcomes, &out).len(), 2);
     }
 }

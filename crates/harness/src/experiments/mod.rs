@@ -1,4 +1,11 @@
 //! One module per paper result (see crate docs for the index).
+//!
+//! Every module exposes the same surface: a `Config` with `paper()` /
+//! `quick()` presets, a `scenarios_for(&Config)` enumerator, aggregation
+//! helpers over `[RunOutcome]`, and a unit struct implementing
+//! [`crate::sweep::Experiment`]. The [`registry`] collects the structs in
+//! the report's print order; `repro` iterates it with no per-experiment
+//! dispatch.
 
 pub mod ablations;
 pub mod fig4_6;
@@ -7,3 +14,18 @@ pub mod hybrid;
 pub mod rates;
 pub mod recovery_time;
 pub mod scarce;
+
+use crate::sweep::Experiment;
+
+/// All experiments, in the report's print order.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(rates::Rates),
+        Box::new(fig4_6::Fig46),
+        Box::new(fig7::Fig7),
+        Box::new(scarce::Scarce),
+        Box::new(recovery_time::RecoveryTime),
+        Box::new(ablations::Ablations),
+        Box::new(hybrid::Hybrid),
+    ]
+}

@@ -7,131 +7,162 @@
 //! recover: a run is crashed at its horizon, the surface is scanned, the
 //! single-pass REDO executes, and the result is verified against the
 //! oracle of acknowledged commits. Reported per configuration: the
-//! modelled 1993-hardware recovery time (proportional to blocks) and the
-//! actually-measured wall-clock of the in-memory pass.
+//! modelled 1993-hardware recovery time, proportional to blocks. (Earlier
+//! revisions also printed the wall-clock of the in-memory pass; that
+//! column is gone — sweep output must be byte-identical at any `--jobs`,
+//! and wall time is not.)
 
-use crate::report::{f, Table};
-use crate::runner::{build_model, RunConfig};
+use crate::report::Table;
+use crate::runner::RunConfig;
+use crate::sweep::{failure_notes, Experiment, Job, RunOutcome, Scenario};
 use elog_core::{ElConfig, MemoryModel};
 use elog_model::{FlushConfig, LogConfig};
-use elog_recovery::{check_against_oracle, estimate_recovery_time, recover, scan_blocks, RecoveryTimeModel};
-use elog_sim::SimTime;
 
-/// One configuration's recovery outcome.
+/// Experiment parameters.
 #[derive(Clone, Debug)]
-pub struct RecoveryPoint {
-    /// Label ("FW @123" etc.).
-    pub label: String,
-    /// Configured blocks.
-    pub total_blocks: u64,
-    /// Records examined by the scan.
-    pub records_scanned: u64,
-    /// Modelled 1993-hardware recovery time.
-    pub modelled: SimTime,
-    /// Wall-clock of the in-memory scan + redo, microseconds.
-    pub wall_micros: u128,
-    /// Objects reconstructed.
-    pub recovered_objects: usize,
-    /// Verification passed.
-    pub verified: bool,
+pub struct Config {
+    /// FW blocks (paper: its 5 % minimum, 123).
+    pub fw_blocks: u32,
+    /// EL geometry (paper: the Figure 7 recirculation minimum, 18 + 10).
+    pub el_geometry: Vec<u32>,
+    /// Long-transaction fraction.
+    pub frac_long: f64,
+    /// Simulated seconds before the crash.
+    pub runtime_secs: u64,
 }
 
-/// Crashes a run at its horizon and recovers.
-fn crash_and_recover(label: &str, cfg: &RunConfig) -> RecoveryPoint {
-    let mut cfg = cfg.clone();
-    cfg.track_oracle = true;
-    let mut engine = build_model(&cfg);
-    engine.run_until(cfg.runtime);
-    let model = engine.model();
+impl Config {
+    /// Paper-scale run at the published minima.
+    pub fn paper() -> Self {
+        Config {
+            fw_blocks: 123,
+            el_geometry: vec![18, 10],
+            frac_long: 0.05,
+            runtime_secs: 120,
+        }
+    }
 
-    let start = std::time::Instant::now();
-    let surface = model.lm.log_surface();
-    let image = scan_blocks(surface.iter());
-    let state = recover(&image, model.lm.stable_db());
-    let wall = start.elapsed().as_micros();
-
-    let report = check_against_oracle(&model.oracle, &state);
-    let metrics = model.lm.metrics(cfg.runtime);
-    let modelled = estimate_recovery_time(
-        &RecoveryTimeModel::default(),
-        &metrics.per_gen_blocks,
-        image.stats.records,
-    );
-    RecoveryPoint {
-        label: label.to_string(),
-        total_blocks: metrics.total_blocks,
-        records_scanned: image.stats.records,
-        modelled,
-        wall_micros: wall,
-        recovered_objects: state.versions.len(),
-        verified: report.is_ok(),
+    /// Reduced run for tests.
+    pub fn quick() -> Self {
+        Config {
+            fw_blocks: 96,
+            el_geometry: vec![14, 12],
+            frac_long: 0.05,
+            runtime_secs: 20,
+        }
     }
 }
 
-/// Compares recovery cost for the paper's minimum FW and EL geometries.
-pub fn run_experiment(
-    fw_blocks: u32,
-    el_geometry: &[u32],
-    frac_long: f64,
-    runtime_secs: u64,
-) -> Vec<RecoveryPoint> {
-    let mut out = Vec::new();
-
+/// Two crash-recovery scenarios — the FW minimum and the EL minimum —
+/// sharing a seed index so both crash the same workload.
+pub fn scenarios_for(cfg: &Config) -> Vec<Scenario> {
     let mut fw = RunConfig::paper(
-        frac_long,
-        ElConfig::firewall(fw_blocks, FlushConfig::default()),
-    );
-    fw.runtime = SimTime::from_secs(runtime_secs);
+        cfg.frac_long,
+        ElConfig::firewall(cfg.fw_blocks, FlushConfig::default()),
+    )
+    .runtime_secs(cfg.runtime_secs);
     fw.el.memory_model = MemoryModel::Firewall;
-    out.push(crash_and_recover(&format!("FW @{fw_blocks}"), &fw));
 
     let log = LogConfig {
-        generation_blocks: el_geometry.to_vec(),
+        generation_blocks: cfg.el_geometry.clone(),
         recirculation: true,
         ..LogConfig::default()
     };
-    let mut el = RunConfig::paper(frac_long, ElConfig::ephemeral(log, FlushConfig::default()));
-    el.runtime = SimTime::from_secs(runtime_secs);
-    out.push(crash_and_recover(&format!("EL @{el_geometry:?}"), &el));
-    out
+    let el = RunConfig::paper(
+        cfg.frac_long,
+        ElConfig::ephemeral(log, FlushConfig::default()),
+    )
+    .runtime_secs(cfg.runtime_secs);
+
+    vec![
+        Scenario::new(
+            format!("FW @{}", cfg.fw_blocks),
+            "fw",
+            0,
+            Job::CrashRecover(fw),
+        ),
+        Scenario::new(
+            format!("EL @{:?}", cfg.el_geometry),
+            "el",
+            0,
+            Job::CrashRecover(el),
+        ),
+    ]
 }
 
 /// Renders the table.
-pub fn table(points: &[RecoveryPoint]) -> Table {
+pub fn table(outcomes: &[RunOutcome]) -> Table {
     let mut t = Table::new(
-        "Recovery — modelled 1993 time and measured in-memory pass",
-        &["config", "blocks", "records", "modelled", "wall us", "objects", "verified"],
+        "Recovery — modelled 1993 time for a crash at the horizon",
+        &[
+            "config", "blocks", "records", "modelled", "objects", "verified",
+        ],
     );
-    for p in points {
+    for o in outcomes {
+        let Some(p) = o.recovery() else { continue };
         t.row(vec![
-            p.label.clone(),
+            o.label.clone(),
             p.total_blocks.to_string(),
             p.records_scanned.to_string(),
             p.modelled.to_string(),
-            p.wall_micros.to_string(),
             p.recovered_objects.to_string(),
             p.verified.to_string(),
         ]);
     }
-    let _ = f(0.0, 0); // keep the helper linked for rustdoc examples
     t
+}
+
+/// The crash-recovery experiment.
+pub struct RecoveryTime;
+
+impl Experiment for RecoveryTime {
+    fn name(&self) -> &'static str {
+        "recovery time FW vs EL"
+    }
+
+    fn scenarios(&self, quick: bool) -> Vec<Scenario> {
+        scenarios_for(&if quick {
+            Config::quick()
+        } else {
+            Config::paper()
+        })
+    }
+
+    fn tables(&self, outcomes: &[RunOutcome]) -> Vec<(String, Table)> {
+        vec![("recovery".to_string(), table(outcomes))]
+    }
+
+    fn notes(&self, outcomes: &[RunOutcome]) -> Vec<String> {
+        failure_notes(outcomes)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sweep::{run_scenarios, ExecOptions};
 
     #[test]
     fn both_configs_recover_verified() {
-        let points = run_experiment(96, &[14, 12], 0.05, 20);
-        assert_eq!(points.len(), 2);
-        for p in &points {
-            assert!(p.verified, "{} recovery must verify", p.label);
+        let outcomes = run_scenarios(
+            &scenarios_for(&Config::quick()),
+            &ExecOptions {
+                jobs: 2,
+                progress: false,
+            },
+        );
+        assert_eq!(outcomes.len(), 2);
+        let points: Vec<_> = outcomes
+            .iter()
+            .map(|o| o.recovery().expect("recovery outcome"))
+            .collect();
+        for (o, p) in outcomes.iter().zip(&points) {
+            assert!(p.verified, "{} recovery must verify", o.label);
             assert!(p.recovered_objects > 0);
         }
         // EL's smaller log must be modelled as faster to recover.
         assert!(points[1].total_blocks < points[0].total_blocks);
         assert!(points[1].modelled < points[0].modelled);
-        assert_eq!(table(&points).len(), 2);
+        assert_eq!(table(&outcomes).len(), 2);
     }
 }

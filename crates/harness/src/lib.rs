@@ -26,7 +26,14 @@ pub mod experiments;
 pub mod minspace;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 
 pub use autotune::{autotune, TuneResult};
-pub use minspace::{el_min_space, el_min_last_gen, fw_min_space, MinSpaceResult};
+pub use minspace::{
+    el_min_last_gen, el_min_space, el_min_space_jobs, fw_min_space, MinSpaceResult,
+};
 pub use runner::{RunConfig, RunResult, SimModel};
+pub use sweep::{
+    derive_seed, run_experiments, run_scenarios, ExecOptions, Experiment, ExperimentReport, Job,
+    Output, RunOutcome, Scenario,
+};

@@ -73,7 +73,11 @@ pub fn fw_min_space(base: &RunConfig, hi_limit: u32) -> MinSpaceResult {
             lo = mid + 1;
         }
     }
-    MinSpaceResult { generation_blocks: vec![hi], total_blocks: hi, probes }
+    MinSpaceResult {
+        generation_blocks: vec![hi],
+        total_blocks: hi,
+        probes,
+    }
 }
 
 /// For a fixed gen0, the smallest last generation with no kills, or `None`
@@ -98,31 +102,36 @@ fn min_g1_for(base: &RunConfig, g0: u32, hi_limit: u32, probes: &mut u32) -> Opt
     Some(hi)
 }
 
+/// Minimum-total two-generation EL geometry on the default thread count.
+///
+/// See [`el_min_space_jobs`].
+pub fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceResult {
+    el_min_space_jobs(base, g0_max, g1_limit, crate::sweep::default_jobs())
+}
+
 /// Minimum-total two-generation EL geometry.
 ///
 /// Scans gen0 over `[gap+1, g0_max]`, binary-searching the minimal gen1
-/// for each, in parallel. Returns the geometry minimising the total (ties
-/// prefer the larger gen0, which gives lower bandwidth).
-pub fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceResult {
+/// for each, on a `jobs`-wide work queue ([`crate::sweep::parallel_map`]).
+/// Returns the geometry minimising the total (ties prefer the larger gen0,
+/// which gives lower bandwidth). The result is independent of `jobs`.
+pub fn el_min_space_jobs(
+    base: &RunConfig,
+    g0_max: u32,
+    g1_limit: u32,
+    jobs: usize,
+) -> MinSpaceResult {
     let k = base.el.log.gap_blocks;
     let g0_range: Vec<u32> = (k + 1..=g0_max).collect();
-    let results: Vec<(u32, Option<u32>, u32)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = g0_range
-            .iter()
-            .map(|&g0| {
-                let base = base.clone();
-                scope.spawn(move || {
-                    let mut probes = 0;
-                    let g1 = min_g1_for(&base, g0, g1_limit, &mut probes);
-                    (g0, g1, probes)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("probe thread")).collect()
+    let results = crate::sweep::parallel_map(&g0_range, jobs, |_, &g0| {
+        let mut probes = 0;
+        let g1 = min_g1_for(base, g0, g1_limit, &mut probes);
+        (g0, g1, probes)
     });
     let mut probes = 0;
     let mut best: Option<(u32, u32)> = None;
-    for (g0, g1, p) in results {
+    for r in results {
+        let (g0, g1, p) = r.expect("probe simulation panicked");
         probes += p;
         if let Some(g1) = g1 {
             let better = match best {
@@ -160,7 +169,10 @@ pub fn el_min_last_gen(base: &RunConfig, g0: u32, g1_limit: u32) -> Option<MinSp
 /// Convenience: the paper's base run (5 % long transactions, default flush
 /// array) shortened to `secs` for tests.
 pub fn paper_base(frac_long: f64, recirc: bool, secs: u64) -> RunConfig {
-    let log = elog_model::LogConfig { recirculation: recirc, ..Default::default() };
+    let log = elog_model::LogConfig {
+        recirculation: recirc,
+        ..Default::default()
+    };
     let mut cfg = RunConfig::paper(frac_long, ElConfig::ephemeral(log, Default::default()));
     cfg.runtime = SimTime::from_secs(secs);
     cfg

@@ -1,7 +1,7 @@
 //! The full simulation run: workload driver × log manager × flush array
 //! under one event loop.
 
-use elog_core::{ElConfig, ElManager, Effects, LmMetrics, LmTimer};
+use elog_core::{Effects, ElConfig, ElManager, LmMetrics, LmTimer, LogManager};
 use elog_model::{BufferPool, CommittedOracle, ObjectVersion, Tid};
 use elog_sim::{Engine, EventQueue, EventToken, SimRng, SimTime, Simulate};
 use elog_workload::{ArrivalProcess, TxMix, WorkloadDriver, WorkloadEvent};
@@ -54,14 +54,69 @@ impl RunConfig {
             lifetime_hints: false,
         }
     }
+
+    // Builder-style modifiers, so experiments read as one expression:
+    // `RunConfig::paper(0.05, el).runtime_secs(60).stop_on_kill(true)`.
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the arrival horizon in simulated seconds.
+    pub fn runtime_secs(mut self, secs: u64) -> Self {
+        self.runtime = SimTime::from_secs(secs);
+        self
+    }
+
+    /// Sets whether the run aborts at the first kill.
+    pub fn stop_on_kill(mut self, on: bool) -> Self {
+        self.stop_on_kill = on;
+        self
+    }
+
+    /// Sets whether the committed-state oracle and buffer pool are kept.
+    pub fn track_oracle(mut self, on: bool) -> Self {
+        self.track_oracle = on;
+        self
+    }
+
+    /// Sets §6 lifetime-hint placement.
+    pub fn lifetime_hints(mut self, on: bool) -> Self {
+        self.lifetime_hints = on;
+        self
+    }
+
+    /// Replaces the transaction mix.
+    pub fn with_mix(mut self, mix: TxMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Replaces the arrival process.
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Replaces the log geometry (blocks per generation).
+    pub fn geometry(mut self, blocks: Vec<u32>) -> Self {
+        self.el.log.generation_blocks = blocks;
+        self
+    }
 }
 
 /// The composite model driven by the event engine.
-pub struct SimModel {
+///
+/// Generic over the logging technique: any [`LogManager`] — [`ElManager`]
+/// (the default) or `HybridManager` — plugs into the same workload driver
+/// and event loop, so no experiment needs a bespoke loop per technique.
+pub struct SimModel<L: LogManager = ElManager> {
     /// Workload side.
     pub driver: WorkloadDriver,
     /// Log-manager side.
-    pub lm: ElManager,
+    pub lm: L,
     /// Ground truth of acknowledged commits (when tracked).
     pub oracle: CommittedOracle,
     /// RAM image of object versions (when tracked).
@@ -74,7 +129,7 @@ pub struct SimModel {
     acks: u64,
 }
 
-impl SimModel {
+impl<L: LogManager> SimModel<L> {
     fn apply(&mut self, now: SimTime, fx: Effects, queue: &mut EventQueue<Ev>) {
         for (at, timer) in fx.timers {
             queue.schedule(at, timer.into_ev());
@@ -87,7 +142,11 @@ impl SimModel {
                 self.oracle
                     .commit(tid, updates.iter().map(|u| (u.oid, u.seq, u.ts)));
                 for u in &updates {
-                    let v = ObjectVersion { tid, seq: u.seq, ts: u.ts };
+                    let v = ObjectVersion {
+                        tid,
+                        seq: u.seq,
+                        ts: u.ts,
+                    };
                     self.pool.promote(u.oid, tid);
                     let _ = v;
                 }
@@ -132,7 +191,7 @@ impl IntoEv for LmTimer {
     }
 }
 
-impl Simulate for SimModel {
+impl<L: LogManager> Simulate for SimModel<L> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
@@ -141,8 +200,7 @@ impl Simulate for SimModel {
                 if let Some((new, events)) = self.driver.on_arrival(now) {
                     let fx = if self.lifetime_hints {
                         let duration = self.driver.mix().types()[new.type_idx].duration;
-                        let home = self.lm.pick_generation_for(now, duration);
-                        self.lm.begin_in(now, new.tid, home)
+                        self.lm.begin_hinted(now, new.tid, duration)
                     } else {
                         self.lm.begin(now, new.tid)
                     };
@@ -202,11 +260,16 @@ pub struct RunResult {
     /// Virtual time at which the run ended (= horizon unless stopped
     /// early by a kill).
     pub ended_at: SimTime,
+    /// Data records the workload driver emitted.
+    pub data_records: u64,
+    /// The measurement horizon all rates were computed over.
+    pub horizon: SimTime,
 }
 
-/// Builds the composite model for a run (exposed so recovery tests and
-/// examples can crash a run midway and inspect the pieces).
-pub fn build_model(cfg: &RunConfig) -> Engine<SimModel> {
+/// Builds the composite model around a caller-supplied log manager
+/// (`HybridManager`, a pre-warmed `ElManager`, …). The workload side comes
+/// from `cfg` as usual.
+pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimModel<L>> {
     let rng = SimRng::new(cfg.seed);
     let driver = WorkloadDriver::new(
         cfg.mix.clone(),
@@ -215,7 +278,6 @@ pub fn build_model(cfg: &RunConfig) -> Engine<SimModel> {
         cfg.runtime,
         &rng,
     );
-    let lm = ElManager::new(cfg.el.clone()).expect("validated configuration");
     let model = SimModel {
         driver,
         lm,
@@ -236,6 +298,15 @@ pub fn build_model(cfg: &RunConfig) -> Engine<SimModel> {
     engine
 }
 
+/// Builds the composite model for a run (exposed so recovery tests and
+/// examples can crash a run midway and inspect the pieces).
+pub fn build_model(cfg: &RunConfig) -> Engine<SimModel> {
+    build_model_with(
+        cfg,
+        ElManager::new(cfg.el.clone()).expect("validated configuration"),
+    )
+}
+
 /// Runs a configuration to its horizon and snapshots the results.
 ///
 /// Events still pending past the horizon (stragglers of transactions that
@@ -253,10 +324,10 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         started: stats.started,
         committed: stats.committed,
         killed: stats.killed,
-        mean_commit_latency_ms: stats
-            .commit_latency_ms
-            .quantile(0.5),
+        mean_commit_latency_ms: stats.commit_latency_ms.quantile(0.5),
         ended_at,
+        data_records: stats.data_records,
+        horizon,
     }
 }
 
@@ -266,7 +337,11 @@ mod tests {
     use elog_model::{FlushConfig, LogConfig};
 
     fn quick_cfg(frac_long: f64, blocks: Vec<u32>, recirc: bool, secs: u64) -> RunConfig {
-        let log = LogConfig { generation_blocks: blocks, recirculation: recirc, ..LogConfig::default() };
+        let log = LogConfig {
+            generation_blocks: blocks,
+            recirculation: recirc,
+            ..LogConfig::default()
+        };
         let mut cfg = RunConfig::paper(frac_long, ElConfig::ephemeral(log, FlushConfig::default()));
         cfg.runtime = SimTime::from_secs(secs);
         cfg
@@ -275,7 +350,11 @@ mod tests {
     #[test]
     fn short_run_commits_transactions() {
         let r = run(&quick_cfg(0.05, vec![18, 16], false, 10));
-        assert!(r.started >= 990 && r.started <= 1001, "100 TPS × 10 s, got {}", r.started);
+        assert!(
+            r.started >= 990 && r.started <= 1001,
+            "100 TPS × 10 s, got {}",
+            r.started
+        );
         assert!(r.committed > 800, "most must commit, got {}", r.committed);
         assert_eq!(r.killed, 0, "paper geometry must not kill at 5%");
         assert_eq!(r.metrics.stats.unsafe_drops, 0);
@@ -313,7 +392,10 @@ mod tests {
         cfg.stop_on_kill = true;
         let r = run(&cfg);
         assert!(r.killed > 0, "3+3 blocks cannot hold 40% long transactions");
-        assert!(r.ended_at < SimTime::from_secs(60), "must stop at first kill");
+        assert!(
+            r.ended_at < SimTime::from_secs(60),
+            "must stop at first kill"
+        );
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! The parallel sweep executor and the unified experiment API.
+//!
+//! Every experiment in this harness reduces to the same shape: enumerate
+//! independent simulation jobs, run them, aggregate tables. This module
+//! makes that shape explicit —
+//!
+//! * [`Scenario`] — one unit of work: a label, a machine-readable variant
+//!   tag, a seed index and a [`Job`] describing what to simulate;
+//! * [`run_scenarios`] — the work-queue executor: a fixed pool of scoped
+//!   threads pulls scenarios off an atomic cursor, with per-run panic
+//!   isolation, deterministic per-scenario seeding and results returned
+//!   in scenario order, so output is byte-identical for any `--jobs N`;
+//! * [`Experiment`] — the trait each experiment module implements
+//!   (`name` / `scenarios` / `tables` / `notes`), letting `repro` iterate
+//!   a registry instead of dispatching per experiment.
+//!
+//! # Determinism
+//!
+//! Each scenario's run seeds from `derive_seed(cfg.seed, seed_index)`,
+//! never from thread identity or completion order. Scenarios that form a
+//! paired comparison (FW vs EL at the same mix, ablation variants against
+//! their baseline) share a `seed_index`, so they see the same workload.
+//! The executor writes each result into the slot of the scenario that
+//! produced it; aggregation reads the slots in order. Progress lines go
+//! to stderr only.
+
+use crate::minspace::{self, MinSpaceResult};
+use crate::report::Table;
+use crate::runner::{build_model, build_model_with, run, RunConfig, RunResult};
+use elog_core::{HybridManager, LogManager};
+use elog_recovery::{
+    check_against_oracle, estimate_recovery_time, recover, scan_blocks, RecoveryTimeModel,
+};
+use elog_sim::SimTime;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Derives the seed for one scenario from the configuration's base seed
+/// and the scenario's seed index (splitmix64 finalisation — consecutive
+/// indices give statistically independent streams).
+pub fn derive_seed(base_seed: u64, seed_index: u64) -> u64 {
+    let mut z = base_seed
+        .wrapping_add(seed_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one scenario simulates.
+#[derive(Clone, Debug)]
+pub enum Job {
+    /// One full measured run.
+    Measure(RunConfig),
+    /// Minimum single-generation (FW) space search, then a measured run
+    /// at the minimum.
+    FwMin {
+        /// Base configuration (geometry is overwritten by the search).
+        base: RunConfig,
+        /// Binary-search ceiling in blocks.
+        limit: u32,
+    },
+    /// Minimum two-generation EL space search, then a measured run at
+    /// the minimum.
+    ElMin {
+        /// Base configuration (geometry is overwritten by the search).
+        base: RunConfig,
+        /// gen0 scan ceiling.
+        g0_max: u32,
+        /// gen1 binary-search ceiling.
+        g1_limit: u32,
+    },
+    /// The paper's recirculation procedure: size gen0 by the
+    /// no-recirculation minimum, then shrink the last generation with
+    /// recirculation on, then measure at the minimum. `base` must have
+    /// recirculation enabled.
+    ElRecircMin {
+        /// Base configuration, recirculation on.
+        base: RunConfig,
+        /// gen0 scan ceiling for the no-recirculation step.
+        g0_max: u32,
+        /// gen1 binary-search ceiling.
+        g1_limit: u32,
+    },
+    /// Run to the horizon, crash, scan the log surface, single-pass REDO,
+    /// verify against the oracle.
+    CrashRecover(RunConfig),
+    /// One measured run of the §6 EL–FW hybrid manager (built from the
+    /// configuration's `el.db` / `el.log` / `el.flush`).
+    Hybrid(RunConfig),
+}
+
+/// One unit of sweep work.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable label (progress lines, failure reports).
+    pub label: String,
+    /// Machine-readable variant tag for aggregation (a mix fraction, a
+    /// generation size, a technique name — whatever the experiment keys
+    /// its tables on).
+    pub variant: String,
+    /// Seed-derivation index. Scenarios forming a paired comparison share
+    /// one index so they face the same workload.
+    pub seed_index: u64,
+    /// The work itself.
+    pub job: Job,
+}
+
+impl Scenario {
+    /// Shorthand constructor.
+    pub fn new(
+        label: impl Into<String>,
+        variant: impl Into<String>,
+        seed_index: u64,
+        job: Job,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            variant: variant.into(),
+            seed_index,
+            job,
+        }
+    }
+}
+
+/// Recovery outcome of a [`Job::CrashRecover`] scenario.
+///
+/// Wall-clock of the in-memory pass is deliberately absent: sweep output
+/// must be byte-identical across `--jobs` settings, and wall time is not.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    /// Configured blocks.
+    pub total_blocks: u64,
+    /// Records examined by the scan.
+    pub records_scanned: u64,
+    /// Modelled 1993-hardware recovery time.
+    pub modelled: SimTime,
+    /// Objects reconstructed.
+    pub recovered_objects: usize,
+    /// Verification against the commit oracle passed.
+    pub verified: bool,
+}
+
+/// Outcome of a [`Job::Hybrid`] scenario.
+#[derive(Clone, Debug)]
+pub struct HybridOutcome {
+    /// Peak memory bytes under hybrid pricing.
+    pub peak_memory_bytes: u64,
+    /// Log bandwidth, block writes per second.
+    pub log_write_rate: f64,
+    /// Records regenerated when anchors reached a head.
+    pub regenerated_records: u64,
+    /// Commit acknowledgements.
+    pub acks: u64,
+    /// Kills.
+    pub kills: u64,
+}
+
+/// What a scenario produced.
+#[derive(Clone, Debug)]
+pub enum Output {
+    /// A measured run.
+    Measured(RunResult),
+    /// A minimum-space search plus the measured run at the minimum.
+    MinSpace {
+        /// The search result.
+        min: MinSpaceResult,
+        /// Full measured run at the minimum geometry.
+        measured: RunResult,
+    },
+    /// A crash-recovery outcome.
+    Recovery(RecoveryOutcome),
+    /// A hybrid-manager measurement.
+    Hybrid(HybridOutcome),
+    /// The scenario panicked; the payload is the panic message.
+    Failed(String),
+}
+
+/// One scenario's outcome, labelled.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The scenario's label.
+    pub label: String,
+    /// The scenario's variant tag.
+    pub variant: String,
+    /// What it produced.
+    pub output: Output,
+}
+
+impl RunOutcome {
+    /// The measured run, if this was a [`Job::Measure`] that succeeded.
+    pub fn measured(&self) -> Option<&RunResult> {
+        match &self.output {
+            Output::Measured(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Search minimum and measured run, for min-space jobs.
+    pub fn min_space(&self) -> Option<(&MinSpaceResult, &RunResult)> {
+        match &self.output {
+            Output::MinSpace { min, measured } => Some((min, measured)),
+            _ => None,
+        }
+    }
+
+    /// The recovery outcome, for [`Job::CrashRecover`] jobs.
+    pub fn recovery(&self) -> Option<&RecoveryOutcome> {
+        match &self.output {
+            Output::Recovery(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The hybrid outcome, for [`Job::Hybrid`] jobs.
+    pub fn hybrid(&self) -> Option<&HybridOutcome> {
+        match &self.output {
+            Output::Hybrid(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The panic message, if the scenario failed.
+    pub fn failure(&self) -> Option<&str> {
+        match &self.output {
+            Output::Failed(msg) => Some(msg),
+            _ => None,
+        }
+    }
+}
+
+/// Executor settings.
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    /// Worker threads (≥ 1). Output is identical for every value.
+    pub jobs: usize,
+    /// Emit a stderr line as each scenario completes.
+    pub progress: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            jobs: default_jobs(),
+            progress: false,
+        }
+    }
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a work-queue of `jobs` scoped threads.
+///
+/// Results come back in item order regardless of completion order. A
+/// panicking call is isolated to its item and reported as `Err` with the
+/// panic message; remaining items still run.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.max(1).min(items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item)))
+                    .map_err(|p| panic_message(p.as_ref()));
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one scenario's job with its derived seed.
+fn run_job(scenario: &Scenario) -> Output {
+    let seeded = |cfg: &RunConfig| cfg.clone().seed(derive_seed(cfg.seed, scenario.seed_index));
+    match &scenario.job {
+        Job::Measure(cfg) => Output::Measured(run(&seeded(cfg))),
+        Job::FwMin { base, limit } => {
+            let base = seeded(base);
+            let min = minspace::fw_min_space(&base, *limit);
+            let measured = run(&base
+                .clone()
+                .geometry(min.generation_blocks.clone())
+                .stop_on_kill(false));
+            Output::MinSpace { min, measured }
+        }
+        Job::ElMin {
+            base,
+            g0_max,
+            g1_limit,
+        } => {
+            let base = seeded(base);
+            // Serial inner search: parallelism belongs to the scenario
+            // level here, not nested inside one scenario.
+            let min = minspace::el_min_space_jobs(&base, *g0_max, *g1_limit, 1);
+            let measured = run(&base
+                .clone()
+                .geometry(min.generation_blocks.clone())
+                .stop_on_kill(false));
+            Output::MinSpace { min, measured }
+        }
+        Job::ElRecircMin {
+            base,
+            g0_max,
+            g1_limit,
+        } => {
+            let base = seeded(base);
+            assert!(
+                base.el.log.recirculation,
+                "ElRecircMin needs recirculation on"
+            );
+            // The paper's procedure: generation 0 is sized by the
+            // no-recirculation minimum (short transactions must become
+            // garbage before its head), then the last generation shrinks
+            // with recirculation on. A joint minimum would pick a
+            // degenerate tiny generation 0 that recirculates everything.
+            let mut norec = base.clone();
+            norec.el.log.recirculation = false;
+            let g0 =
+                minspace::el_min_space_jobs(&norec, *g0_max, *g1_limit, 1).generation_blocks[0];
+            let min = minspace::el_min_last_gen(&base, g0, *g1_limit)
+                .expect("no-recirculation gen0 must stay feasible with recirculation");
+            let measured = run(&base
+                .clone()
+                .geometry(min.generation_blocks.clone())
+                .stop_on_kill(false));
+            Output::MinSpace { min, measured }
+        }
+        Job::CrashRecover(cfg) => {
+            let cfg = seeded(cfg).track_oracle(true);
+            let mut engine = build_model(&cfg);
+            engine.run_until(cfg.runtime);
+            let model = engine.model();
+            let surface = model.lm.log_surface();
+            let image = scan_blocks(surface.iter());
+            let state = recover(&image, model.lm.stable_db());
+            let report = check_against_oracle(&model.oracle, &state);
+            let metrics = model.lm.metrics(cfg.runtime);
+            let modelled = estimate_recovery_time(
+                &RecoveryTimeModel::default(),
+                &metrics.per_gen_blocks,
+                image.stats.records,
+            );
+            Output::Recovery(RecoveryOutcome {
+                total_blocks: metrics.total_blocks,
+                records_scanned: image.stats.records,
+                modelled,
+                recovered_objects: state.versions.len(),
+                verified: report.is_ok(),
+            })
+        }
+        Job::Hybrid(cfg) => {
+            let cfg = seeded(cfg);
+            let lm =
+                HybridManager::new(cfg.el.db.clone(), cfg.el.log.clone(), cfg.el.flush.clone())
+                    .expect("valid configuration");
+            let mut engine = build_model_with(&cfg, lm);
+            engine.run_until(cfg.runtime);
+            let model = engine.model();
+            Output::Hybrid(HybridOutcome {
+                peak_memory_bytes: model.lm.peak_memory_bytes(),
+                log_write_rate: LogManager::log_write_rate(&model.lm, cfg.runtime),
+                regenerated_records: model.lm.stats().regenerated_records,
+                acks: model.lm.stats().acks,
+                kills: model.kills(),
+            })
+        }
+    }
+}
+
+/// Runs scenarios on the executor; outcomes come back in scenario order.
+pub fn run_scenarios(scenarios: &[Scenario], opts: &ExecOptions) -> Vec<RunOutcome> {
+    let total = scenarios.len();
+    let done = AtomicUsize::new(0);
+    let results = parallel_map(scenarios, opts.jobs, |_, s| {
+        let out = run_job(s);
+        if opts.progress {
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!("[sweep {d}/{total}] {}", s.label);
+        }
+        out
+    });
+    scenarios
+        .iter()
+        .zip(results)
+        .map(|(s, r)| RunOutcome {
+            label: s.label.clone(),
+            variant: s.variant.clone(),
+            output: match r {
+                Ok(output) => output,
+                Err(msg) => Output::Failed(msg),
+            },
+        })
+        .collect()
+}
+
+/// One `FAILED label: message` line per failed outcome (for `notes`).
+pub fn failure_notes(outcomes: &[RunOutcome]) -> Vec<String> {
+    outcomes
+        .iter()
+        .filter_map(|o| o.failure().map(|msg| format!("FAILED {}: {msg}", o.label)))
+        .collect()
+}
+
+/// One experiment: a named scenario enumerator plus its aggregation.
+pub trait Experiment {
+    /// Short name for progress lines and reports.
+    fn name(&self) -> &'static str;
+
+    /// The scenarios to run (`quick` shrinks runtimes and sweeps).
+    fn scenarios(&self, quick: bool) -> Vec<Scenario>;
+
+    /// Aggregates outcomes (in scenario order) into `(slug, table)` pairs;
+    /// the slug names the CSV file.
+    fn tables(&self, outcomes: &[RunOutcome]) -> Vec<(String, Table)>;
+
+    /// Free-form summary lines printed after the tables.
+    fn notes(&self, _outcomes: &[RunOutcome]) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// One experiment's aggregated output.
+pub struct ExperimentReport {
+    /// The experiment's name.
+    pub name: &'static str,
+    /// `(slug, table)` pairs in print order.
+    pub tables: Vec<(String, Table)>,
+    /// Summary lines to print after the tables.
+    pub notes: Vec<String>,
+}
+
+/// Runs every experiment's scenarios through one shared executor pool
+/// (scenarios from different experiments interleave freely — seeding is
+/// per-scenario, so grouping does not affect results) and aggregates
+/// per experiment, preserving registry order.
+pub fn run_experiments(
+    experiments: &[Box<dyn Experiment>],
+    quick: bool,
+    opts: &ExecOptions,
+) -> Vec<ExperimentReport> {
+    let mut all = Vec::new();
+    let mut spans = Vec::new();
+    for e in experiments {
+        let scenarios = e.scenarios(quick);
+        spans.push(all.len()..all.len() + scenarios.len());
+        all.extend(scenarios);
+    }
+    let outcomes = run_scenarios(&all, opts);
+    experiments
+        .iter()
+        .zip(spans)
+        .map(|(e, span)| {
+            let slice = &outcomes[span];
+            ExperimentReport {
+                name: e.name(),
+                tables: e.tables(slice),
+                notes: e.notes(slice),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_spread() {
+        assert_eq!(derive_seed(1, 0), derive_seed(1, 0));
+        assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+        // No short-cycle collisions across a realistic sweep width.
+        let mut seen = std::collections::HashSet::new();
+        for base in [0x5EED_1993u64, 7, u64::MAX] {
+            for idx in 0..256 {
+                assert!(
+                    seen.insert(derive_seed(base, idx)),
+                    "collision at {base}/{idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_isolates_panics() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map(&items, 4, |i, &x| {
+            assert_eq!(i as u64, x);
+            if x == 17 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 40);
+        for (i, r) in out.iter().enumerate() {
+            if i == 17 {
+                assert_eq!(r.as_ref().unwrap_err(), "boom at 17");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn executor_output_is_independent_of_job_count() {
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| {
+                Scenario::new(
+                    format!("probe {i}"),
+                    i.to_string(),
+                    i,
+                    Job::Measure(
+                        crate::minspace::paper_base(0.05, false, 5).geometry(vec![18, 16]),
+                    ),
+                )
+            })
+            .collect();
+        let serial = run_scenarios(
+            &scenarios,
+            &ExecOptions {
+                jobs: 1,
+                progress: false,
+            },
+        );
+        let parallel = run_scenarios(
+            &scenarios,
+            &ExecOptions {
+                jobs: 4,
+                progress: false,
+            },
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.label, b.label);
+            let (ra, rb) = (a.measured().unwrap(), b.measured().unwrap());
+            assert_eq!(ra.committed, rb.committed);
+            assert_eq!(ra.metrics.log_writes, rb.metrics.log_writes);
+            assert_eq!(ra.metrics.peak_memory_bytes, rb.metrics.peak_memory_bytes);
+        }
+        // Distinct seed indices actually produced distinct workload draws.
+        let writes: std::collections::HashSet<u64> = serial
+            .iter()
+            .map(|o| o.measured().unwrap().metrics.log_writes)
+            .collect();
+        assert!(
+            writes.len() > 1,
+            "seed derivation must vary across scenarios"
+        );
+    }
+}

@@ -119,7 +119,11 @@ mod tests {
     use elog_sim::SimTime;
 
     fn v(tid: u64, seq: u32, ms: u64) -> ObjectVersion {
-        ObjectVersion { tid: Tid(tid), seq, ts: SimTime::from_millis(ms) }
+        ObjectVersion {
+            tid: Tid(tid),
+            seq,
+            ts: SimTime::from_millis(ms),
+        }
     }
 
     #[test]

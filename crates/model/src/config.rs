@@ -23,7 +23,10 @@ pub struct DbConfig {
 
 impl Default for DbConfig {
     fn default() -> Self {
-        DbConfig { num_objects: 10_000_000, tx_record_size: 8 }
+        DbConfig {
+            num_objects: 10_000_000,
+            tx_record_size: 8,
+        }
     }
 }
 
@@ -115,10 +118,14 @@ impl LogConfig {
             return Err(ConfigError::new("at least one generation is required"));
         }
         if self.generation_blocks.len() > 64 {
-            return Err(ConfigError::new("more than 64 generations is not supported"));
+            return Err(ConfigError::new(
+                "more than 64 generations is not supported",
+            ));
         }
         if self.block_payload == 0 || self.block_payload > self.block_total {
-            return Err(ConfigError::new("block payload must be in (0, block_total]"));
+            return Err(ConfigError::new(
+                "block payload must be in (0, block_total]",
+            ));
         }
         if self.buffers_per_generation < 2 {
             return Err(ConfigError::new(
@@ -151,7 +158,10 @@ pub struct FlushConfig {
 
 impl Default for FlushConfig {
     fn default() -> Self {
-        FlushConfig { drives: 10, transfer_time: SimTime::from_millis(25) }
+        FlushConfig {
+            drives: 10,
+            transfer_time: SimTime::from_millis(25),
+        }
     }
 }
 
@@ -219,7 +229,10 @@ mod tests {
 
     #[test]
     fn scarce_flush_rate() {
-        let f = FlushConfig { drives: 10, transfer_time: SimTime::from_millis(45) };
+        let f = FlushConfig {
+            drives: 10,
+            transfer_time: SimTime::from_millis(45),
+        };
         // Paper: "10 disk drives together provide a maximum bandwidth of
         // 222 writes per sec."
         assert!((f.max_flush_rate() - 222.22).abs() < 0.1);
@@ -239,39 +252,65 @@ mod tests {
         c.generation_blocks.clear();
         assert!(c.validate().is_err());
 
-        let c = LogConfig { generation_blocks: vec![2, 16], ..Default::default() };
+        let c = LogConfig {
+            generation_blocks: vec![2, 16],
+            ..Default::default()
+        };
         assert!(c.validate().is_err(), "gen0 == gap threshold");
 
-        let c = LogConfig { block_payload: 0, ..Default::default() };
+        let c = LogConfig {
+            block_payload: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
         let base = LogConfig::default();
-        let c = LogConfig { block_payload: base.block_total + 1, ..Default::default() };
+        let c = LogConfig {
+            block_payload: base.block_total + 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
 
-        let c = LogConfig { buffers_per_generation: 1, ..Default::default() };
+        let c = LogConfig {
+            buffers_per_generation: 1,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validation_rejects_bad_flush() {
-        assert!(FlushConfig { drives: 0, ..Default::default() }.validate().is_err());
-        assert!(FlushConfig { transfer_time: SimTime::ZERO, ..Default::default() }
-            .validate()
-            .is_err());
+        assert!(FlushConfig {
+            drives: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(FlushConfig {
+            transfer_time: SimTime::ZERO,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
     fn error_displays_reason() {
-        let e = LogConfig { generation_blocks: vec![], ..Default::default() }
-            .validate()
-            .unwrap_err();
+        let e = LogConfig {
+            generation_blocks: vec![],
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
         assert!(e.to_string().contains("at least one generation"));
     }
 
     #[test]
     fn total_blocks_sums_generations() {
-        let c = LogConfig { generation_blocks: vec![18, 16, 8], ..Default::default() };
+        let c = LogConfig {
+            generation_blocks: vec![18, 16, 8],
+            ..Default::default()
+        };
         assert_eq!(c.total_blocks(), 42);
         assert_eq!(c.generations(), 3);
     }

@@ -176,7 +176,12 @@ mod tests {
     }
 
     fn tx(tid: u64, mark: TxMark) -> LogRecord {
-        LogRecord::Tx(TxRecord { tid: Tid(tid), mark, ts: SimTime::from_millis(2), size: 8 })
+        LogRecord::Tx(TxRecord {
+            tid: Tid(tid),
+            mark,
+            ts: SimTime::from_millis(2),
+            size: 8,
+        })
     }
 
     #[test]

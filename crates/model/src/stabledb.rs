@@ -167,7 +167,11 @@ mod tests {
     use super::*;
 
     fn v(tid: u64, seq: u32, ms: u64) -> ObjectVersion {
-        ObjectVersion { tid: Tid(tid), seq, ts: SimTime::from_millis(ms) }
+        ObjectVersion {
+            tid: Tid(tid),
+            seq,
+            ts: SimTime::from_millis(ms),
+        }
     }
 
     #[test]
@@ -202,17 +206,30 @@ mod tests {
     #[test]
     fn diff_detects_all_mismatch_kinds() {
         let mut o = CommittedOracle::new();
-        o.commit(Tid(1), [(Oid(1), 1, SimTime::from_millis(1)), (Oid(2), 2, SimTime::from_millis(1))]);
+        o.commit(
+            Tid(1),
+            [
+                (Oid(1), 1, SimTime::from_millis(1)),
+                (Oid(2), 2, SimTime::from_millis(1)),
+            ],
+        );
 
         let mut rebuilt: HashMap<Oid, ObjectVersion> = HashMap::new();
         rebuilt.insert(Oid(1), v(1, 1, 1)); // correct
         rebuilt.insert(Oid(3), v(9, 1, 9)); // extra
-        // Oid(2) missing.
+                                            // Oid(2) missing.
         let bad = o.diff(&rebuilt);
         assert_eq!(bad, vec![Oid(2), Oid(3)]);
 
         rebuilt.remove(&Oid(3));
-        rebuilt.insert(Oid(2), ObjectVersion { tid: Tid(1), seq: 2, ts: SimTime::from_millis(1) });
+        rebuilt.insert(
+            Oid(2),
+            ObjectVersion {
+                tid: Tid(1),
+                seq: 2,
+                ts: SimTime::from_millis(1),
+            },
+        );
         assert!(o.diff(&rebuilt).is_empty());
     }
 

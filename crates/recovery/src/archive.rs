@@ -169,17 +169,39 @@ mod tests {
     }
 
     fn sample_surface() -> Vec<Vec<Block>> {
-        let mut b0 = Block::new(BlockAddr { gen: GenId(0), seq: 0 });
+        let mut b0 = Block::new(BlockAddr {
+            gen: GenId(0),
+            seq: 0,
+        });
         b0.written_at = SimTime::from_millis(1);
         for r in [
-            LogRecord::Tx(TxRecord { tid: Tid(1), mark: TxMark::Begin, ts: SimTime::ZERO, size: 8 }),
-            LogRecord::Data(DataRecord { tid: Tid(1), oid: Oid(5), seq: 1, ts: SimTime::from_millis(1), size: 100 }),
-            LogRecord::Tx(TxRecord { tid: Tid(1), mark: TxMark::Commit, ts: SimTime::from_millis(2), size: 8 }),
+            LogRecord::Tx(TxRecord {
+                tid: Tid(1),
+                mark: TxMark::Begin,
+                ts: SimTime::ZERO,
+                size: 8,
+            }),
+            LogRecord::Data(DataRecord {
+                tid: Tid(1),
+                oid: Oid(5),
+                seq: 1,
+                ts: SimTime::from_millis(1),
+                size: 100,
+            }),
+            LogRecord::Tx(TxRecord {
+                tid: Tid(1),
+                mark: TxMark::Commit,
+                ts: SimTime::from_millis(2),
+                size: 8,
+            }),
         ] {
             b0.payload_used += r.size();
             b0.records.push(r);
         }
-        let mut b1 = Block::new(BlockAddr { gen: GenId(1), seq: 0 });
+        let mut b1 = Block::new(BlockAddr {
+            gen: GenId(1),
+            seq: 0,
+        });
         b1.written_at = SimTime::from_millis(3);
         vec![vec![b0], vec![b1]]
     }
@@ -191,7 +213,11 @@ mod tests {
         let mut stable = StableDb::new();
         stable.install(
             Oid(9),
-            ObjectVersion { tid: Tid(7), seq: 2, ts: SimTime::from_millis(4) },
+            ObjectVersion {
+                tid: Tid(7),
+                seq: 2,
+                ts: SimTime::from_millis(4),
+            },
         );
 
         let blocks = save_archive(&dir, &surface, &stable).unwrap();

@@ -49,7 +49,11 @@ pub fn recover(image: &LogImage, stable: &StableDb) -> RecoveredState {
             out.skipped_uncommitted += 1;
             continue;
         }
-        let v = ObjectVersion { tid: d.tid, seq: d.seq, ts: d.ts };
+        let v = ObjectVersion {
+            tid: d.tid,
+            seq: d.seq,
+            ts: d.ts,
+        };
         match candidates.get_mut(&d.oid) {
             Some(existing) if existing.ts >= v.ts => {}
             Some(existing) => *existing = v,
@@ -81,7 +85,10 @@ mod tests {
     use elog_storage::Block;
 
     fn block(records: Vec<LogRecord>) -> Vec<Block> {
-        let mut b = Block::new(BlockAddr { gen: GenId(0), seq: 0 });
+        let mut b = Block::new(BlockAddr {
+            gen: GenId(0),
+            seq: 0,
+        });
         b.written_at = SimTime::ZERO;
         for r in records {
             b.payload_used += r.size();
@@ -152,7 +159,11 @@ mod tests {
         let mut stable = StableDb::new();
         stable.install(
             Oid(5),
-            ObjectVersion { tid: Tid(1), seq: 1, ts: SimTime::from_millis(10) },
+            ObjectVersion {
+                tid: Tid(1),
+                seq: 1,
+                ts: SimTime::from_millis(10),
+            },
         );
         let out = recover(&image, &stable);
         assert_eq!(out.redone, 0);
@@ -167,7 +178,11 @@ mod tests {
         let mut stable = StableDb::new();
         stable.install(
             Oid(9),
-            ObjectVersion { tid: Tid(7), seq: 1, ts: SimTime::from_millis(5) },
+            ObjectVersion {
+                tid: Tid(7),
+                seq: 1,
+                ts: SimTime::from_millis(5),
+            },
         );
         let out = recover(&image, &stable);
         assert_eq!(out.versions.len(), 1);
@@ -181,7 +196,11 @@ mod tests {
         let mut stable = StableDb::new();
         stable.install(
             Oid(5),
-            ObjectVersion { tid: Tid(1), seq: 1, ts: SimTime::from_millis(10) },
+            ObjectVersion {
+                tid: Tid(1),
+                seq: 1,
+                ts: SimTime::from_millis(10),
+            },
         );
         let out = recover(&image, &stable);
         assert_eq!(out.versions[&Oid(5)].tid, Tid(2));

@@ -116,7 +116,10 @@ mod tests {
     use elog_storage::block::BlockAddr;
 
     fn block(gen: u8, seq: u64, records: Vec<LogRecord>) -> Block {
-        let mut b = Block::new(BlockAddr { gen: GenId(gen), seq });
+        let mut b = Block::new(BlockAddr {
+            gen: GenId(gen),
+            seq,
+        });
         b.written_at = SimTime::from_micros(seq);
         for r in records {
             b.payload_used += r.size();
@@ -136,13 +139,22 @@ mod tests {
     }
 
     fn tx(tid: u64, mark: TxMark, ms: u64) -> LogRecord {
-        LogRecord::Tx(TxRecord { tid: Tid(tid), mark, ts: SimTime::from_millis(ms), size: 8 })
+        LogRecord::Tx(TxRecord {
+            tid: Tid(tid),
+            mark,
+            ts: SimTime::from_millis(ms),
+            size: 8,
+        })
     }
 
     #[test]
     fn scan_classifies_records() {
         let g0 = vec![block(0, 0, vec![tx(1, TxMark::Begin, 0), data(1, 5, 1, 1)])];
-        let g1 = vec![block(1, 0, vec![tx(1, TxMark::Commit, 2), tx(2, TxMark::Abort, 3)])];
+        let g1 = vec![block(
+            1,
+            0,
+            vec![tx(1, TxMark::Commit, 2), tx(2, TxMark::Abort, 3)],
+        )];
         let image = scan_blocks([&g0, &g1]);
         assert_eq!(image.data.len(), 1);
         assert!(image.committed.contains(&Tid(1)));
@@ -165,7 +177,11 @@ mod tests {
 
     #[test]
     fn distinct_updates_not_merged() {
-        let g0 = vec![block(0, 0, vec![data(1, 5, 1, 1), data(1, 5, 2, 2), data(2, 5, 1, 3)])];
+        let g0 = vec![block(
+            0,
+            0,
+            vec![data(1, 5, 1, 1), data(1, 5, 2, 2), data(2, 5, 1, 3)],
+        )];
         let image = scan_blocks([&g0]);
         assert_eq!(image.data.len(), 3);
     }

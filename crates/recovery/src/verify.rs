@@ -58,7 +58,11 @@ mod tests {
     use elog_sim::SimTime;
 
     fn v(tid: u64, ms: u64) -> ObjectVersion {
-        ObjectVersion { tid: Tid(tid), seq: 1, ts: SimTime::from_millis(ms) }
+        ObjectVersion {
+            tid: Tid(tid),
+            seq: 1,
+            ts: SimTime::from_millis(ms),
+        }
     }
 
     fn oracle_with(entries: &[(u64, ObjectVersion)]) -> CommittedOracle {

@@ -60,7 +60,10 @@ fn run_workload(lm: ElManager, bursts: u64, crash_at: SimTime) -> (SimpleHost, C
 }
 
 fn el_manager() -> ElManager {
-    let log = LogConfig { generation_blocks: vec![4, 8], ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: vec![4, 8],
+        ..LogConfig::default()
+    };
     ElManager::ephemeral(log, FlushConfig::default())
 }
 
@@ -150,9 +153,10 @@ fn recovery_tolerates_torn_blocks_that_carry_no_unique_state() {
     };
     // Corrupting may still lose a *commit* record; only proceed if this
     // block has none (commit evidence must survive elsewhere).
-    let has_commit = surface[0][victim].records.iter().any(|r| {
-        matches!(r, elog_model::LogRecord::Tx(t) if t.mark == elog_model::TxMark::Commit)
-    });
+    let has_commit = surface[0][victim]
+        .records
+        .iter()
+        .any(|r| matches!(r, elog_model::LogRecord::Tx(t) if t.mark == elog_model::TxMark::Commit));
     if has_commit {
         return;
     }
@@ -168,7 +172,10 @@ fn recovery_tolerates_torn_blocks_that_carry_no_unique_state() {
 
 #[test]
 fn clean_shutdown_recovers_exact_state() {
-    let log = LogConfig { generation_blocks: vec![6, 6], ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: vec![6, 6],
+        ..LogConfig::default()
+    };
     let mut h = SimpleHost::new(ElManager::ephemeral(log, FlushConfig::default()));
     let mut oracle = CommittedOracle::new();
     for tid in 0..20u64 {

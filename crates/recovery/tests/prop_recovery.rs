@@ -16,9 +16,18 @@ struct TxPlan {
 }
 
 fn arb_plan() -> impl Strategy<Value = TxPlan> {
-    (0u64..2_000, 20u64..3_000, 1u8..6, proptest::bool::weighted(0.15)).prop_map(
-        |(start_ms, duration_ms, updates, abort)| TxPlan { start_ms, duration_ms, updates, abort },
+    (
+        0u64..2_000,
+        20u64..3_000,
+        1u8..6,
+        proptest::bool::weighted(0.15),
     )
+        .prop_map(|(start_ms, duration_ms, updates, abort)| TxPlan {
+            start_ms,
+            duration_ms,
+            updates,
+            abort,
+        })
 }
 
 #[derive(Clone, Copy, Debug)]

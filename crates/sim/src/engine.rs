@@ -96,7 +96,11 @@ impl<M: Simulate> Engine<M> {
                 break;
             }
             let (at, event) = self.queue.pop().expect("peeked event must pop");
-            debug_assert!(at >= self.now, "time ran backwards: {at:?} < {:?}", self.now);
+            debug_assert!(
+                at >= self.now,
+                "time ran backwards: {at:?} < {:?}",
+                self.now
+            );
             self.now = at;
             self.events_processed += 1;
             self.model.handle(at, event, &mut self.queue);
@@ -147,7 +151,11 @@ mod tests {
     }
 
     fn recorder() -> Recorder {
-        Recorder { log: Vec::new(), echoes: 0, stop_at: None }
+        Recorder {
+            log: Vec::new(),
+            echoes: 0,
+            stop_at: None,
+        }
     }
 
     #[test]
@@ -159,7 +167,10 @@ mod tests {
 
     #[test]
     fn chain_of_events_advances_clock() {
-        let mut e = Engine::new(Recorder { echoes: 1, ..recorder() });
+        let mut e = Engine::new(Recorder {
+            echoes: 1,
+            ..recorder()
+        });
         e.queue_mut().schedule(SimTime::ZERO, 5);
         let end = e.run_to_completion();
         assert_eq!(end, SimTime::from_micros(5));
@@ -174,10 +185,10 @@ mod tests {
         e.queue_mut().schedule(SimTime::from_millis(2), 2);
         e.queue_mut().schedule(SimTime::from_millis(3), 3);
         e.run_until(SimTime::from_millis(2));
-        assert_eq!(e.model().log, vec![
-            (SimTime::from_millis(1), 1),
-            (SimTime::from_millis(2), 2),
-        ]);
+        assert_eq!(
+            e.model().log,
+            vec![(SimTime::from_millis(1), 1), (SimTime::from_millis(2), 2),]
+        );
         // The third event is still pending and fires on resume.
         e.run_to_completion();
         assert_eq!(e.model().log.len(), 3);
@@ -207,7 +218,10 @@ mod tests {
     #[test]
     fn branching_fanout_terminates() {
         // 2^n fan-out but decreasing payload: must terminate.
-        let mut e = Engine::new(Recorder { echoes: 2, ..recorder() });
+        let mut e = Engine::new(Recorder {
+            echoes: 2,
+            ..recorder()
+        });
         e.queue_mut().schedule(SimTime::ZERO, 4);
         e.run_to_completion();
         // 1 + 2 + 4 + 8 + 16 = 31 deliveries for payloads 4..0.

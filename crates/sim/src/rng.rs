@@ -24,7 +24,10 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), seed }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The seed this stream was created with.
@@ -92,7 +95,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.next_u64_below(u64::MAX) == b.next_u64_below(u64::MAX)).count();
+        let same = (0..64)
+            .filter(|_| a.next_u64_below(u64::MAX) == b.next_u64_below(u64::MAX))
+            .count();
         assert!(same < 4, "streams should diverge, {same} collisions");
     }
 

@@ -37,7 +37,11 @@ impl Counter {
     /// Events per simulated second over `elapsed`.
     pub fn rate_per_sec(self, elapsed: SimTime) -> f64 {
         let secs = elapsed.as_secs_f64();
-        if secs == 0.0 { 0.0 } else { self.0 as f64 / secs }
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.0 as f64 / secs
+        }
     }
 }
 
@@ -136,7 +140,12 @@ impl Default for TimeWeighted {
 impl TimeWeighted {
     /// Starts tracking at `start` with initial value `v0`.
     pub fn new(start: SimTime, v0: f64) -> Self {
-        TimeWeighted { last_value: v0, last_at: start, weighted_sum: 0.0, origin: start }
+        TimeWeighted {
+            last_value: v0,
+            last_at: start,
+            weighted_sum: 0.0,
+            origin: start,
+        }
     }
 
     /// Records a change of value at time `now`.
@@ -243,7 +252,11 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(if i < self.bounds.len() { self.bounds[i] } else { self.max });
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
             }
         }
         Some(self.max)
@@ -302,7 +315,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.update(SimTime::from_secs(10), 100.0); // 0 for 10 s
         tw.update(SimTime::from_secs(20), 0.0); // 100 for 10 s
-        // over 20 s: (0*10 + 100*10)/20 = 50
+                                                // over 20 s: (0*10 + 100*10)/20 = 50
         assert!((tw.average(SimTime::from_secs(20)) - 50.0).abs() < 1e-9);
         // extend 20 more seconds at 0: (1000)/40 = 25
         assert!((tw.average(SimTime::from_secs(40)) - 25.0).abs() < 1e-9);

@@ -183,7 +183,10 @@ mod tests {
     #[test]
     fn saturating_behaviour() {
         assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
-        assert_eq!(SimTime::ZERO.saturating_sub(SimTime::from_secs(1)), SimTime::ZERO);
+        assert_eq!(
+            SimTime::ZERO.saturating_sub(SimTime::from_secs(1)),
+            SimTime::ZERO
+        );
     }
 
     #[test]

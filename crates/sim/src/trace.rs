@@ -45,7 +45,11 @@ pub struct TraceRing {
 impl TraceRing {
     /// Creates a ring holding at most `capacity` lines.
     pub fn new(capacity: usize) -> Self {
-        TraceRing { lines: VecDeque::with_capacity(capacity.min(4096)), capacity, dropped: 0 }
+        TraceRing {
+            lines: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Lines currently retained, oldest first.

@@ -50,7 +50,12 @@ pub struct Block {
 impl Block {
     /// An empty block at `addr` (not yet durable).
     pub fn new(addr: BlockAddr) -> Self {
-        Block { addr, written_at: SimTime::MAX, records: Vec::new(), payload_used: 0 }
+        Block {
+            addr,
+            written_at: SimTime::MAX,
+            records: Vec::new(),
+            payload_used: 0,
+        }
     }
 
     /// Appends a record, tracking payload use.
@@ -106,14 +111,27 @@ mod tests {
 
     #[test]
     fn addr_slot_wraps() {
-        let a = BlockAddr { gen: GenId(0), seq: 37 };
+        let a = BlockAddr {
+            gen: GenId(0),
+            seq: 37,
+        };
         assert_eq!(a.slot(16), 5);
-        assert_eq!(BlockAddr { gen: GenId(0), seq: 15 }.slot(16), 15);
+        assert_eq!(
+            BlockAddr {
+                gen: GenId(0),
+                seq: 15
+            }
+            .slot(16),
+            15
+        );
     }
 
     #[test]
     fn push_tracks_payload() {
-        let mut b = Block::new(BlockAddr { gen: GenId(0), seq: 0 });
+        let mut b = Block::new(BlockAddr {
+            gen: GenId(0),
+            seq: 0,
+        });
         assert!(b.is_empty());
         b.push(rec(100), 2000);
         b.push(rec(150), 2000);
@@ -127,14 +145,20 @@ mod tests {
     #[should_panic]
     #[cfg(debug_assertions)]
     fn overpacking_asserts_in_debug() {
-        let mut b = Block::new(BlockAddr { gen: GenId(0), seq: 0 });
+        let mut b = Block::new(BlockAddr {
+            gen: GenId(0),
+            seq: 0,
+        });
         b.push(rec(1500), 2000);
         b.push(rec(1500), 2000);
     }
 
     #[test]
     fn fresh_block_is_not_durable() {
-        let b = Block::new(BlockAddr { gen: GenId(1), seq: 9 });
+        let b = Block::new(BlockAddr {
+            gen: GenId(1),
+            seq: 9,
+        });
         assert!(b.written_at.is_never());
     }
 }

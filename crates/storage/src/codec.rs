@@ -66,7 +66,10 @@ impl fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "block truncated"),
             CodecError::BadHeader => write!(f, "bad block magic/version"),
             CodecError::BadChecksum { expected, actual } => {
-                write!(f, "checksum mismatch: header {expected:#010x}, body {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: header {expected:#010x}, body {actual:#010x}"
+                )
             }
             CodecError::BadRecordTag(t) => write!(f, "unknown record tag {t:#04x}"),
             CodecError::BadPayload => write!(f, "payload does not match record identity"),
@@ -122,7 +125,13 @@ fn decode_record(buf: &mut &[u8]) -> Result<LogRecord, CodecError> {
                 return Err(CodecError::BadPayload);
             }
             buf.advance(payload_len);
-            Ok(LogRecord::Data(DataRecord { tid, oid, seq, ts, size }))
+            Ok(LogRecord::Data(DataRecord {
+                tid,
+                oid,
+                seq,
+                ts,
+                size,
+            }))
         }
         t => {
             let mark = TxMark::from_tag(t).ok_or(CodecError::BadRecordTag(t))?;
@@ -132,7 +141,12 @@ fn decode_record(buf: &mut &[u8]) -> Result<LogRecord, CodecError> {
             let tid = Tid(buf.get_u64_le());
             let ts = SimTime::from_micros(buf.get_u64_le());
             let size = buf.get_u32_le();
-            Ok(LogRecord::Tx(TxRecord { tid, mark, ts, size }))
+            Ok(LogRecord::Tx(TxRecord {
+                tid,
+                mark,
+                ts,
+                size,
+            }))
         }
     }
 }
@@ -185,7 +199,10 @@ pub fn decode_block(mut buf: &[u8]) -> Result<Block, CodecError> {
     let body = &buf[..body_len];
     let actual_crc = crc32(body);
     if actual_crc != expected_crc {
-        return Err(CodecError::BadChecksum { expected: expected_crc, actual: actual_crc });
+        return Err(CodecError::BadChecksum {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
     }
     let mut cursor = body;
     let mut records = Vec::with_capacity(record_count);
@@ -208,7 +225,10 @@ mod tests {
     use super::*;
 
     fn sample_block() -> Block {
-        let mut b = Block::new(BlockAddr { gen: GenId(1), seq: 77 });
+        let mut b = Block::new(BlockAddr {
+            gen: GenId(1),
+            seq: 77,
+        });
         b.written_at = SimTime::from_millis(321);
         b.push(
             LogRecord::Tx(TxRecord {
@@ -259,7 +279,10 @@ mod tests {
 
     #[test]
     fn empty_block_roundtrip() {
-        let mut b = Block::new(BlockAddr { gen: GenId(0), seq: 0 });
+        let mut b = Block::new(BlockAddr {
+            gen: GenId(0),
+            seq: 0,
+        });
         b.written_at = SimTime::ZERO;
         let back = decode_block(&encode_block(&b)).unwrap();
         assert!(back.records.is_empty());
@@ -287,7 +310,10 @@ mod tests {
         assert_eq!(decode_block(&bad), Err(CodecError::BadHeader));
 
         assert_eq!(decode_block(&bytes[..10]), Err(CodecError::Truncated));
-        assert_eq!(decode_block(&bytes[..bytes.len() - 1]), Err(CodecError::Truncated));
+        assert_eq!(
+            decode_block(&bytes[..bytes.len() - 1]),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]
@@ -307,10 +333,18 @@ mod tests {
 
     #[test]
     fn rejects_unknown_record_tag() {
-        let mut b = Block::new(BlockAddr { gen: GenId(0), seq: 1 });
+        let mut b = Block::new(BlockAddr {
+            gen: GenId(0),
+            seq: 1,
+        });
         b.written_at = SimTime::ZERO;
         b.push(
-            LogRecord::Tx(TxRecord { tid: Tid(1), mark: TxMark::Abort, ts: SimTime::ZERO, size: 8 }),
+            LogRecord::Tx(TxRecord {
+                tid: Tid(1),
+                mark: TxMark::Abort,
+                ts: SimTime::ZERO,
+                size: 8,
+            }),
             2000,
         );
         let mut bytes = encode_block(&b);

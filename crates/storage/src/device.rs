@@ -37,7 +37,10 @@ impl LogDevice {
     /// Creates a device with fixed per-buffer `latency` serving
     /// `generations` independent block streams.
     pub fn new(latency: SimTime, generations: usize) -> Self {
-        LogDevice { latency, per_gen: vec![DeviceStats::default(); generations] }
+        LogDevice {
+            latency,
+            per_gen: vec![DeviceStats::default(); generations],
+        }
     }
 
     /// The fixed transfer latency.
@@ -96,9 +99,7 @@ impl LogDevice {
     pub fn mean_fill(&self, gen: usize, payload_capacity: u32) -> Option<f64> {
         let s = &self.per_gen[gen];
         let w = s.writes.get();
-        (w > 0).then(|| {
-            s.payload_bytes.get() as f64 / (w as f64 * f64::from(payload_capacity))
-        })
+        (w > 0).then(|| s.payload_bytes.get() as f64 / (w as f64 * f64::from(payload_capacity)))
     }
 }
 

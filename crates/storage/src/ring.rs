@@ -89,7 +89,10 @@ impl BlockRing {
         if self.free_blocks() == 0 {
             return None;
         }
-        let addr = BlockAddr { gen: self.gen, seq: self.tail };
+        let addr = BlockAddr {
+            gen: self.gen,
+            seq: self.tail,
+        };
         self.tail += 1;
         Some(addr)
     }
@@ -104,8 +107,15 @@ impl BlockRing {
     /// # Panics
     /// Panics if the block was never allocated, or belongs to another ring.
     pub fn install(&mut self, block: Block) -> bool {
-        assert_eq!(block.addr.gen, self.gen, "block belongs to another generation");
-        assert!(block.addr.seq < self.tail, "installing unallocated block {}", block.addr.seq);
+        assert_eq!(
+            block.addr.gen, self.gen,
+            "block belongs to another generation"
+        );
+        assert!(
+            block.addr.seq < self.tail,
+            "installing unallocated block {}",
+            block.addr.seq
+        );
         if block.addr.seq + self.capacity < self.tail {
             return false; // lapped: the slot belongs to a newer allocation
         }

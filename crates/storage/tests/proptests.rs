@@ -8,8 +8,14 @@ use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = LogRecord> {
     prop_oneof![
-        (any::<u64>(), 0u64..10_000_000, 1u32..100, any::<u32>(), 35u32..500).prop_map(
-            |(tid, oid, seq, ts, size)| {
+        (
+            any::<u64>(),
+            0u64..10_000_000,
+            1u32..100,
+            any::<u32>(),
+            35u32..500
+        )
+            .prop_map(|(tid, oid, seq, ts, size)| {
                 LogRecord::Data(DataRecord {
                     tid: Tid(tid),
                     oid: Oid(oid),
@@ -17,8 +23,7 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
                     ts: SimTime::from_micros(u64::from(ts)),
                     size,
                 })
-            }
-        ),
+            }),
         (any::<u64>(), 0u8..3, any::<u32>()).prop_map(|(tid, m, ts)| {
             let mark = [TxMark::Begin, TxMark::Commit, TxMark::Abort][m as usize];
             LogRecord::Tx(TxRecord {

@@ -52,9 +52,11 @@ impl ArrivalProcess {
                 rate_tps
             }
             // Equal mean dwell in each state ⇒ time-weighted average rate.
-            ArrivalProcess::MarkovBursty { base_tps, burst_tps, .. } => {
-                (base_tps + burst_tps) / 2.0
-            }
+            ArrivalProcess::MarkovBursty {
+                base_tps,
+                burst_tps,
+                ..
+            } => (base_tps + burst_tps) / 2.0,
         }
     }
 
@@ -73,7 +75,12 @@ impl ArrivalProcess {
                 debug_assert!(*rate_tps > 0.0, "arrival rate must be positive");
                 SimTime::from_secs_f64(rng.next_exp(1.0 / *rate_tps))
             }
-            ArrivalProcess::MarkovBursty { base_tps, burst_tps, mean_dwell_s, in_burst } => {
+            ArrivalProcess::MarkovBursty {
+                base_tps,
+                burst_tps,
+                mean_dwell_s,
+                in_burst,
+            } => {
                 debug_assert!(*base_tps > 0.0 && *burst_tps > 0.0 && *mean_dwell_s > 0.0);
                 let rate = if *in_burst { *burst_tps } else { *base_tps };
                 // Expected arrivals per dwell = rate × dwell; switching
@@ -110,7 +117,10 @@ mod tests {
         let n = 100_000;
         let total: SimTime = (0..n).map(|_| p.next_interval(&mut rng)).sum();
         let mean_secs = total.as_secs_f64() / n as f64;
-        assert!((mean_secs - 0.005).abs() < 2e-4, "mean interval {mean_secs}");
+        assert!(
+            (mean_secs - 0.005).abs() < 2e-4,
+            "mean interval {mean_secs}"
+        );
     }
 
     #[test]
@@ -146,7 +156,9 @@ mod tests {
         // Compare squared coefficient of variation of inter-arrival times.
         let cv2 = |mut p: ArrivalProcess, seed: u64| {
             let mut rng = SimRng::new(seed);
-            let xs: Vec<f64> = (0..100_000).map(|_| p.next_interval(&mut rng).as_secs_f64()).collect();
+            let xs: Vec<f64> = (0..100_000)
+                .map(|_| p.next_interval(&mut rng).as_secs_f64())
+                .collect();
             let mean = xs.iter().sum::<f64>() / xs.len() as f64;
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
             var / (mean * mean)
@@ -161,7 +173,10 @@ mod tests {
             },
             5,
         );
-        assert!((poisson - 1.0).abs() < 0.05, "Poisson CV² ≈ 1, got {poisson}");
+        assert!(
+            (poisson - 1.0).abs() < 0.05,
+            "Poisson CV² ≈ 1, got {poisson}"
+        );
         assert!(markov > 1.5, "MMPP must be over-dispersed, CV² {markov}");
     }
 

@@ -147,10 +147,7 @@ impl WorkloadDriver {
     /// Handles an arrival: assigns a tid and type, and returns the new
     /// transaction plus the events to schedule (its record writes and the
     /// next arrival). Returns `None` past the horizon.
-    pub fn on_arrival(
-        &mut self,
-        now: SimTime,
-    ) -> Option<(NewTxn, Vec<(SimTime, WorkloadEvent)>)> {
+    pub fn on_arrival(&mut self, now: SimTime) -> Option<(NewTxn, Vec<(SimTime, WorkloadEvent)>)> {
         if now >= self.horizon {
             return None;
         }
@@ -161,7 +158,10 @@ impl WorkloadDriver {
 
         let mut events = Vec::with_capacity(ty.data_records as usize + 2);
         for seq in 1..=ty.data_records {
-            events.push((now + ty.data_write_offset(seq), WorkloadEvent::WriteData { tid, seq }));
+            events.push((
+                now + ty.data_write_offset(seq),
+                WorkloadEvent::WriteData { tid, seq },
+            ));
         }
         events.push((now + ty.duration, WorkloadEvent::WriteCommit { tid }));
 
@@ -172,7 +172,11 @@ impl WorkloadDriver {
 
         self.active.insert(
             tid,
-            ActiveTxn { type_idx, updates: Vec::with_capacity(ty.data_records as usize), commit_written: None },
+            ActiveTxn {
+                type_idx,
+                updates: Vec::with_capacity(ty.data_records as usize),
+                commit_written: None,
+            },
         );
         self.stats.started += 1;
         self.stats.per_type_started[type_idx] += 1;
@@ -185,7 +189,10 @@ impl WorkloadDriver {
     /// (killed, and the cancellation raced this event).
     pub fn on_write_data(&mut self, now: SimTime, tid: Tid, seq: u32) -> Option<(Oid, u32)> {
         let txn = self.active.get_mut(&tid)?;
-        debug_assert!(txn.commit_written.is_none(), "data write after commit for {tid}");
+        debug_assert!(
+            txn.commit_written.is_none(),
+            "data write after commit for {tid}"
+        );
         let oid = self.picker.pick(&mut self.rng_oid);
         txn.updates.push(Update { oid, seq, ts: now });
         self.stats.data_records += 1;
@@ -296,7 +303,11 @@ mod tests {
             .filter_map(|(t, e)| matches!(e, WorkloadEvent::WriteData { seq: 2, .. }).then_some(*t))
             .next()
             .unwrap();
-        assert_eq!(commit_at.saturating_sub(last_data), SimTime::from_millis(1), "ε gap");
+        assert_eq!(
+            commit_at.saturating_sub(last_data),
+            SimTime::from_millis(1),
+            "ε gap"
+        );
         // Next arrival 10 ms later (100 TPS).
         assert!(events.contains(&(SimTime::from_millis(10), WorkloadEvent::Arrival)));
     }
@@ -339,13 +350,17 @@ mod tests {
     fn kill_releases_and_counts() {
         let mut d = driver(0.0, 10);
         let (new, _) = d.on_arrival(SimTime::ZERO).unwrap();
-        let (oid, _) = d.on_write_data(SimTime::from_millis(1), new.tid, 1).unwrap();
+        let (oid, _) = d
+            .on_write_data(SimTime::from_millis(1), new.tid, 1)
+            .unwrap();
         d.on_kill(SimTime::from_millis(2), new.tid);
         assert!(!d.picker().is_held(oid));
         assert_eq!(d.stats().killed, 1);
         assert_eq!(d.active_txns(), 0);
         // Stray events for the dead txn are ignored gracefully.
-        assert!(d.on_write_data(SimTime::from_millis(3), new.tid, 2).is_none());
+        assert!(d
+            .on_write_data(SimTime::from_millis(3), new.tid, 2)
+            .is_none());
         assert!(!d.on_write_commit(SimTime::from_millis(4), new.tid));
         assert!(d.on_commit_ack(SimTime::from_millis(5), new.tid).is_empty());
         assert_eq!(d.stats().killed, 1, "double kill not counted");

@@ -27,7 +27,12 @@ impl OidPicker {
     /// Creates a picker over `[0, num_objects)`.
     pub fn new(num_objects: u64) -> Self {
         assert!(num_objects > 0);
-        OidPicker { num_objects, in_use: HashSet::new(), rejections: 0, picks: 0 }
+        OidPicker {
+            num_objects,
+            in_use: HashSet::new(),
+            rejections: 0,
+            picks: 0,
+        }
     }
 
     /// Picks a fresh oid and marks it held.

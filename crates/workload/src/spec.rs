@@ -35,16 +35,24 @@ impl TxType {
     /// Validation: positive probability-compatible fields.
     fn validate(&self, idx: usize) -> Result<(), MixError> {
         if !(0.0..=1.0).contains(&self.probability) || !self.probability.is_finite() {
-            return Err(MixError(format!("type {idx}: probability must be in [0,1]")));
+            return Err(MixError(format!(
+                "type {idx}: probability must be in [0,1]"
+            )));
         }
         if self.duration <= EPSILON {
-            return Err(MixError(format!("type {idx}: duration must exceed ε (1 ms)")));
+            return Err(MixError(format!(
+                "type {idx}: duration must exceed ε (1 ms)"
+            )));
         }
         if self.data_records == 0 {
-            return Err(MixError(format!("type {idx}: needs at least one data record")));
+            return Err(MixError(format!(
+                "type {idx}: needs at least one data record"
+            )));
         }
         if self.record_size == 0 {
-            return Err(MixError(format!("type {idx}: record size must be positive")));
+            return Err(MixError(format!(
+                "type {idx}: record size must be positive"
+            )));
         }
         Ok(())
     }
@@ -109,7 +117,9 @@ impl TxMix {
     /// Draws a type index according to the pdf.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.next_f64();
-        self.cdf.partition_point(|&c| c < u).min(self.types.len() - 1)
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(self.types.len() - 1)
     }
 
     /// Expected data records per transaction.
@@ -239,11 +249,31 @@ mod tests {
             data_records: 1,
             record_size: 1,
         };
-        assert!(TxMix::new(vec![TxType { duration: EPSILON, ..base }]).is_err());
-        assert!(TxMix::new(vec![TxType { data_records: 0, ..base }]).is_err());
-        assert!(TxMix::new(vec![TxType { record_size: 0, ..base }]).is_err());
-        assert!(TxMix::new(vec![TxType { probability: f64::NAN, ..base }]).is_err());
-        assert!(TxMix::new(vec![TxType { probability: 1.5, ..base }]).is_err());
+        assert!(TxMix::new(vec![TxType {
+            duration: EPSILON,
+            ..base
+        }])
+        .is_err());
+        assert!(TxMix::new(vec![TxType {
+            data_records: 0,
+            ..base
+        }])
+        .is_err());
+        assert!(TxMix::new(vec![TxType {
+            record_size: 0,
+            ..base
+        }])
+        .is_err());
+        assert!(TxMix::new(vec![TxType {
+            probability: f64::NAN,
+            ..base
+        }])
+        .is_err());
+        assert!(TxMix::new(vec![TxType {
+            probability: 1.5,
+            ..base
+        }])
+        .is_err());
     }
 
     #[test]

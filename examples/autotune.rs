@@ -28,20 +28,29 @@ fn main() {
 
     let obs = observe(&base, runtime);
     println!("observation (roomy 96+96 exploration run):");
-    println!("  gen0 fill rate      : {:.2} blocks/s", obs.gen0_blocks_per_sec);
-    println!("  bulk garbage age    : {:.0} ms (90th percentile)", obs.bulk_age_ms);
-    println!("  straggler horizon   : {:.0} ms (max observed)", obs.max_age_ms);
-    println!("  forwarded bytes     : {:.0} B/s\n", obs.forwarded_bytes_per_sec);
+    println!(
+        "  gen0 fill rate      : {:.2} blocks/s",
+        obs.gen0_blocks_per_sec
+    );
+    println!(
+        "  bulk garbage age    : {:.0} ms (90th percentile)",
+        obs.bulk_age_ms
+    );
+    println!(
+        "  straggler horizon   : {:.0} ms (max observed)",
+        obs.max_age_ms
+    );
+    println!(
+        "  forwarded bytes     : {:.0} B/s\n",
+        obs.forwarded_bytes_per_sec
+    );
 
     let t0 = std::time::Instant::now();
     let tuned = autotune(&base, runtime);
     let tune_time = t0.elapsed();
     println!(
         "tuner estimate {:?} -> validated {:?} = {} blocks in {} probes ({tune_time:?})\n",
-        tuned.estimate,
-        tuned.tuned.generation_blocks,
-        tuned.tuned.total_blocks,
-        tuned.probes
+        tuned.estimate, tuned.tuned.generation_blocks, tuned.tuned.total_blocks, tuned.probes
     );
 
     let t0 = std::time::Instant::now();

@@ -16,7 +16,10 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let frac_long: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
     let runtime: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120);
-    println!("mix: {:.0}% ten-second transactions, {runtime} s simulated\n", frac_long * 100.0);
+    println!(
+        "mix: {:.0}% ten-second transactions, {runtime} s simulated\n",
+        frac_long * 100.0
+    );
 
     // Firewall: single log, kill the oldest transaction when space runs out.
     let mut fw_base = paper_base(frac_long, false, runtime);
@@ -37,7 +40,10 @@ fn main() {
     println!(
         "min disk space      {:>12} {:>16}",
         format!("{} blk", fw_min.total_blocks),
-        format!("{:?} = {} blk", el_min.generation_blocks, el_min.total_blocks)
+        format!(
+            "{:?} = {} blk",
+            el_min.generation_blocks, el_min.total_blocks
+        )
     );
     println!(
         "log bandwidth       {:>12} {:>16}",

@@ -76,7 +76,10 @@ fn main() {
 
     let modelled = estimate_recovery_time(
         &RecoveryTimeModel::default(),
-        &model.lm.metrics(SimTime::from_secs_f64(crash_at)).per_gen_blocks,
+        &model
+            .lm
+            .metrics(SimTime::from_secs_f64(crash_at))
+            .per_gen_blocks,
         image.stats.records,
     );
     println!("recovery time: {modelled} modelled on 1993 hardware, {wall:?} measured in memory");

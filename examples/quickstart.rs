@@ -14,7 +14,10 @@ use elog_sim::SimTime;
 
 fn main() {
     // The paper's minimum 5%-mix geometry: 18 + 16 blocks, 2 KB each.
-    let log = LogConfig { generation_blocks: vec![18, 16], ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: vec![18, 16],
+        ..LogConfig::default()
+    };
     let lm = ElManager::ephemeral(log, FlushConfig::default());
     let mut host = SimpleHost::new(lm);
 
@@ -46,8 +49,15 @@ fn main() {
         host.lm.stable_db().installs()
     );
     let m = host.lm.metrics(end);
-    println!("log block writes     : {} ({} generations)", m.log_writes, m.per_gen_blocks.len());
-    println!("peak memory          : {} bytes (paper model: 40 B/txn + 40 B/object)", m.peak_memory_bytes);
+    println!(
+        "log block writes     : {} ({} generations)",
+        m.log_writes,
+        m.per_gen_blocks.len()
+    );
+    println!(
+        "peak memory          : {} bytes (paper model: 40 B/txn + 40 B/object)",
+        m.peak_memory_bytes
+    );
 
     assert_eq!(host.acks, vec![Tid(1)]);
     assert_eq!(host.lm.stable_db().len(), 2);

@@ -11,6 +11,7 @@
 //! ```
 
 use elog_harness::experiments::scarce;
+use elog_harness::sweep::{run_scenarios, ExecOptions};
 
 fn main() {
     let runtime: u64 = std::env::args()
@@ -18,18 +19,25 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(120);
 
-    let cfg = scarce::Config { frac_long: 0.05, runtime_secs: runtime, g0_max: 28, g1_limit: 128 };
+    let cfg = scarce::Config {
+        frac_long: 0.05,
+        runtime_secs: runtime,
+        g0_max: 28,
+        g1_limit: 128,
+    };
     println!("comparing 25 ms (ample) vs 45 ms (scarce) flush transfers, {runtime} s runs...\n");
-    let out = scarce::run_experiment(&cfg);
-    println!("{}", out.table().render());
+    let outcomes = run_scenarios(&scarce::scenarios_for(&cfg), &ExecOptions::default());
+    let cases = scarce::cases(&outcomes);
+    println!("{}", scarce::table(&cases).render());
 
-    if let Some(gain) = out.locality_gain() {
+    if let Some(gain) = scarce::locality_gain(&cases) {
         println!("locality gain under scarcity: {gain:.2}x shorter seeks");
     }
+    let scarce_case = cases.last().expect("scarce case ran");
     println!(
         "scarce case: {} recirculated records, flush utilisation {:.0}%",
-        out.scarce.measured.metrics.stats.recirculated_records,
-        out.scarce.measured.metrics.flush_utilisation * 100.0
+        scarce_case.measured.metrics.stats.recirculated_records,
+        scarce_case.measured.metrics.flush_utilisation * 100.0
     );
     println!(
         "\n(paper: 31 blocks and 13.96 w/s at 45 ms; mean oid distance 109,000 vs 235,000 at 25 ms)"

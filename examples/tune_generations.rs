@@ -11,26 +11,33 @@
 //! ```
 
 use elog_harness::experiments::fig7;
+use elog_harness::sweep::{run_scenarios, ExecOptions};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let g0: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(18);
     let runtime: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(120);
 
-    let cfg = fig7::Config { frac_long: 0.05, g0, g1_max: 16, runtime_secs: runtime };
+    let cfg = fig7::Config {
+        frac_long: 0.05,
+        g0,
+        g1_max: 16,
+        runtime_secs: runtime,
+    };
     println!(
         "sweeping last-generation size with gen0 = {g0}, recirculation on, {runtime} s runs...\n"
     );
-    let out = fig7::run_experiment(&cfg);
-    println!("{}", out.table().render());
+    let outcomes = run_scenarios(&fig7::scenarios_for(&cfg), &ExecOptions::default());
+    let points = fig7::surviving_points(&outcomes);
+    println!("{}", fig7::table(&points).render());
+    let first = points.first().expect("at least one kill-free geometry");
+    let last = points.last().expect("at least one kill-free geometry");
     println!(
         "smallest kill-free geometry: {} + {} = {} blocks",
-        out.g0,
-        out.min_g1,
-        out.g0 + out.min_g1
+        g0,
+        first.g1,
+        g0 + first.g1
     );
-    let first = out.points.first().expect("at least the minimum point");
-    let last = out.points.last().expect("at least the minimum point");
     println!(
         "bandwidth at minimum vs roomiest: {:.2} vs {:.2} block writes/s",
         first.measured.metrics.log_write_rate, last.measured.metrics.log_write_rate

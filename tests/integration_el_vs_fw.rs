@@ -46,7 +46,10 @@ fn el_beats_fw_on_space_at_5_percent() {
 
     // Memory: EL pays more (40+40 vs 22 bytes), but modestly.
     assert!(el.metrics.peak_memory_bytes > fw.metrics.peak_memory_bytes);
-    assert!(el.metrics.peak_memory_bytes < 64 * 1024, "paper: modest memory");
+    assert!(
+        el.metrics.peak_memory_bytes < 64 * 1024,
+        "paper: modest memory"
+    );
 
     // Nothing unsafe happened in either run.
     for r in [&fw, &el] {

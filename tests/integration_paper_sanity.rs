@@ -9,7 +9,11 @@ use elog_sim::SimTime;
 use elog_workload::TxMix;
 
 fn paper_cfg(frac_long: f64, blocks: Vec<u32>, recirc: bool, secs: u64) -> RunConfig {
-    let log = LogConfig { generation_blocks: blocks, recirculation: recirc, ..LogConfig::default() };
+    let log = LogConfig {
+        generation_blocks: blocks,
+        recirculation: recirc,
+        ..LogConfig::default()
+    };
     let mut cfg = RunConfig::paper(frac_long, ElConfig::ephemeral(log, FlushConfig::default()));
     cfg.runtime = SimTime::from_secs(secs);
     cfg
@@ -27,9 +31,15 @@ fn flush_array_capacity_matches_section4() {
     // "10 disk drives with a transfer time of 25 ms (net bandwidth is 400
     // flushes per second)" and "a maximum bandwidth of 222 writes per sec"
     // at 45 ms.
-    let ample = FlushConfig { drives: 10, transfer_time: SimTime::from_millis(25) };
+    let ample = FlushConfig {
+        drives: 10,
+        transfer_time: SimTime::from_millis(25),
+    };
     assert!((ample.max_flush_rate() - 400.0).abs() < 1e-6);
-    let scarce = FlushConfig { drives: 10, transfer_time: SimTime::from_millis(45) };
+    let scarce = FlushConfig {
+        drives: 10,
+        transfer_time: SimTime::from_millis(45),
+    };
     assert!((scarce.max_flush_rate() - 222.2).abs() < 0.1);
 }
 
@@ -77,7 +87,10 @@ fn memory_estimates_match_paper_constants() {
     let el = run(&paper_cfg(0.05, vec![18, 16], false, 30));
     // EL peak = 40·LTT + 40·LOT; both peaks are a few hundred.
     assert!(el.metrics.peak_memory_bytes > 5_000);
-    assert!(el.metrics.peak_memory_bytes < 40_000, "paper: memory is modest");
+    assert!(
+        el.metrics.peak_memory_bytes < 40_000,
+        "paper: memory is modest"
+    );
 }
 
 #[test]

@@ -1,0 +1,142 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! The workspace's container has no registry access, so external crates
+//! are stubbed locally (see `vendor/README.md`). This crate provides only
+//! what `elog-storage`'s codec uses: the [`Buf`] accessor methods on
+//! `&[u8]` (self-advancing reads) and the [`BufMut`] little-endian
+//! appenders on `Vec<u8>`. Semantics match the real crate for this
+//! subset; panics on underflow, exactly like `bytes`.
+
+/// Sequential big-picture reader over a byte source.
+///
+/// Implemented for `&[u8]`: every `get_*` consumes from the front of the
+/// slice (the slice itself advances).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes. Panics if fewer remain.
+    fn advance(&mut self, n: usize);
+
+    /// Copies `dst.len()` bytes out and advances. Panics if fewer remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of slice");
+        *self = &self[n..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of slice");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Append-only byte sink. Implemented for `Vec<u8>`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0102_0304_0506_0708);
+        out.put_slice(b"xyz");
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16_le(), 0x1234);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0102_0304_0506_0708);
+        let mut rest = [0u8; 3];
+        buf.copy_to_slice(&mut rest);
+        assert_eq!(&rest, b"xyz");
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let data = [1u8, 2, 3, 4];
+        let mut buf: &[u8] = &data;
+        buf.advance(2);
+        assert_eq!(buf.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let data = [1u8];
+        let mut buf: &[u8] = &data;
+        let _ = buf.get_u32_le();
+    }
+}

@@ -1,0 +1,568 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The workspace's container has no registry access, so external crates
+//! are stubbed locally (see `vendor/README.md`). This crate implements
+//! the subset the workspace's property suites use: range / tuple /
+//! `prop_map` / `collection::vec` / `bool::weighted` / `any` strategies,
+//! `prop_oneof!`, `sample::Index`, `ProptestConfig::with_cases`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - **No shrinking.** A failing case reports its number; rerun with the
+//!   same build to reproduce (generation is deterministic per case).
+//! - **Fixed derivation.** Values come from a splitmix64/xoshiro stream
+//!   keyed by the case number, not from the real crate's RNG, so exact
+//!   generated values differ from upstream proptest.
+
+pub mod test_runner {
+    //! Deterministic case generation and run configuration.
+
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the heavier simulation
+            // properties quick on small machines while still varying
+            // inputs meaningfully.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case generator (xoshiro256++ seeded by
+    /// splitmix64 over the case number).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// The generator for case number `case` — the same stream every
+        /// run, so failures reproduce without a persisted seed file.
+        pub fn for_case(case: u32) -> Self {
+            let mut x = 0xE1_06_1993u64 ^ ((u64::from(case) + 1) << 32);
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// The next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Unbiased uniform draw below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erases the strategy (for heterogeneous `prop_oneof!` arms).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `options` (must be non-empty), each equally likely.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64) - (self.start as u64);
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64) - (lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.below(span + 1) as $t)
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (<$t>::MAX as u64) - (self.start as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    self.start + (rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()`: the canonical whole-domain strategy per type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain generator.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_uint!(u8, u16, u32, u64, usize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` of `element` draws with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`weighted`].
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    /// `true` with the given probability.
+    pub fn weighted(probability: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&probability));
+        Weighted { probability }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.probability
+        }
+    }
+}
+
+pub mod sample {
+    //! Index sampling (`any::<prop::sample::Index>()`).
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An abstract position, concretised against a length via
+    /// [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This position within a collection of `len` items (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring the real crate's prelude.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn` runs `cases` times with fresh
+/// random inputs; `prop_assert*` failures report the case number.
+///
+/// Parameters take either form the real macro accepts in this workspace:
+/// `name in strategy_expr` or `name: Type` (sugar for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // -- internal: no more test fns -------------------------------------
+    (@fns ($cfg:expr)) => {};
+    // -- internal: one test fn, then recurse ----------------------------
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut prop_rng = $crate::test_runner::TestRng::for_case(case);
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    $crate::proptest!(@run prop_rng, ($($params)*) $body);
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!("case {}/{} failed: {}", case + 1, config.cases, msg);
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // -- internal: bind params, innermost-first, then run the body ------
+    (@run $rng:ident, () $body:block) => {
+        (|| -> ::std::result::Result<(), ::std::string::String> {
+            $body
+            ::std::result::Result::Ok(())
+        })()
+    };
+    (@run $rng:ident, ($var:ident : $ty:ty) $body:block) => {{
+        let $var = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@run $rng, () $body)
+    }};
+    (@run $rng:ident, ($var:ident : $ty:ty, $($rest:tt)*) $body:block) => {{
+        let $var = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@run $rng, ($($rest)*) $body)
+    }};
+    (@run $rng:ident, ($var:ident in $($rest:tt)*) $body:block) => {
+        $crate::proptest!(@strat $rng, $var, [], ($($rest)*) $body)
+    };
+    // -- internal: munch one strategy expression up to a top-level comma
+    (@strat $rng:ident, $var:ident, [$($acc:tt)*], () $body:block) => {{
+        let $var = $crate::strategy::Strategy::new_value(&($($acc)*), &mut $rng);
+        $crate::proptest!(@run $rng, () $body)
+    }};
+    (@strat $rng:ident, $var:ident, [$($acc:tt)*], (, $($rest:tt)*) $body:block) => {{
+        let $var = $crate::strategy::Strategy::new_value(&($($acc)*), &mut $rng);
+        $crate::proptest!(@run $rng, ($($rest)*) $body)
+    }};
+    (@strat $rng:ident, $var:ident, [$($acc:tt)*], ($t:tt $($rest:tt)*) $body:block) => {
+        $crate::proptest!(@strat $rng, $var, [$($acc)* $t], ($($rest)*) $body)
+    };
+    // -- entry points ---------------------------------------------------
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between heterogeneous strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    struct Point {
+        x: u64,
+        y: u64,
+    }
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (0u64..100, 0u64..100).prop_map(|(x, y)| Point { x, y })
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(xs in prop::collection::vec(0u8..4, 1..50), n in 1u64.., flag: bool) {
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            prop_assert!(xs.iter().all(|&x| x < 4));
+            prop_assert!(n >= 1);
+            let _ = flag;
+        }
+
+        #[test]
+        fn mapped_and_union(p in arb_point(), idx in any::<prop::sample::Index>()) {
+            prop_assert!(p.x < 100 && p.y < 100);
+            prop_assert!(idx.index(7) < 7);
+            let s = prop_oneof![(0u64..1).prop_map(|_| 0u64), 5u64..6];
+            let v = s.new_value(&mut crate::test_runner::TestRng::for_case(1));
+            prop_assert!(v == 0 || v == 5, "got {v}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_is_honoured(q in 0.25f64..0.75) {
+            prop_assert!((0.25..0.75).contains(&q));
+        }
+    }
+
+    #[test]
+    fn weighted_frequency() {
+        let s = prop::bool::weighted(0.2);
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        let hits = (0..10_000).filter(|_| s.new_value(&mut rng)).count();
+        assert!((1_500..2_500).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::for_case(3);
+        let mut b = crate::test_runner::TestRng::for_case(3);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
