@@ -16,4 +16,11 @@ cargo build --offline --release --workspace
 echo "== cargo test =="
 cargo test -q --offline --workspace
 
+echo "== bench --quick (perf smoke) =="
+# One quick pass over the whole experiment basket: catches perf cliffs and
+# prints the events/s + allocation trajectory. The JSON is echoed so CI
+# logs preserve the numbers; the file itself is throwaway here (committed
+# snapshots are produced deliberately, see BENCH_*.json).
+./target/release/bench --quick --out "$(mktemp)"
+
 echo "CI green."

@@ -141,7 +141,8 @@ impl ElManager {
                 break;
             }
             bytes += u64::from(c.record.size());
-            cur = c.right_link();
+            let (_, right) = c.links().expect("list cell must be linked");
+            cur = right;
             if cur == start {
                 break;
             }

@@ -45,16 +45,20 @@ pub struct Cell {
 }
 
 impl Cell {
-    /// True while the cell is linked into a generation list.
+    /// True while the cell is linked into a generation list. `left` and
+    /// `right` are always NIL or non-NIL together (asserted in the arena),
+    /// so either side answers the question.
     #[inline]
-    pub fn left_is_linked(&self) -> bool {
+    pub fn is_linked(&self) -> bool {
+        debug_assert_eq!(self.left == NIL, self.right == NIL);
         self.left != NIL
     }
 
-    /// The next cell toward the tail (only meaningful while linked).
+    /// Both neighbours `(left, right)` while linked, `None` otherwise.
+    /// In a single-element list a cell is its own neighbour on both sides.
     #[inline]
-    pub fn right_link(&self) -> CellIdx {
-        self.right
+    pub fn links(&self) -> Option<(CellIdx, CellIdx)> {
+        self.is_linked().then_some((self.left, self.right))
     }
 }
 
@@ -131,13 +135,7 @@ impl CellArena {
             matches!(self.slots[idx as usize], Slot::Used(_)),
             "double free of cell {idx}"
         );
-        debug_assert!(
-            {
-                let c = self.get(idx);
-                c.left == NIL && c.right == NIL
-            },
-            "freeing a linked cell {idx}"
-        );
+        debug_assert!(!self.get(idx).is_linked(), "freeing a linked cell {idx}");
         self.slots[idx as usize] = Slot::Free {
             next: self.free_head,
         };
@@ -187,10 +185,7 @@ impl CellArena {
     /// `*head`. With an empty list the cell becomes the head (and links to
     /// itself).
     pub fn push_tail(&mut self, head: &mut CellIdx, idx: CellIdx) {
-        debug_assert!({
-            let c = self.get(idx);
-            c.left == NIL && c.right == NIL
-        });
+        debug_assert!(!self.get(idx).is_linked(), "double-link of cell {idx}");
         if *head == NIL {
             let c = self.get_mut(idx);
             c.left = idx;
@@ -214,11 +209,16 @@ impl CellArena {
     /// point to the cell previously to the left of c … otherwise h_i is set
     /// to NULL").
     pub fn unlink(&mut self, head: &mut CellIdx, idx: CellIdx) {
-        let (l, r) = {
-            let c = self.get(idx);
-            (c.left, c.right)
+        let Some((l, r)) = self.get(idx).links() else {
+            panic!("unlinking an unlinked cell {idx}");
         };
-        debug_assert!(l != NIL && r != NIL, "unlinking an unlinked cell {idx}");
+        #[cfg(debug_assertions)]
+        {
+            // Neighbour consistency: the cells on either side must point
+            // back at `idx`, or the list is already corrupt.
+            debug_assert_eq!(self.get(l).right, idx, "left neighbour of {idx} broken");
+            debug_assert_eq!(self.get(r).left, idx, "right neighbour of {idx} broken");
+        }
         if r == idx {
             // Sole element.
             debug_assert_eq!(*head, idx);
@@ -303,6 +303,25 @@ mod tests {
             ts: SimTime::from_micros(n),
             size: 100,
         })
+    }
+
+    #[test]
+    fn link_api_is_symmetric() {
+        let mut a = CellArena::new();
+        let mut head = NIL;
+        let c1 = a.alloc(rec(1), 0, 0);
+        assert!(!a.get(c1).is_linked());
+        assert_eq!(a.get(c1).links(), None);
+        a.push_tail(&mut head, c1);
+        assert!(a.get(c1).is_linked());
+        assert_eq!(a.get(c1).links(), Some((c1, c1)), "sole element self-links");
+        let c2 = a.alloc(rec(2), 0, 1);
+        a.push_tail(&mut head, c2);
+        assert_eq!(a.get(c1).links(), Some((c2, c2)));
+        assert_eq!(a.get(c2).links(), Some((c1, c1)));
+        a.unlink(&mut head, c1);
+        assert!(!a.get(c1).is_linked());
+        assert_eq!(a.get(c2).links(), Some((c2, c2)));
     }
 
     #[test]

@@ -41,22 +41,20 @@ impl SimpleHost {
         self.now
     }
 
-    fn apply(&mut self, fx: Effects) {
-        for (at, timer) in fx.timers {
+    fn apply(&mut self, mut fx: Effects) {
+        for (at, timer) in fx.timers.drain(..) {
             self.queue.schedule(at, timer);
         }
-        self.acks.extend(fx.acks);
-        self.kills.extend(fx.kills);
+        self.acks.append(&mut fx.acks);
+        self.kills.append(&mut fx.kills);
+        self.lm.recycle_fx(fx);
     }
 
     /// Delivers every pending timer scheduled at or before `until`, then
     /// advances the clock to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(at) = self.queue.peek_time() {
-            if at > until {
-                break;
-            }
-            let (at, timer) = self.queue.pop().expect("peeked event pops");
+        // Fused peek-and-pop: one heap access per delivered timer.
+        while let Some((at, timer)) = self.queue.pop_at_or_before(until) {
             debug_assert!(at >= self.now);
             self.now = at;
             let fx = self.lm.handle_timer(at, timer);

@@ -30,9 +30,10 @@ use elog_model::{
     DataRecord, DbConfig, FlushConfig, LogConfig, LogRecord, ObjectVersion, Oid, StableDb, Tid,
     TxMark, TxRecord,
 };
+use elog_sim::FxHashMap;
 use elog_sim::{MaxGauge, SimTime};
 use elog_storage::{Block, BlockRing, LogDevice};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Memory price per transaction under the hybrid: the anchor pointer plus
 /// the FW-style entry — we charge the same 40 bytes as an EL LTT entry,
@@ -90,13 +91,16 @@ pub struct HybridManager {
     device: LogDevice,
     flush: FlushArray,
     stable: StableDb,
-    txns: HashMap<Tid, HTxn>,
-    inflight: HashMap<u64, (usize, Block)>,
+    txns: FxHashMap<Tid, HTxn>,
+    inflight: FxHashMap<u64, (usize, Block)>,
     next_write_id: u64,
-    pending_commits: HashMap<(usize, u64), Vec<Tid>>,
+    pending_commits: FxHashMap<(usize, u64), Vec<Tid>>,
     mem: MaxGauge,
     stats: HybridStats,
     started_at: SimTime,
+    /// Recycled [`Effects`] (one event is in flight at a time, so a single
+    /// spare covers the event loop).
+    spare_fx: Option<Effects>,
 }
 
 impl HybridManager {
@@ -123,14 +127,27 @@ impl HybridManager {
             device,
             flush: flush_array,
             stable: StableDb::new(),
-            txns: HashMap::new(),
-            inflight: HashMap::new(),
+            txns: FxHashMap::default(),
+            inflight: FxHashMap::default(),
             next_write_id: 0,
-            pending_commits: HashMap::new(),
+            pending_commits: FxHashMap::default(),
             mem: MaxGauge::new(),
             stats: HybridStats::default(),
             started_at: SimTime::ZERO,
+            spare_fx: None,
         })
+    }
+
+    /// A cleared [`Effects`], reusing the recycled one when available.
+    fn fresh_fx(&mut self) -> Effects {
+        self.spare_fx.take().unwrap_or_default()
+    }
+
+    /// Takes a drained [`Effects`] back for reuse (see
+    /// [`crate::LogManager::recycle`]).
+    pub fn recycle_fx(&mut self, mut fx: Effects) {
+        fx.clear();
+        self.spare_fx = Some(fx);
     }
 
     // ---------------------------------------------------------------
@@ -139,7 +156,7 @@ impl HybridManager {
 
     /// BEGIN: anchors the transaction at its first record's block.
     pub fn begin(&mut self, now: SimTime, tid: Tid) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         let record = LogRecord::Tx(TxRecord {
             tid,
             mark: TxMark::Begin,
@@ -165,7 +182,7 @@ impl HybridManager {
 
     /// Data record (REDO image of one update).
     pub fn write_data(&mut self, now: SimTime, tid: Tid, oid: Oid, seq: u32, size: u32) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         let Some(txn) = self.txns.get(&tid) else {
             return fx;
         };
@@ -191,7 +208,7 @@ impl HybridManager {
 
     /// COMMIT request; acknowledged when the buffer is durable.
     pub fn commit_request(&mut self, now: SimTime, tid: Tid) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         let Some(txn) = self.txns.get(&tid) else {
             return fx;
         };
@@ -219,7 +236,7 @@ impl HybridManager {
 
     /// Abort: the whole transaction becomes garbage at once.
     pub fn abort(&mut self, now: SimTime, tid: Tid) -> Effects {
-        let fx = Effects::default();
+        let fx = self.fresh_fx();
         if self
             .txns
             .get(&tid)
@@ -233,7 +250,7 @@ impl HybridManager {
 
     /// Timer dispatch (buffer writes and flush completions).
     pub fn handle_timer(&mut self, now: SimTime, timer: LmTimer) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         match timer {
             LmTimer::BufferWrite { gen, write_id } => {
                 let (q, mut block) = self
@@ -266,7 +283,7 @@ impl HybridManager {
 
     /// Force-writes open buffers.
     pub fn quiesce(&mut self, now: SimTime) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         for qi in 0..self.queues.len() {
             if self.queues[qi].open.as_ref().is_some_and(|b| !b.is_empty()) {
                 self.seal(now, qi, &mut fx);
@@ -288,7 +305,7 @@ impl HybridManager {
         }
         txn.state = HTxState::Committed;
         // Newest update per oid gets flushed.
-        let mut newest: HashMap<Oid, ObjectVersion> = HashMap::new();
+        let mut newest: FxHashMap<Oid, ObjectVersion> = FxHashMap::default();
         for r in &txn.records {
             if let LogRecord::Data(d) = r {
                 let v = ObjectVersion {

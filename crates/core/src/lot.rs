@@ -10,7 +10,7 @@
 
 use crate::cell::CellIdx;
 use elog_model::{Oid, Tid};
-use std::collections::HashMap;
+use elog_sim::FxHashMap;
 
 /// One object's entry: its non-garbage data-record cells.
 #[derive(Clone, Debug, Default)]
@@ -43,7 +43,7 @@ pub struct CommitOutcome {
 /// The logged object table.
 #[derive(Clone, Debug, Default)]
 pub struct Lot {
-    map: HashMap<Oid, LotEntry>,
+    map: FxHashMap<Oid, LotEntry>,
     peak_len: usize,
 }
 
@@ -84,27 +84,69 @@ impl Lot {
     /// cell and older same-transaction updates become garbage.
     ///
     /// Returns `None` when the transaction has no uncommitted update of the
-    /// object (caller bug or already-processed oid).
+    /// object (caller bug or already-processed oid). Allocating wrapper
+    /// around [`Lot::commit_object_into`] for tests and one-off callers.
     pub fn commit_object(&mut self, oid: Oid, tid: Tid) -> Option<CommitOutcome> {
+        let mut garbage = Vec::new();
+        let promoted = self.commit_object_into(oid, tid, &mut garbage)?;
+        Some(CommitOutcome { promoted, garbage })
+    }
+
+    /// [`Lot::commit_object`] with a caller-provided scratch buffer:
+    /// garbage cells are *appended* to `garbage` (the caller clears it),
+    /// the promoted cell is the return value. The commit hot path calls
+    /// this once per object of every committing transaction; reusing one
+    /// buffer across calls keeps it allocation-free.
+    pub fn commit_object_into(
+        &mut self,
+        oid: Oid,
+        tid: Tid,
+        garbage: &mut Vec<CellIdx>,
+    ) -> Option<CellIdx> {
         let entry = self.map.get_mut(&oid)?;
-        // Partition this transaction's cells out of the uncommitted list.
-        let mut mine: Vec<CellIdx> = Vec::new();
+        // The uncommitted list is oldest-first, so this transaction's
+        // newest update is its last occurrence.
+        let promoted = entry
+            .uncommitted
+            .iter()
+            .rev()
+            .find_map(|&(t, c)| (t == tid).then_some(c))?;
         entry.uncommitted.retain(|&(t, c)| {
             if t == tid {
-                mine.push(c);
+                if c != promoted {
+                    garbage.push(c); // older update by the same transaction
+                }
                 false
             } else {
                 true
             }
         });
-        let promoted = *mine.last()?; // newest update wins
-        let mut garbage: Vec<CellIdx> = mine[..mine.len() - 1].to_vec();
         if let Some(old) = entry.committed.replace(promoted) {
             // Previous committed-unflushed update is superseded; the caller
             // updates its owner's LTT entry using the cell's record.
             garbage.push(old);
         }
-        Some(CommitOutcome { promoted, garbage })
+        Some(promoted)
+    }
+
+    /// Removes *every* uncommitted cell of `tid` on `oid` in one pass
+    /// (abort/kill path), appending the removed cells to `removed`.
+    /// Prunes empty entries.
+    pub fn remove_uncommitted_of(&mut self, oid: Oid, tid: Tid, removed: &mut Vec<CellIdx>) {
+        let Some(entry) = self.map.get_mut(&oid) else {
+            return;
+        };
+        entry.uncommitted.retain(|&(t, c)| {
+            if t == tid {
+                removed.push(c);
+                false
+            } else {
+                true
+            }
+        });
+        if entry.is_empty() {
+            self.map.remove(&oid);
+        }
     }
 
     /// Removes an uncommitted cell (abort/kill of its transaction).

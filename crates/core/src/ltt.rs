@@ -10,8 +10,9 @@
 
 use crate::cell::CellIdx;
 use elog_model::{Oid, Tid};
+use elog_sim::FxHashMap;
 use elog_sim::SimTime;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Lifecycle state of a transaction in the LTT.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,7 +52,7 @@ pub struct LttEntry {
 /// The logged transaction table.
 #[derive(Clone, Debug, Default)]
 pub struct Ltt {
-    map: HashMap<Tid, LttEntry>,
+    map: FxHashMap<Tid, LttEntry>,
     peak_len: usize,
 }
 

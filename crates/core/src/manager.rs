@@ -28,9 +28,9 @@ use crate::types::{
 use elog_dbdisk::{FlushArray, Submitted};
 use elog_model::config::ConfigError;
 use elog_model::{DataRecord, LogRecord, ObjectVersion, Oid, StableDb, Tid, TxMark, TxRecord};
+use elog_sim::FxHashMap;
 use elog_sim::{Histogram, MaxGauge, SimTime};
 use elog_storage::{Block, BlockRing, LogDevice};
-use std::collections::HashMap;
 
 /// Per-generation state.
 pub(crate) struct Gen {
@@ -62,16 +62,23 @@ pub struct ElManager {
     pub(crate) flush: FlushArray,
     pub(crate) stable: StableDb,
     pub(crate) holds: Vec<Hold>,
-    pub(crate) inflight: HashMap<u64, Inflight>,
+    pub(crate) inflight: FxHashMap<u64, Inflight>,
     pub(crate) next_write_id: u64,
     /// (generation, block seq) → transactions whose COMMIT rides in it.
-    pub(crate) pending_commits: HashMap<(usize, u64), Vec<Tid>>,
+    pub(crate) pending_commits: FxHashMap<(usize, u64), Vec<Tid>>,
     pub(crate) mem: MaxGauge,
     pub(crate) stats: LmStats,
     pub(crate) started_at: SimTime,
     /// Age (ms) of data records at the moment they become garbage —
     /// the statistic the §6 "adaptable EL" tuner sizes generations from.
     pub(crate) garbage_age_ms: Histogram,
+    /// Scratch buffers reused across commit/abort processing so the
+    /// per-transaction hot paths stay allocation-free at steady state.
+    scratch_oids: Vec<Oid>,
+    scratch_cells: Vec<CellIdx>,
+    /// Recycled [`Effects`] (one event is in flight at a time, so a single
+    /// spare covers the event loop).
+    spare_fx: Option<Effects>,
 }
 
 impl ElManager {
@@ -102,15 +109,30 @@ impl ElManager {
             flush,
             stable: StableDb::new(),
             holds: Vec::new(),
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             next_write_id: 0,
-            pending_commits: HashMap::new(),
+            pending_commits: FxHashMap::default(),
             mem: MaxGauge::new(),
             stats: LmStats::default(),
             started_at: SimTime::ZERO,
             // 0–60 s in 250 ms buckets covers both paper transaction types.
             garbage_age_ms: Histogram::linear(60_000.0, 240),
+            scratch_oids: Vec::new(),
+            scratch_cells: Vec::new(),
+            spare_fx: None,
         })
+    }
+
+    /// A cleared [`Effects`], reusing the recycled one when available.
+    pub(crate) fn fresh_fx(&mut self) -> Effects {
+        self.spare_fx.take().unwrap_or_default()
+    }
+
+    /// Takes a drained [`Effects`] back for reuse (see
+    /// [`crate::LogManager::recycle`]).
+    pub fn recycle_fx(&mut self, mut fx: Effects) {
+        fx.clear();
+        self.spare_fx = Some(fx);
     }
 
     /// Convenience: an EL manager with paper-default database and flush
@@ -147,7 +169,7 @@ impl ElManager {
             home_gen < self.gens.len(),
             "generation {home_gen} out of range"
         );
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         let record = LogRecord::Tx(TxRecord {
             tid,
             mark: TxMark::Begin,
@@ -193,7 +215,7 @@ impl ElManager {
     /// workload's cancellation of a killed transaction's events can race
     /// one write).
     pub fn write_data(&mut self, now: SimTime, tid: Tid, oid: Oid, seq: u32, size: u32) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         assert!(
             size > 0 && size <= self.cfg.log.block_payload,
             "record size {size} outside (0, {}]",
@@ -229,7 +251,7 @@ impl ElManager {
     /// updated to point at the newest tx record and moved to the tail of
     /// generation 0's list; the BEGIN record thereby becomes garbage.
     pub fn commit_request(&mut self, now: SimTime, tid: Tid) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         let Some(entry) = self.ltt.get(tid) else {
             self.stats.ignored_writes += 1;
             return fx;
@@ -272,7 +294,7 @@ impl ElManager {
     /// (§2.3 — no abort record needs to be logged under REDO-only rules;
     /// recovery treats missing-COMMIT as aborted).
     pub fn abort(&mut self, now: SimTime, tid: Tid) -> Effects {
-        let fx = Effects::default();
+        let fx = self.fresh_fx();
         match self.ltt.get(tid).map(|e| e.state) {
             Some(TxState::Committed) | None => {
                 self.stats.ignored_writes += 1;
@@ -288,7 +310,7 @@ impl ElManager {
 
     /// Handles a timer previously emitted in [`Effects::timers`].
     pub fn handle_timer(&mut self, now: SimTime, timer: LmTimer) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         match timer {
             LmTimer::BufferWrite { gen, write_id } => {
                 self.on_buffer_write_complete(now, gen, write_id, &mut fx);
@@ -312,7 +334,7 @@ impl ElManager {
     /// Force-writes every open buffer (end-of-run quiescing, so trailing
     /// COMMIT records become durable and acknowledged).
     pub fn quiesce(&mut self, now: SimTime) -> Effects {
-        let mut fx = Effects::default();
+        let mut fx = self.fresh_fx();
         for gi in 0..self.gens.len() {
             if self.gens[gi].open.as_ref().is_some_and(|b| !b.is_empty()) {
                 self.seal_open(now, gi, &mut fx);
@@ -334,12 +356,18 @@ impl ElManager {
             return;
         }
         entry.state = TxState::Committed;
-        let oids: Vec<Oid> = entry.oids.iter().copied().collect();
-        for oid in oids {
-            let Some(outcome) = self.lot.commit_object(oid, tid) else {
+        // Scratch buffers (taken to appease the borrow checker) make the
+        // per-commit loop allocation-free at steady state.
+        let mut oids = std::mem::take(&mut self.scratch_oids);
+        oids.clear();
+        oids.extend(entry.oids.iter().copied());
+        let mut garbage = std::mem::take(&mut self.scratch_cells);
+        for &oid in &oids {
+            garbage.clear();
+            let Some(promoted) = self.lot.commit_object_into(oid, tid, &mut garbage) else {
                 continue;
             };
-            for g in outcome.garbage {
+            for &g in &garbage {
                 let rec = self.arena.get(g).record;
                 let owner = rec.tid();
                 self.garbage_age_ms
@@ -350,7 +378,7 @@ impl ElManager {
                     self.finish_ltt_entry(owner);
                 }
             }
-            let rec = self.arena.get(outcome.promoted).record;
+            let rec = self.arena.get(promoted).record;
             let LogRecord::Data(d) = rec else {
                 unreachable!("promoted cell must be a data record")
             };
@@ -365,6 +393,8 @@ impl ElManager {
                 fx,
             );
         }
+        self.scratch_cells = garbage;
+        self.scratch_oids = oids;
         self.stats.acks += 1;
         fx.acks.push(tid);
         if self.ltt.get(tid).expect("present").oids.is_empty() {
@@ -434,30 +464,19 @@ impl ElManager {
             !matches!(entry.state, TxState::Committed),
             "cannot drop a committed transaction"
         );
-        for oid in &entry.oids {
-            for cell in self.lot_remove_all_uncommitted(*oid, tid) {
+        let mut cells = std::mem::take(&mut self.scratch_cells);
+        for &oid in &entry.oids {
+            cells.clear();
+            self.lot.remove_uncommitted_of(oid, tid, &mut cells);
+            for &cell in &cells {
                 self.unlink_cell(cell);
                 self.arena.free(cell);
             }
         }
+        self.scratch_cells = cells;
         self.unlink_cell(entry.tx_cell);
         self.arena.free(entry.tx_cell);
         true
-    }
-
-    fn lot_remove_all_uncommitted(&mut self, oid: Oid, tid: Tid) -> Vec<CellIdx> {
-        let mut cells = Vec::new();
-        if let Some(entry) = self.lot.entry(oid) {
-            for &(t, c) in &entry.uncommitted {
-                if t == tid {
-                    cells.push(c);
-                }
-            }
-        }
-        for &c in &cells {
-            self.lot.remove_uncommitted(oid, tid, c);
-        }
-        cells
     }
 
     // ------------------------------------------------------------------
@@ -468,7 +487,7 @@ impl ElManager {
     pub(crate) fn unlink_cell(&mut self, idx: CellIdx) {
         let (gen, linked) = {
             let c = self.arena.get(idx);
-            (c.gen as usize, c.left_is_linked())
+            (c.gen as usize, c.is_linked())
         };
         if linked {
             let mut h = self.gens[gen].h;

@@ -46,6 +46,14 @@ pub trait LogManager {
     /// Force-write open buffers (end-of-run quiescing).
     fn quiesce(&mut self, now: SimTime) -> Effects;
 
+    /// Returns a drained [`Effects`] so the manager can reuse its buffers
+    /// on the next call (one event ⇒ one `Effects`; recycling makes the
+    /// steady-state event loop allocation-free). Optional: the default
+    /// drops the value, which is always correct, just slower.
+    fn recycle(&mut self, fx: Effects) {
+        drop(fx);
+    }
+
     // ---------------------------------------------------------------
     // Stats accessors (the cross-technique comparison surface)
     // ---------------------------------------------------------------
@@ -93,6 +101,10 @@ impl LogManager for crate::ElManager {
         crate::ElManager::quiesce(self, now)
     }
 
+    fn recycle(&mut self, fx: Effects) {
+        crate::ElManager::recycle_fx(self, fx);
+    }
+
     fn peak_memory_bytes(&self) -> u64 {
         crate::ElManager::peak_memory_bytes(self)
     }
@@ -133,6 +145,10 @@ impl LogManager for crate::HybridManager {
 
     fn quiesce(&mut self, now: SimTime) -> Effects {
         crate::HybridManager::quiesce(self, now)
+    }
+
+    fn recycle(&mut self, fx: Effects) {
+        crate::HybridManager::recycle_fx(self, fx);
     }
 
     fn peak_memory_bytes(&self) -> u64 {

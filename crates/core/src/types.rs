@@ -56,6 +56,14 @@ impl Effects {
         self.acks.extend(other.acks);
         self.kills.extend(other.kills);
     }
+
+    /// Empties all three lists, keeping their capacity (for reuse via
+    /// [`crate::LogManager::recycle`]).
+    pub fn clear(&mut self) {
+        self.timers.clear();
+        self.acks.clear();
+        self.kills.clear();
+    }
 }
 
 /// How main-memory consumption is priced (§4 of the paper).

@@ -1,0 +1,204 @@
+//! Performance benchmark over the experiment registry.
+//!
+//! ```text
+//! bench [--quick] [--jobs N] [--out PATH] [--date YYYY-MM-DD]
+//! ```
+//!
+//! Runs every registered experiment's scenario basket and records the
+//! *host-side* cost of each: wall clock, delivered simulation events,
+//! events per second, heap allocations and event-queue counters. The
+//! report is written as JSON to `BENCH_<date>.json` (override with
+//! `--out`) and echoed to stdout, so CI can diff the perf trajectory
+//! across commits. Simulation *results* are not recorded here — `repro`
+//! owns those; this binary prices how fast we produce them.
+//!
+//! `--quick` uses the shrunk quick basket (the CI smoke setting);
+//! `--jobs` defaults to 1 so events/s numbers are not confounded by
+//! scheduling. `--date` overrides the UTC date stamp (reproducible
+//! output for tests).
+
+use elog_harness::experiments::registry;
+use elog_harness::sweep::{run_scenarios, ExecOptions};
+use elog_sim::perfstats::{allocations, CountingAlloc};
+use elog_sim::PerfStats;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc<std::alloc::System> = CountingAlloc(std::alloc::System);
+
+struct Options {
+    quick: bool,
+    jobs: usize,
+    out: Option<std::path::PathBuf>,
+    date: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        jobs: 1,
+        out: None,
+        date: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+                opts.jobs = n;
+            }
+            "--out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+                opts.out = Some(path.into());
+            }
+            "--date" => {
+                let d = args.next().unwrap_or_else(|| {
+                    eprintln!("--date requires YYYY-MM-DD");
+                    std::process::exit(2);
+                });
+                opts.date = Some(d);
+            }
+            "--help" | "-h" => {
+                println!("usage: bench [--quick] [--jobs N] [--out PATH] [--date YYYY-MM-DD]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// UTC date `YYYY-MM-DD` from the system clock (civil-from-days, Hinnant).
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn main() {
+    let opts = parse_args();
+    let date = opts.date.clone().unwrap_or_else(utc_date);
+    let exec = ExecOptions {
+        jobs: opts.jobs,
+        progress: false,
+    };
+
+    let mut per_experiment = String::new();
+    let mut total = PerfStats::default();
+    let mut total_wall = std::time::Duration::ZERO;
+    let mut total_allocs = 0u64;
+    let t_all = Instant::now();
+    for (i, e) in registry().iter().enumerate() {
+        let scenarios = e.scenarios(opts.quick);
+        let alloc0 = allocations();
+        let t0 = Instant::now();
+        let outcomes = run_scenarios(&scenarios, &exec);
+        let wall = t0.elapsed();
+        let allocs = allocations() - alloc0;
+        let failed = outcomes.iter().filter(|o| o.failure().is_some()).count();
+        // Sum the measured runs' engine-side counters; min-space searches
+        // contribute only their final measured run (the probes are costed
+        // in wall/allocations, which cover the whole basket).
+        let mut perf = PerfStats::default();
+        for o in &outcomes {
+            if let Some(p) = o.output.perf() {
+                perf.merge(p);
+            }
+        }
+        total.merge(&perf);
+        total_wall += wall;
+        total_allocs += allocs;
+        eprintln!(
+            "[bench] {}: {:.2?} wall, {} events, {} allocations",
+            e.name(),
+            wall,
+            perf.events,
+            allocs
+        );
+        let _ = write!(
+            per_experiment,
+            "{}    {{\"name\": {}, \"scenarios\": {}, \"failed\": {}, \"wall_secs\": {:.3}, \
+             \"events\": {}, \"events_per_sec\": {:.0}, \"allocations\": {}, \
+             \"heap_peak\": {}, \"tombstone_ratio\": {:.4}, \"compactions\": {}}}",
+            if i == 0 { "" } else { ",\n" },
+            json_str(e.name()),
+            scenarios.len(),
+            failed,
+            wall.as_secs_f64(),
+            perf.events,
+            perf.events as f64 / wall.as_secs_f64().max(1e-9),
+            allocs,
+            perf.queue.heap_peak,
+            perf.queue.tombstone_ratio(),
+            perf.queue.compactions,
+        );
+    }
+    let wall_all = t_all.elapsed();
+
+    let json = format!(
+        "{{\n  \"date\": {},\n  \"quick\": {},\n  \"jobs\": {},\n  \
+         \"total_wall_secs\": {:.3},\n  \"total_events\": {},\n  \
+         \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
+         \"allocations_per_event\": {:.3},\n  \"experiments\": [\n{}\n  ]\n}}",
+        json_str(&date),
+        opts.quick,
+        opts.jobs,
+        wall_all.as_secs_f64(),
+        total.events,
+        total.events as f64 / total_wall.as_secs_f64().max(1e-9),
+        total_allocs,
+        total_allocs as f64 / (total.events.max(1)) as f64,
+        per_experiment,
+    );
+
+    let path = opts
+        .out
+        .unwrap_or_else(|| std::path::PathBuf::from(format!("BENCH_{date}.json")));
+    std::fs::write(&path, format!("{json}\n")).expect("write bench report");
+    eprintln!("wrote {}", path.display());
+    println!("{json}");
+}

@@ -115,6 +115,14 @@ pub fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceRes
 /// for each, on a `jobs`-wide work queue ([`crate::sweep::parallel_map`]).
 /// Returns the geometry minimising the total (ties prefer the larger gen0,
 /// which gives lower bandwidth). The result is independent of `jobs`.
+///
+/// Pruning: the search first anchors at `g0_max`. Because ties prefer the
+/// larger gen0, every other gen0 must *strictly* beat the anchor's total to
+/// win, so its gen1 search can be capped at `anchor_total - g0 - 1`. A
+/// gen0 whose capped probe still kills is rejected by that single probe —
+/// and killing probes stop early, so rejection is cheap. The pruning only
+/// skips geometries that provably cannot win; the selected geometry is
+/// identical to the exhaustive scan's.
 pub fn el_min_space_jobs(
     base: &RunConfig,
     g0_max: u32,
@@ -122,13 +130,66 @@ pub fn el_min_space_jobs(
     jobs: usize,
 ) -> MinSpaceResult {
     let k = base.el.log.gap_blocks;
-    let g0_range: Vec<u32> = (k + 1..=g0_max).collect();
+    let mut probes = 0;
+    let anchor = min_g1_for(base, g0_max, g1_limit, &mut probes);
+    let Some(anchor_g1) = anchor else {
+        // Even the biggest gen0 cannot fit: fall back to the exhaustive
+        // scan (min gen1 need not be monotone in gen0, so a smaller gen0
+        // may still be feasible).
+        return el_min_space_scan(base, g0_max, g1_limit, jobs, probes);
+    };
+    let bound = g0_max + anchor_g1;
+    let g0_range: Vec<u32> = (k + 1..g0_max).collect();
+    let results = crate::sweep::parallel_map(&g0_range, jobs, |_, &g0| {
+        let mut probes = 0;
+        let cap = (bound - g0).saturating_sub(1).min(g1_limit);
+        let g1 = if cap < k + 1 {
+            None // any feasible gen1 would already tie or exceed the bound
+        } else {
+            min_g1_for(base, g0, cap, &mut probes)
+        };
+        (g0, g1, probes)
+    });
+    let mut best = (g0_max, anchor_g1);
+    for r in results {
+        let (g0, g1, p) = r.expect("probe simulation panicked");
+        probes += p;
+        if let Some(g1) = g1 {
+            // Capped strictly below the bound, so this beats the anchor;
+            // among the capped candidates the usual rule applies.
+            let (b0, b1) = best;
+            if (b0, b1) == (g0_max, anchor_g1)
+                || g0 + g1 < b0 + b1
+                || (g0 + g1 == b0 + b1 && g0 > b0)
+            {
+                best = (g0, g1);
+            }
+        }
+    }
+    let (g0, g1) = best;
+    MinSpaceResult {
+        generation_blocks: vec![g0, g1],
+        total_blocks: g0 + g1,
+        probes,
+    }
+}
+
+/// The exhaustive gen0 scan (no pruning bound); used when the anchor gen0
+/// is infeasible.
+fn el_min_space_scan(
+    base: &RunConfig,
+    g0_max: u32,
+    g1_limit: u32,
+    jobs: usize,
+    mut probes: u32,
+) -> MinSpaceResult {
+    let k = base.el.log.gap_blocks;
+    let g0_range: Vec<u32> = (k + 1..g0_max).collect();
     let results = crate::sweep::parallel_map(&g0_range, jobs, |_, &g0| {
         let mut probes = 0;
         let g1 = min_g1_for(base, g0, g1_limit, &mut probes);
         (g0, g1, probes)
     });
-    let mut probes = 0;
     let mut best: Option<(u32, u32)> = None;
     for r in results {
         let (g0, g1, p) = r.expect("probe simulation panicked");

@@ -3,9 +3,10 @@
 
 use elog_core::{Effects, ElConfig, ElManager, LmMetrics, LmTimer, LogManager};
 use elog_model::{BufferPool, CommittedOracle, ObjectVersion, Tid};
-use elog_sim::{Engine, EventQueue, EventToken, SimRng, SimTime, Simulate};
+use elog_sim::FxHashMap;
+use elog_sim::{Engine, EventQueue, EventToken, PerfStats, SimRng, SimTime, Simulate};
 use elog_workload::{ArrivalProcess, TxMix, WorkloadDriver, WorkloadEvent};
-use std::collections::HashMap;
+use std::time::Instant;
 
 /// Composite event alphabet of a run.
 #[derive(Clone, Copy, Debug)]
@@ -121,7 +122,7 @@ pub struct SimModel<L: LogManager = ElManager> {
     pub oracle: CommittedOracle,
     /// RAM image of object versions (when tracked).
     pub pool: BufferPool,
-    tokens: HashMap<Tid, Vec<EventToken>>,
+    tokens: FxHashMap<Tid, Vec<EventToken>>,
     stop_on_kill: bool,
     track_oracle: bool,
     lifetime_hints: bool,
@@ -130,11 +131,11 @@ pub struct SimModel<L: LogManager = ElManager> {
 }
 
 impl<L: LogManager> SimModel<L> {
-    fn apply(&mut self, now: SimTime, fx: Effects, queue: &mut EventQueue<Ev>) {
-        for (at, timer) in fx.timers {
+    fn apply(&mut self, now: SimTime, mut fx: Effects, queue: &mut EventQueue<Ev>) {
+        for (at, timer) in fx.timers.drain(..) {
             queue.schedule(at, timer.into_ev());
         }
-        for tid in fx.acks {
+        for tid in fx.acks.drain(..) {
             self.acks += 1;
             let updates = self.driver.on_commit_ack(now, tid);
             self.tokens.remove(&tid);
@@ -152,7 +153,7 @@ impl<L: LogManager> SimModel<L> {
                 }
             }
         }
-        for tid in fx.kills {
+        for tid in fx.kills.drain(..) {
             self.kills += 1;
             if let Some(tokens) = self.tokens.remove(&tid) {
                 for t in tokens {
@@ -169,6 +170,7 @@ impl<L: LogManager> SimModel<L> {
             }
             self.driver.on_kill(now, tid);
         }
+        self.lm.recycle(fx);
     }
 
     /// Kills observed so far.
@@ -264,6 +266,9 @@ pub struct RunResult {
     pub data_records: u64,
     /// The measurement horizon all rates were computed over.
     pub horizon: SimTime,
+    /// Host-side performance of the run (events, wall clock, queue
+    /// counters). Observational only — never feeds back into results.
+    pub perf: PerfStats,
 }
 
 /// Builds the composite model around a caller-supplied log manager
@@ -283,7 +288,7 @@ pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimMode
         lm,
         oracle: CommittedOracle::new(),
         pool: BufferPool::new(),
-        tokens: HashMap::new(),
+        tokens: FxHashMap::default(),
         stop_on_kill: cfg.stop_on_kill,
         track_oracle: cfg.track_oracle,
         lifetime_hints: cfg.lifetime_hints,
@@ -314,7 +319,13 @@ pub fn build_model(cfg: &RunConfig) -> Engine<SimModel> {
 /// horizon, exactly as the paper computes them over its 500 s window.
 pub fn run(cfg: &RunConfig) -> RunResult {
     let mut engine = build_model(cfg);
+    let wall_start = Instant::now();
     let ended_at = engine.run_until(cfg.runtime);
+    let perf = PerfStats {
+        events: engine.events_processed(),
+        wall: wall_start.elapsed(),
+        queue: engine.queue().perf(),
+    };
     let model = engine.model();
     let horizon = cfg.runtime.min(ended_at.max(cfg.runtime));
     let metrics = model.lm.metrics(horizon);
@@ -328,6 +339,7 @@ pub fn run(cfg: &RunConfig) -> RunResult {
         ended_at,
         data_records: stats.data_records,
         horizon,
+        perf,
     }
 }
 

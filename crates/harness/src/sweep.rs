@@ -31,10 +31,11 @@ use elog_core::{HybridManager, LogManager};
 use elog_recovery::{
     check_against_oracle, estimate_recovery_time, recover, scan_blocks, RecoveryTimeModel,
 };
-use elog_sim::SimTime;
+use elog_sim::{PerfStats, SimTime};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Derives the seed for one scenario from the configuration's base seed
 /// and the scenario's seed index (splitmix64 finalisation — consecutive
@@ -175,6 +176,18 @@ pub enum Output {
     Hybrid(HybridOutcome),
     /// The scenario panicked; the payload is the panic message.
     Failed(String),
+}
+
+impl Output {
+    /// Host-side perf counters of the scenario's measured run, when it
+    /// had one (progress lines and the bench report read this).
+    pub fn perf(&self) -> Option<&PerfStats> {
+        match self {
+            Output::Measured(r) => Some(&r.perf),
+            Output::MinSpace { measured, .. } => Some(&measured.perf),
+            _ => None,
+        }
+    }
 }
 
 /// One scenario's outcome, labelled.
@@ -404,10 +417,21 @@ pub fn run_scenarios(scenarios: &[Scenario], opts: &ExecOptions) -> Vec<RunOutco
     let total = scenarios.len();
     let done = AtomicUsize::new(0);
     let results = parallel_map(scenarios, opts.jobs, |_, s| {
+        let started = Instant::now();
         let out = run_job(s);
         if opts.progress {
             let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!("[sweep {d}/{total}] {}", s.label);
+            let wall = started.elapsed();
+            // Stderr only: stdout is the byte-stable report surface.
+            match out.perf() {
+                Some(p) => eprintln!(
+                    "[sweep {d}/{total}] {} ({wall:.2?}, {:.2} Mev/s, heap peak {})",
+                    s.label,
+                    p.events_per_sec() / 1e6,
+                    p.queue.heap_peak,
+                ),
+                None => eprintln!("[sweep {d}/{total}] {} ({wall:.2?})", s.label),
+            }
         }
         out
     });

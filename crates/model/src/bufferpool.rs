@@ -16,7 +16,7 @@
 
 use crate::ids::{Oid, Tid};
 use crate::stabledb::ObjectVersion;
-use std::collections::HashMap;
+use elog_sim::FxHashMap;
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Slot {
@@ -33,7 +33,7 @@ impl Slot {
 /// RAM image of in-flight and committed-unflushed object versions.
 #[derive(Clone, Debug, Default)]
 pub struct BufferPool {
-    slots: HashMap<Oid, Slot>,
+    slots: FxHashMap<Oid, Slot>,
 }
 
 impl BufferPool {

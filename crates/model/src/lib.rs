@@ -24,5 +24,8 @@ pub mod stabledb;
 pub use bufferpool::BufferPool;
 pub use config::{DbConfig, FlushConfig, LogConfig};
 pub use ids::{GenId, Oid, Tid};
-pub use record::{synth_payload, DataRecord, LogRecord, TxMark, TxRecord};
+pub use record::{
+    payload_matches, synth_payload, synth_payload_extend, synth_payload_into, DataRecord,
+    LogRecord, TxMark, TxRecord,
+};
 pub use stabledb::{CommittedOracle, ObjectVersion, StableDb};

@@ -136,29 +136,84 @@ impl LogRecord {
     }
 }
 
+/// The splitmix-style word stream behind [`synth_payload`]: the seed for an
+/// update plus the per-word mix, shared by the generator and the streaming
+/// verifier so they can never disagree.
+struct PayloadWords {
+    x: u64,
+}
+
+impl PayloadWords {
+    #[inline]
+    fn new(oid: Oid, tid: Tid, seq: u32) -> Self {
+        PayloadWords {
+            x: oid
+                .get()
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(tid.get().rotate_left(32))
+                .wrapping_add(u64::from(seq)),
+        }
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> [u8; 8] {
+        self.x = self.x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z.to_le_bytes()
+    }
+}
+
 /// Deterministically synthesises the content bytes of an update.
 ///
 /// The simulation never stores real object values, but the recovery tests
 /// verify byte-exact reconstruction, so each `(oid, tid, seq)` triple maps to
 /// reproducible pseudo-random content via a splitmix-style mixer.
+///
+/// Allocating wrapper around [`synth_payload_into`].
 pub fn synth_payload(oid: Oid, tid: Tid, seq: u32, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
-    let mut x = oid
-        .get()
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(tid.get().rotate_left(32))
-        .wrapping_add(u64::from(seq));
-    while out.len() < len {
-        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = x;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        let bytes = z.to_le_bytes();
-        let take = bytes.len().min(len - out.len());
+    synth_payload_into(oid, tid, seq, len, &mut out);
+    out
+}
+
+/// [`synth_payload`] writing into a caller-provided buffer (cleared first).
+///
+/// The block codec serialises every data record's payload; reusing one
+/// buffer per block keeps the encode path allocation-free.
+pub fn synth_payload_into(oid: Oid, tid: Tid, seq: u32, len: usize, out: &mut Vec<u8>) {
+    out.clear();
+    synth_payload_extend(oid, tid, seq, len, out);
+}
+
+/// [`synth_payload`] *appending* `len` bytes to `out` — for serialisers
+/// that stream the payload straight into an output buffer.
+pub fn synth_payload_extend(oid: Oid, tid: Tid, seq: u32, len: usize, out: &mut Vec<u8>) {
+    let end = out.len() + len;
+    out.reserve(len);
+    let mut words = PayloadWords::new(oid, tid, seq);
+    while out.len() < end {
+        let bytes = words.next_word();
+        let take = bytes.len().min(end - out.len());
         out.extend_from_slice(&bytes[..take]);
     }
-    out
+}
+
+/// Streaming check that `payload` is exactly the synthesised content for
+/// `(oid, tid, seq)` — equivalent to `payload == synth_payload(..)` without
+/// materialising the expected bytes.
+pub fn payload_matches(oid: Oid, tid: Tid, seq: u32, payload: &[u8]) -> bool {
+    let mut words = PayloadWords::new(oid, tid, seq);
+    let mut chunks = payload.chunks_exact(8);
+    for chunk in &mut chunks {
+        if chunk != words.next_word() {
+            return false;
+        }
+    }
+    let rest = chunks.remainder();
+    rest.is_empty() || rest == &words.next_word()[..rest.len()]
 }
 
 #[cfg(test)]
@@ -234,5 +289,27 @@ mod tests {
     #[test]
     fn zero_length_payload() {
         assert!(synth_payload(Oid(0), Tid(0), 0, 0).is_empty());
+    }
+
+    #[test]
+    fn into_reuses_buffer_and_agrees() {
+        let mut buf = vec![0xAA; 200]; // stale content must be cleared
+        synth_payload_into(Oid(5), Tid(6), 2, 81, &mut buf);
+        assert_eq!(buf, synth_payload(Oid(5), Tid(6), 2, 81));
+    }
+
+    #[test]
+    fn matches_agrees_with_generation() {
+        for len in [0usize, 1, 7, 8, 9, 100] {
+            let p = synth_payload(Oid(3), Tid(4), 5, len);
+            assert!(payload_matches(Oid(3), Tid(4), 5, &p), "len {len}");
+        }
+        let mut p = synth_payload(Oid(3), Tid(4), 5, 100);
+        p[99] ^= 1; // corrupt the unaligned tail
+        assert!(!payload_matches(Oid(3), Tid(4), 5, &p));
+        p[99] ^= 1;
+        p[0] ^= 1; // corrupt an aligned word
+        assert!(!payload_matches(Oid(3), Tid(4), 5, &p));
+        assert!(!payload_matches(Oid(9), Tid(4), 5, &p), "wrong oid");
     }
 }

@@ -18,8 +18,7 @@
 //! tests.
 
 use crate::ids::{Oid, Tid};
-use elog_sim::SimTime;
-use std::collections::HashMap;
+use elog_sim::{FxHashMap, SimTime};
 
 /// One installed (or committed) version of an object.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,7 +34,7 @@ pub struct ObjectVersion {
 /// The on-disk stable version of the database.
 #[derive(Clone, Debug, Default)]
 pub struct StableDb {
-    versions: HashMap<Oid, ObjectVersion>,
+    versions: FxHashMap<Oid, ObjectVersion>,
     installs: u64,
 }
 
@@ -92,7 +91,7 @@ impl StableDb {
 /// all-or-nothing semantics the log manager must preserve through a crash.
 #[derive(Clone, Debug, Default)]
 pub struct CommittedOracle {
-    versions: HashMap<Oid, ObjectVersion>,
+    versions: FxHashMap<Oid, ObjectVersion>,
     committed_txns: u64,
 }
 
@@ -144,7 +143,7 @@ impl CommittedOracle {
 
     /// Compares against a reconstructed state, returning the oids that
     /// disagree (missing, extra, or wrong version). Empty means identical.
-    pub fn diff(&self, other: &HashMap<Oid, ObjectVersion>) -> Vec<Oid> {
+    pub fn diff(&self, other: &FxHashMap<Oid, ObjectVersion>) -> Vec<Oid> {
         let mut bad: Vec<Oid> = Vec::new();
         for (&oid, &v) in &self.versions {
             if other.get(&oid) != Some(&v) {
@@ -214,7 +213,7 @@ mod tests {
             ],
         );
 
-        let mut rebuilt: HashMap<Oid, ObjectVersion> = HashMap::new();
+        let mut rebuilt: FxHashMap<Oid, ObjectVersion> = FxHashMap::default();
         rebuilt.insert(Oid(1), v(1, 1, 1)); // correct
         rebuilt.insert(Oid(3), v(9, 1, 9)); // extra
                                             // Oid(2) missing.
@@ -237,7 +236,7 @@ mod tests {
     fn diff_flags_wrong_version() {
         let mut o = CommittedOracle::new();
         o.commit(Tid(4), [(Oid(7), 1, SimTime::from_millis(4))]);
-        let mut rebuilt = HashMap::new();
+        let mut rebuilt = FxHashMap::default();
         rebuilt.insert(Oid(7), v(4, 2, 4)); // wrong seq
         assert_eq!(o.diff(&rebuilt), vec![Oid(7)]);
     }

@@ -14,13 +14,13 @@
 
 use crate::scan::LogImage;
 use elog_model::{ObjectVersion, Oid, StableDb};
-use std::collections::HashMap;
+use elog_sim::FxHashMap;
 
 /// The reconstructed post-crash state.
 #[derive(Clone, Debug, Default)]
 pub struct RecoveredState {
     /// Final version of every object that has one (stable ∪ redone).
-    pub versions: HashMap<Oid, ObjectVersion>,
+    pub versions: FxHashMap<Oid, ObjectVersion>,
     /// Objects whose version came from the log (redone), not the stable DB.
     pub redone: u64,
     /// Log updates skipped because the stable version was as new or newer.
@@ -43,7 +43,7 @@ pub fn recover(image: &LogImage, stable: &StableDb) -> RecoveredState {
     }
     // Single pass over data records: keep the newest committed candidate
     // per object.
-    let mut candidates: HashMap<Oid, ObjectVersion> = HashMap::new();
+    let mut candidates: FxHashMap<Oid, ObjectVersion> = FxHashMap::default();
     for d in &image.data {
         if !image.committed.contains(&d.tid) {
             out.skipped_uncommitted += 1;

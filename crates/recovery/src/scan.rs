@@ -1,8 +1,8 @@
 //! The log scan: collect every record readable from the disk surface.
 
 use elog_model::{LogRecord, Oid, Tid, TxMark};
+use elog_sim::FxHashSet;
 use elog_storage::{decode_block, Block, CodecError};
-use std::collections::HashSet;
 
 /// Everything the scan learned from the surface.
 #[derive(Clone, Debug, Default)]
@@ -12,12 +12,12 @@ pub struct LogImage {
     /// the same record.
     pub data: Vec<elog_model::DataRecord>,
     /// Tids with a durable COMMIT record.
-    pub committed: HashSet<Tid>,
+    pub committed: FxHashSet<Tid>,
     /// Tids with a durable ABORT record (written only by clients that use
     /// explicit abort records; the simulator's aborts leave none).
-    pub aborted: HashSet<Tid>,
+    pub aborted: FxHashSet<Tid>,
     /// Tids seen at all (any record kind).
-    pub seen_txns: HashSet<Tid>,
+    pub seen_txns: FxHashSet<Tid>,
     /// Scan statistics.
     pub stats: ScanStats,
 }
@@ -65,7 +65,8 @@ impl LogImage {
     }
 
     fn dedup(&mut self) {
-        let mut seen: HashSet<(Tid, Oid, u32)> = HashSet::with_capacity(self.data.len());
+        let mut seen: FxHashSet<(Tid, Oid, u32)> =
+            FxHashSet::with_capacity_and_hasher(self.data.len(), Default::default());
         let before = self.data.len();
         self.data.retain(|d| seen.insert((d.tid, d.oid, d.seq)));
         self.stats.duplicates += (before - self.data.len()) as u64;

@@ -72,6 +72,11 @@ impl<M: Simulate> Engine<M> {
         &mut self.model
     }
 
+    /// Immutable access to the queue (e.g. to read perf counters).
+    pub fn queue(&self) -> &EventQueue<M::Event> {
+        &self.queue
+    }
+
     /// Mutable access to the queue (e.g. to schedule the first events).
     pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
         &mut self.queue
@@ -91,11 +96,8 @@ impl<M: Simulate> Engine<M> {
     /// fires, events after it stay queued), the queue empties, or the model
     /// requests a stop. Returns the virtual time at exit.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
-        while let Some(at) = self.queue.peek_time() {
-            if at > horizon {
-                break;
-            }
-            let (at, event) = self.queue.pop().expect("peeked event must pop");
+        // Fused peek-and-pop: one heap access per delivered event.
+        while let Some((at, event)) = self.queue.pop_at_or_before(horizon) {
             debug_assert!(
                 at >= self.now,
                 "time ran backwards: {at:?} < {:?}",

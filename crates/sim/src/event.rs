@@ -6,23 +6,45 @@
 //! paper's workload writes a COMMIT record exactly ε after the final data
 //! record, and several log-manager actions can legitimately coincide.
 //!
-//! Cancellation is supported through tombstones: `cancel` marks a token dead
-//! and the heap lazily discards dead entries on pop. This is how the workload
-//! driver retracts the remaining record writes of a killed transaction.
+//! Cancellation uses *generation-stamped slots* instead of an auxiliary
+//! tombstone set: every scheduled event borrows a slot from a free list and
+//! stamps its heap entry with the slot's current generation. Cancelling (or
+//! firing) bumps the generation, so a stale heap entry is recognised at pop
+//! time by a single array compare — no hashing, no allocation, O(1). Dead
+//! entries are discarded lazily as the heap drains past them; when they
+//! outnumber the live ones the heap is compacted in place, so a workload
+//! that mass-cancels (the killed-transaction retract path) cannot leave the
+//! heap dominated by corpses.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Identifies a scheduled event so it can later be cancelled.
+///
+/// A token is a `(slot, generation)` pair: cancelling checks that the slot
+/// still carries the token's generation, which makes cancellation of an
+/// already-fired (or already-cancelled) event a harmless no-op even after
+/// the slot has been reused by later events.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventToken(u64);
+pub struct EventToken {
+    slot: u32,
+    generation: u32,
+}
 
 struct Entry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
+    generation: u32,
     event: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn is_live(&self, generations: &[u32]) -> bool {
+        generations[self.slot as usize] == self.generation
+    }
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -48,14 +70,26 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
+/// Below this heap size compaction is pointless — the lazy pop-time discard
+/// clears a handful of tombstones for free.
+const COMPACT_MIN_HEAP: usize = 64;
+
 /// Priority queue of future events.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Seqs of events scheduled but not yet fired or cancelled.
-    pending: HashSet<u64>,
+    /// Current generation per slot. An entry is live iff its stamped
+    /// generation matches its slot's.
+    generations: Vec<u32>,
+    /// Slots available for reuse.
+    free_slots: Vec<u32>,
+    /// Live (scheduled, not fired, not cancelled) events.
+    live: usize,
     next_seq: u64,
     scheduled_total: u64,
     cancelled_total: u64,
+    tombstones_discarded: u64,
+    compactions: u64,
+    heap_peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -69,10 +103,15 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            generations: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
             next_seq: 0,
             scheduled_total: 0,
             cancelled_total: 0,
+            tombstones_discarded: 0,
+            compactions: 0,
+            heap_peak: 0,
         }
     }
 
@@ -80,6 +119,7 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
+            generations: Vec::with_capacity(cap),
             ..Self::new()
         }
     }
@@ -91,52 +131,132 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.pending.insert(seq);
-        self.heap.push(Entry { at, seq, event });
-        EventToken(seq)
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.generations.len();
+                assert!(s < u32::MAX as usize, "event queue slots exhausted");
+                self.generations.push(0);
+                s as u32
+            }
+        };
+        let generation = self.generations[slot as usize];
+        self.live += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            slot,
+            generation,
+            event,
+        });
+        self.heap_peak = self.heap_peak.max(self.heap.len());
+        EventToken { slot, generation }
+    }
+
+    /// Retires a slot: the generation bump invalidates every heap entry
+    /// still stamped with the old generation, and the slot becomes
+    /// reusable immediately (new entries carry the new generation).
+    #[inline]
+    fn retire_slot(&mut self, slot: u32) {
+        self.generations[slot as usize] = self.generations[slot as usize].wrapping_add(1);
+        self.free_slots.push(slot);
+        self.live -= 1;
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Cancelling an event that already fired (or was already cancelled) is a
     /// harmless no-op. The heap entry becomes a tombstone that is discarded
-    /// lazily when the heap drains past its timestamp.
+    /// lazily on pop, or eagerly when tombstones outnumber live entries.
     pub fn cancel(&mut self, token: EventToken) {
-        if self.pending.remove(&token.0) {
-            self.cancelled_total += 1;
+        if self.generations[token.slot as usize] != token.generation {
+            return; // already fired or cancelled
+        }
+        self.retire_slot(token.slot);
+        self.cancelled_total += 1;
+        self.maybe_compact();
+    }
+
+    /// Rebuilds the heap without its dead entries once they exceed half of
+    /// it. Keeps mass cancellation (killed-transaction retraction) from
+    /// letting the heap grow without bound while dead entries wait to
+    /// drain past the pop.
+    fn maybe_compact(&mut self) {
+        let dead = self.heap.len() - self.live;
+        if self.heap.len() >= COMPACT_MIN_HEAP && dead * 2 > self.heap.len() {
+            let generations = &self.generations;
+            self.heap.retain(|e| e.is_live(generations));
+            self.tombstones_discarded += dead as u64;
+            self.compactions += 1;
+            debug_assert_eq!(self.heap.len(), self.live);
         }
     }
 
     /// Removes and returns the earliest live event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.pending.remove(&entry.seq) {
+            if entry.is_live(&self.generations) {
+                self.retire_slot(entry.slot);
                 return Some((entry.at, entry.event));
             }
-            // else: tombstone of a cancelled event, skip
+            self.tombstones_discarded += 1; // cancelled event's corpse
         }
         None
+    }
+
+    /// Removes and returns the earliest live event at or before `horizon`;
+    /// leaves the queue untouched (beyond discarding leading tombstones)
+    /// when the earliest live event is after the horizon.
+    ///
+    /// This is the event loop's fused peek-then-pop: one heap traversal
+    /// per delivered event instead of two.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let head = self.heap.peek()?;
+            if !head.is_live(&self.generations) {
+                self.heap.pop();
+                self.tombstones_discarded += 1;
+                continue;
+            }
+            if head.at > horizon {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked entry pops");
+            self.retire_slot(entry.slot);
+            return Some((entry.at, entry.event));
+        }
     }
 
     /// Time of the earliest live event, if any, without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.pending.contains(&entry.seq) {
+            if entry.is_live(&self.generations) {
                 return Some(entry.at);
             }
             self.heap.pop();
+            self.tombstones_discarded += 1;
         }
         None
     }
 
     /// Count of live (scheduled, not yet fired or cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Physical heap length, counting not-yet-discarded tombstones.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Greatest physical heap length ever reached.
+    pub fn heap_peak(&self) -> usize {
+        self.heap_peak
     }
 
     /// Total number of `schedule` calls over the queue's lifetime.
@@ -147,6 +267,27 @@ impl<E> EventQueue<E> {
     /// Total number of effective `cancel` calls over the queue's lifetime.
     pub fn cancelled_total(&self) -> u64 {
         self.cancelled_total
+    }
+
+    /// Dead heap entries discarded so far (lazily or by compaction).
+    pub fn tombstones_discarded(&self) -> u64 {
+        self.tombstones_discarded
+    }
+
+    /// Number of compaction passes performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Queue counters snapshot for performance reporting.
+    pub fn perf(&self) -> crate::perfstats::QueueStats {
+        crate::perfstats::QueueStats {
+            scheduled: self.scheduled_total,
+            cancelled: self.cancelled_total,
+            tombstones_discarded: self.tombstones_discarded,
+            compactions: self.compactions,
+            heap_peak: self.heap_peak,
+        }
     }
 }
 
@@ -230,6 +371,21 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_slot_reuse_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), 1u32);
+        q.cancel(a);
+        // The freed slot is reused with a bumped generation; the stale
+        // token must not touch the new event.
+        let b = q.schedule(t(2), 2u32);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancelled_total(), 1);
+        assert_eq!(q.pop(), Some((t(2), 2)));
+        let _ = b;
+    }
+
+    #[test]
     fn interleaved_schedule_and_pop() {
         let mut q = EventQueue::new();
         q.schedule(t(10), 10u64);
@@ -238,5 +394,79 @@ mod tests {
         q.schedule(t(15), 15);
         assert_eq!(q.pop(), Some((t(5), 5)));
         assert_eq!(q.peek_time(), Some(t(15)));
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        let dead = q.schedule(t(1), 1u32);
+        q.schedule(t(2), 2u32);
+        q.schedule(t(5), 5u32);
+        q.cancel(dead);
+        // Tombstone at the head is discarded, live head is within horizon.
+        assert_eq!(q.pop_at_or_before(t(3)), Some((t(2), 2)));
+        // Next live event is past the horizon: untouched.
+        assert_eq!(q.pop_at_or_before(t(3)), None);
+        assert_eq!(q.len(), 1);
+        // Horizon is inclusive.
+        assert_eq!(q.pop_at_or_before(t(5)), Some((t(5), 5)));
+        assert_eq!(q.pop_at_or_before(SimTime::MAX), None);
+    }
+
+    #[test]
+    fn mass_cancellation_compacts_heap() {
+        let mut q = EventQueue::new();
+        let tokens: Vec<EventToken> = (0..1000).map(|i| q.schedule(t(i), i)).collect();
+        assert_eq!(q.heap_len(), 1000);
+        // Kill-retraction pattern: cancel almost everything without popping.
+        for tok in &tokens[..900] {
+            q.cancel(*tok);
+        }
+        assert_eq!(q.len(), 100);
+        assert!(
+            q.heap_len() <= 2 * q.len().max(COMPACT_MIN_HEAP),
+            "dead entries must not dominate the heap: {} physical for {} live",
+            q.heap_len(),
+            q.len()
+        );
+        assert!(q.compactions() >= 1, "compaction must have run");
+        // Everything still pops in order.
+        let survivors: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(survivors, (900..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_tokens() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for i in 0..500u64 {
+            let tok = q.schedule(t(1000 - i), i);
+            if i % 5 == 0 {
+                keep.push((tok, i));
+            } else {
+                q.cancel(tok);
+            }
+        }
+        // Live tokens stay cancellable after compaction runs.
+        let (tok, val) = keep.pop().unwrap();
+        q.cancel(tok);
+        let popped: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert!(!popped.contains(&val));
+        assert_eq!(popped.len(), keep.len());
+        let mut sorted = popped.clone();
+        sorted.sort_by_key(|v| std::cmp::Reverse(*v)); // scheduled at t(1000-i)
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn small_heaps_skip_compaction() {
+        let mut q = EventQueue::new();
+        let toks: Vec<EventToken> = (0..20).map(|i| q.schedule(t(i), i)).collect();
+        for tok in toks {
+            q.cancel(tok);
+        }
+        assert_eq!(q.compactions(), 0, "below the size floor");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.heap_len(), 0, "pop drained the corpses");
     }
 }

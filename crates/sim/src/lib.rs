@@ -37,6 +37,8 @@
 
 pub mod engine;
 pub mod event;
+pub mod fxhash;
+pub mod perfstats;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -44,6 +46,8 @@ pub mod trace;
 
 pub use engine::{Engine, Simulate};
 pub use event::{EventQueue, EventToken};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use perfstats::{CountingAlloc, PerfStats, QueueStats};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, MaxGauge, MeanAccumulator, TimeWeighted};
 pub use time::SimTime;

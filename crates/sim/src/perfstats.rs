@@ -1,0 +1,199 @@
+//! Hot-path performance counters.
+//!
+//! The simulator's worth is measured in delivered events per wall-clock
+//! second, so the kernel exposes the raw material for that number here:
+//! per-queue counters ([`QueueStats`], snapshotted via
+//! [`crate::EventQueue::perf`]), a per-run aggregate ([`PerfStats`]) the
+//! harness assembles around a timed run, and an optional counting
+//! allocator ([`CountingAlloc`]) the binaries install to price the
+//! allocation traffic of the commit path.
+//!
+//! Everything here is observational: no counter feeds back into the
+//! simulation, so enabling or ignoring them cannot change results.
+
+use std::alloc::{GlobalAlloc, Layout};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lifetime counters of one [`crate::EventQueue`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// `schedule` calls.
+    pub scheduled: u64,
+    /// Effective `cancel` calls.
+    pub cancelled: u64,
+    /// Dead heap entries discarded (lazily on pop or by compaction).
+    pub tombstones_discarded: u64,
+    /// Compaction passes.
+    pub compactions: u64,
+    /// Greatest physical heap length (live + tombstones).
+    pub heap_peak: usize,
+}
+
+impl QueueStats {
+    /// Fraction of scheduled events that died as tombstones, in `[0, 1]`.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.scheduled == 0 {
+            0.0
+        } else {
+            self.tombstones_discarded as f64 / self.scheduled as f64
+        }
+    }
+
+    /// Accumulates another queue's counters (heap peak takes the max).
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.scheduled += other.scheduled;
+        self.cancelled += other.cancelled;
+        self.tombstones_discarded += other.tombstones_discarded;
+        self.compactions += other.compactions;
+        self.heap_peak = self.heap_peak.max(other.heap_peak);
+    }
+}
+
+/// One run's performance aggregate: how much simulation happened and how
+/// fast the host executed it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfStats {
+    /// Events delivered by the engine.
+    pub events: u64,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// Event-queue counters.
+    pub queue: QueueStats,
+}
+
+impl PerfStats {
+    /// Delivered events per wall-clock second (0 for an unmeasured run).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
+
+    /// Accumulates another run (wall times add: serial composition).
+    pub fn merge(&mut self, other: &PerfStats) {
+        self.events += other.events;
+        self.wall += other.wall;
+        self.queue.merge(&other.queue);
+    }
+}
+
+impl fmt::Display for PerfStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} Mev/s ({} events in {:.2?}; heap peak {}, tombstone ratio {:.4}, {} compactions)",
+            self.events_per_sec() / 1e6,
+            self.events,
+            self.wall,
+            self.queue.heap_peak,
+            self.queue.tombstone_ratio(),
+            self.queue.compactions,
+        )
+    }
+}
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Heap allocations observed by the installed [`CountingAlloc`], if any.
+///
+/// Returns 0 when no counting allocator is installed (library users and
+/// unit tests pay nothing).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A counting wrapper around any global allocator.
+///
+/// Binaries that want allocation counts in their perf reports install it:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: CountingAlloc<std::alloc::System> = CountingAlloc(std::alloc::System);
+/// ```
+///
+/// Cost: one relaxed atomic increment per allocation — negligible next to
+/// the allocation itself, and zero for code that never allocates.
+pub struct CountingAlloc<A>(pub A);
+
+// SAFETY: defers entirely to the wrapped allocator; the counter has no
+// effect on the returned memory.
+unsafe impl<A: GlobalAlloc> GlobalAlloc for CountingAlloc<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        self.0.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.0.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        self.0.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        self.0.alloc_zeroed(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tombstone_ratio_handles_zero() {
+        assert_eq!(QueueStats::default().tombstone_ratio(), 0.0);
+        let q = QueueStats {
+            scheduled: 100,
+            tombstones_discarded: 25,
+            ..QueueStats::default()
+        };
+        assert!((q.tombstone_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PerfStats {
+            events: 10,
+            wall: Duration::from_millis(5),
+            queue: QueueStats {
+                scheduled: 12,
+                heap_peak: 7,
+                ..QueueStats::default()
+            },
+        };
+        let b = PerfStats {
+            events: 30,
+            wall: Duration::from_millis(15),
+            queue: QueueStats {
+                scheduled: 40,
+                heap_peak: 3,
+                ..QueueStats::default()
+            },
+        };
+        a.merge(&b);
+        assert_eq!(a.events, 40);
+        assert_eq!(a.wall, Duration::from_millis(20));
+        assert_eq!(a.queue.scheduled, 52);
+        assert_eq!(a.queue.heap_peak, 7);
+        assert!((a.events_per_sec() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let s = PerfStats {
+            events: 2_000_000,
+            wall: Duration::from_secs(1),
+            ..PerfStats::default()
+        };
+        let text = format!("{s}");
+        assert!(text.contains("2.00 Mev/s"), "{text}");
+    }
+}

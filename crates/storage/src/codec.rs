@@ -26,7 +26,9 @@
 use crate::block::{Block, BlockAddr};
 use crate::checksum::crc32;
 use bytes::{Buf, BufMut};
-use elog_model::{synth_payload, DataRecord, GenId, LogRecord, Oid, Tid, TxMark, TxRecord};
+use elog_model::{
+    payload_matches, synth_payload_extend, DataRecord, GenId, LogRecord, Oid, Tid, TxMark, TxRecord,
+};
 use elog_sim::SimTime;
 use std::fmt;
 
@@ -90,7 +92,9 @@ fn encode_record(out: &mut Vec<u8>, r: &LogRecord) {
             out.put_u32_le(d.size);
             let payload_len = (d.size as usize).saturating_sub(DATA_RECORD_HEADER_BYTES);
             out.put_u16_le(payload_len as u16);
-            out.extend_from_slice(&synth_payload(d.oid, d.tid, d.seq, payload_len));
+            // Stream the payload straight into the output buffer: no
+            // per-record temporary.
+            synth_payload_extend(d.oid, d.tid, d.seq, payload_len, out);
         }
         LogRecord::Tx(t) => {
             out.put_u8(t.mark.tag());
@@ -121,7 +125,8 @@ fn decode_record(buf: &mut &[u8]) -> Result<LogRecord, CodecError> {
                 return Err(CodecError::Truncated);
             }
             let payload = &buf[..payload_len];
-            if payload != synth_payload(oid, tid, seq, payload_len).as_slice() {
+            // Streaming compare: no expected-payload temporary.
+            if !payload_matches(oid, tid, seq, payload) {
                 return Err(CodecError::BadPayload);
             }
             buf.advance(payload_len);

@@ -12,8 +12,8 @@ use crate::arrival::ArrivalProcess;
 use crate::oidpick::OidPicker;
 use crate::spec::TxMix;
 use elog_model::{Oid, Tid};
+use elog_sim::FxHashMap;
 use elog_sim::{Histogram, MaxGauge, SimRng, SimTime};
-use std::collections::HashMap;
 
 /// Events the driver asks to be scheduled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -105,7 +105,7 @@ pub struct WorkloadDriver {
     /// No arrivals are generated at or after this time.
     horizon: SimTime,
     next_tid: u64,
-    active: HashMap<Tid, ActiveTxn>,
+    active: FxHashMap<Tid, ActiveTxn>,
     stats: WorkloadStats,
 }
 
@@ -134,7 +134,7 @@ impl WorkloadDriver {
             picker: OidPicker::new(num_objects),
             horizon,
             next_tid: 0,
-            active: HashMap::new(),
+            active: FxHashMap::default(),
             stats: WorkloadStats::new(n_types),
         }
     }

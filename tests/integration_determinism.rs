@@ -1,8 +1,11 @@
 //! Reproducibility: a seed fully determines a run, across techniques,
-//! arrival processes and crash instants.
+//! arrival processes and crash instants — and the rendered reports are
+//! byte-identical across repeats and across process boundaries.
 
 use elog_core::ElConfig;
+use elog_harness::experiments::registry;
 use elog_harness::runner::{build_model, run, RunConfig};
+use elog_harness::sweep::{run_experiments, ExecOptions, ExperimentReport};
 use elog_model::{FlushConfig, LogConfig};
 use elog_recovery::{recover, scan_blocks};
 use elog_sim::SimTime;
@@ -65,6 +68,57 @@ fn identical_seeds_identical_crash_surfaces() {
     };
     assert_eq!(snapshot(123), snapshot(123));
     assert_ne!(snapshot(123), snapshot(321), "different seeds must diverge");
+}
+
+/// What `repro --quick --only fig4` prints to stdout, reproduced
+/// in-process (header, rendered tables, notes).
+fn render_like_repro(reports: &[ExperimentReport]) -> String {
+    let mut out = String::new();
+    out.push_str("# Ephemeral Logging (SIGMOD '93) — full reproduction [quick mode]\n\n");
+    for report in reports {
+        for (_slug, table) in &report.tables {
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for note in &report.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+        if !report.notes.is_empty() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn quick_fig4_report_is_byte_stable_across_processes() {
+    // The report is a pure function of the experiment configuration: two
+    // in-process runs and a fresh-process run must agree byte for byte.
+    // This pins down everything the hot path leans on — hasher seeding,
+    // map iteration discipline, the pruned min-space search — since any
+    // process-dependent state (e.g. RandomState-style per-process hash
+    // seeds) would show up here first.
+    let experiments: Vec<_> = registry()
+        .into_iter()
+        .filter(|e| e.name().to_lowercase().contains("fig4"))
+        .collect();
+    assert!(!experiments.is_empty());
+    let exec = ExecOptions {
+        jobs: 2,
+        progress: false,
+    };
+    let first = render_like_repro(&run_experiments(&experiments, true, &exec));
+    let second = render_like_repro(&run_experiments(&experiments, true, &exec));
+    assert_eq!(first, second, "same process, same bytes");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--only", "fig4", "--jobs", "2"])
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success(), "repro failed: {out:?}");
+    let fresh = String::from_utf8(out.stdout).expect("utf8 stdout");
+    assert_eq!(fresh, first, "fresh process, same bytes");
 }
 
 #[test]

@@ -49,6 +49,35 @@ fn quick_report_is_byte_identical_across_job_counts() {
 }
 
 #[test]
+fn job_counts_beyond_scenario_count_are_harmless() {
+    // More workers than work: the executor must leave the idle workers
+    // starved without perturbing outcomes or ordering.
+    let pair = recovery_time::scenarios_for(&recovery_time::Config::quick());
+    let serial = run_scenarios(&pair, &exec(1));
+    let oversubscribed = run_scenarios(&pair, &exec(pair.len() + 6));
+    assert_eq!(
+        recovery_time::table(&serial).render(),
+        recovery_time::table(&oversubscribed).render(),
+        "idle workers must not change a byte"
+    );
+}
+
+#[test]
+fn quick_report_matches_between_one_job_and_all_cpus() {
+    // `--jobs 1` vs `--jobs $(nproc)`: the two extremes of the scheduling
+    // space the user can actually reach from the CLI.
+    let ncpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let serial = quick_report(1);
+    let all_cpus = quick_report(ncpus);
+    assert_eq!(
+        serial, all_cpus,
+        "--jobs {ncpus} must match --jobs 1 byte for byte"
+    );
+}
+
+#[test]
 fn scenario_outcomes_do_not_depend_on_neighbours() {
     // A scenario's result must be a function of (its config, its seed
     // index) alone: running the recovery pair alone or embedded in a
