@@ -16,11 +16,14 @@ cargo build --offline --release --workspace
 echo "== cargo test =="
 cargo test -q --offline --workspace
 
-echo "== bench --quick (perf smoke) =="
-# One quick pass over the whole experiment basket: catches perf cliffs and
-# prints the events/s + allocation trajectory. The JSON is echoed so CI
-# logs preserve the numbers; the file itself is throwaway here (committed
-# snapshots are produced deliberately, see BENCH_*.json).
-./target/release/bench --quick --out "$(mktemp)"
+echo "== bench --quick (perf regression gate) =="
+# One quick pass over the whole experiment basket, gated against the most
+# recent committed snapshot: the run fails when top-level throughput
+# regressed by more than 30% (see crates/harness/src/benchgate.rs). The
+# JSON is echoed so CI logs preserve the numbers; the report file itself
+# is throwaway (committed snapshots are produced deliberately:
+# `bench --quick --jobs 1 --out BENCH_$(date +%F).json`).
+BASELINE=$(ls BENCH_*.json | sort | tail -n 1)
+./target/release/bench --quick --out "$(mktemp)" --baseline "$BASELINE" --max-regress 30
 
 echo "CI green."

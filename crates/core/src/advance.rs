@@ -58,7 +58,7 @@ impl ElManager {
         let cap = self.gens[gi].ring.capacity();
         let is_last = gi + 1 == self.gens.len();
         let mut consumed = 0u64;
-        let mut gathered: Vec<CellIdx> = Vec::new();
+        let mut gathered: Vec<CellIdx> = self.spare_gather.pop().unwrap_or_default();
         let mut gathered_bytes = 0u64;
         let mut src_min: Option<u64> = None;
 
@@ -122,8 +122,10 @@ impl ElManager {
                     src_min = Some(src_min.map_or(seq, |m: u64| m.min(seq)));
                 }
             }
-            self.forward_append(now, gi, gathered, src_min, fx);
+            self.forward_append(now, gi, &gathered, src_min, fx);
         }
+        gathered.clear();
+        self.spare_gather.push(gathered);
     }
 
     /// Total accounting bytes of the non-garbage records in block `seq` of
@@ -240,14 +242,14 @@ impl ElManager {
         &mut self,
         now: SimTime,
         gi: usize,
-        cells: Vec<CellIdx>,
+        cells: &[CellIdx],
         src_min: Option<u64>,
         fx: &mut Effects,
     ) {
         if cells.is_empty() {
             return;
         }
-        for &c in &cells {
+        for &c in cells {
             if !self.arena.is_live(c) {
                 continue; // died in transit (space-pressure kill)
             }
@@ -255,7 +257,7 @@ impl ElManager {
             self.stats.forwarded_records += 1;
             self.stats.forwarded_bytes += size;
         }
-        let appended = self.append_cells(now, gi + 1, &cells, true, fx);
+        let appended = self.append_cells(now, gi + 1, cells, true, fx);
         if appended > 0 {
             if let Some(src_seq) = src_min {
                 // The batch was just sealed; the newest allocation of the
@@ -306,7 +308,8 @@ impl ElManager {
                         if self.alloc_violates_hold(gi, addr.seq) {
                             self.stats.durability_violations += 1;
                         }
-                        self.gens[gi].open = Some(elog_storage::Block::new(addr));
+                        let block = self.fresh_block(addr);
+                        self.gens[gi].open = Some(block);
                         if let Some(timeout) = self.cfg.group_commit_timeout {
                             fx.timers.push((
                                 now + timeout,

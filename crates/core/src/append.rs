@@ -16,7 +16,6 @@ use crate::cell::CellIdx;
 use crate::manager::{ElManager, Inflight};
 use crate::types::{Effects, LmTimer};
 use elog_sim::SimTime;
-use elog_storage::Block;
 
 impl ElManager {
     /// Appends `cells`' records to generation `gi`'s tail, linking each
@@ -125,7 +124,8 @@ impl ElManager {
         if self.alloc_violates_hold(gi, addr.seq) {
             self.stats.durability_violations += 1;
         }
-        self.gens[gi].open = Some(Block::new(addr));
+        let block = self.fresh_block(addr);
+        self.gens[gi].open = Some(block);
         if let Some(timeout) = self.cfg.group_commit_timeout {
             fx.timers.push((
                 now + timeout,
@@ -177,15 +177,19 @@ impl ElManager {
         debug_assert_eq!(g, gen);
         block.written_at = now;
         let seq = block.addr.seq;
-        self.gens[gen].ring.install(block);
+        if let Some(displaced) = self.gens[gen].ring.install(block) {
+            self.recycle_block(displaced);
+        }
         self.gens[gen].inflight_buffers -= 1;
         self.device.complete_write(gen);
         self.holds
             .retain(|h| !(h.dest_gen == gen && h.dest_block == seq));
-        if let Some(tids) = self.pending_commits.remove(&(gen, seq)) {
-            for tid in tids {
+        if let Some(mut tids) = self.pending_commits.remove(&(gen, seq)) {
+            for &tid in &tids {
                 self.finalize_commit(now, tid, fx);
             }
+            tids.clear();
+            self.spare_tids.push(tids);
         }
     }
 }

@@ -260,7 +260,7 @@ impl HybridManager {
                 debug_assert_eq!(q, gen);
                 block.written_at = now;
                 let seq = block.addr.seq;
-                self.queues[gen].ring.install(block);
+                let _retired = self.queues[gen].ring.install(block);
                 self.device.complete_write(gen);
                 if let Some(tids) = self.pending_commits.remove(&(gen, seq)) {
                     for tid in tids {

@@ -45,6 +45,10 @@ pub struct CommitOutcome {
 pub struct Lot {
     map: FxHashMap<Oid, LotEntry>,
     peak_len: usize,
+    /// Uncommitted-cell vectors of pruned entries, reused when an object is
+    /// touched again — the insert/prune cycle runs once per data record, so
+    /// recycling keeps it allocation-free at steady state.
+    spare_cells: Vec<Vec<(Tid, CellIdx)>>,
 }
 
 impl Lot {
@@ -71,12 +75,25 @@ impl Lot {
     /// Registers a new uncommitted update's cell (a data record just
     /// entered the log). Creates the entry on first touch.
     pub fn insert_uncommitted(&mut self, oid: Oid, tid: Tid, cell: CellIdx) {
+        let spare = &mut self.spare_cells;
         self.map
             .entry(oid)
-            .or_default()
+            .or_insert_with(|| LotEntry {
+                committed: None,
+                uncommitted: spare.pop().unwrap_or_default(),
+            })
             .uncommitted
             .push((tid, cell));
         self.peak_len = self.peak_len.max(self.map.len());
+    }
+
+    /// Prunes an empty entry, recycling its buffer.
+    fn prune(&mut self, oid: Oid) {
+        if let Some(mut entry) = self.map.remove(&oid) {
+            debug_assert!(entry.is_empty());
+            entry.uncommitted.clear();
+            self.spare_cells.push(entry.uncommitted);
+        }
     }
 
     /// Processes `tid`'s commit for `oid` (§2.3): the transaction's newest
@@ -145,7 +162,7 @@ impl Lot {
             }
         });
         if entry.is_empty() {
-            self.map.remove(&oid);
+            self.prune(oid);
         }
     }
 
@@ -159,7 +176,7 @@ impl Lot {
         entry.uncommitted.retain(|&(t, c)| !(t == tid && c == cell));
         let removed = entry.uncommitted.len() != before;
         if entry.is_empty() {
-            self.map.remove(&oid);
+            self.prune(oid);
         }
         removed
     }
@@ -176,7 +193,7 @@ impl Lot {
         entry.committed = None;
         let out = Some(cell);
         if entry.is_empty() {
-            self.map.remove(&oid);
+            self.prune(oid);
         }
         out
     }

@@ -12,7 +12,6 @@ use crate::cell::CellIdx;
 use elog_model::{Oid, Tid};
 use elog_sim::FxHashMap;
 use elog_sim::SimTime;
-use std::collections::BTreeSet;
 
 /// Lifecycle state of a transaction in the LTT.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -39,9 +38,10 @@ pub struct LttEntry {
     /// garbage the moment a newer one is written).
     pub tx_cell: CellIdx,
     /// Objects with non-garbage data records written by this transaction.
-    /// Ordered so that commit-time iteration (and hence flush submission)
-    /// is deterministic for a given seed.
-    pub oids: BTreeSet<Oid>,
+    /// Kept sorted so that commit-time iteration (and hence flush
+    /// submission) is deterministic for a given seed; a transaction touches
+    /// few objects, so binary-search insertion beats tree-node churn.
+    pub oids: Vec<Oid>,
     /// Lifecycle state.
     pub state: TxState,
     /// Generation the transaction's records are appended to (0 unless the
@@ -54,6 +54,9 @@ pub struct LttEntry {
 pub struct Ltt {
     map: FxHashMap<Tid, LttEntry>,
     peak_len: usize,
+    /// Oid vectors of removed entries, reused by later `begin`s so the
+    /// per-transaction lifecycle is allocation-free at steady state.
+    spare_oids: Vec<Vec<Oid>>,
 }
 
 impl Ltt {
@@ -82,11 +85,13 @@ impl Ltt {
     /// # Panics
     /// Panics when the tid is already present (tids are unique).
     pub fn begin(&mut self, tid: Tid, tx_cell: CellIdx) {
+        let oids = self.spare_oids.pop().unwrap_or_default();
+        debug_assert!(oids.is_empty());
         let prev = self.map.insert(
             tid,
             LttEntry {
                 tx_cell,
-                oids: BTreeSet::new(),
+                oids,
                 state: TxState::Active,
                 home_gen: 0,
             },
@@ -97,11 +102,14 @@ impl Ltt {
 
     /// Records that the transaction updated `oid`.
     pub fn add_oid(&mut self, tid: Tid, oid: Oid) {
-        self.map
+        let oids = &mut self
+            .map
             .get_mut(&tid)
             .unwrap_or_else(|| panic!("add_oid for unknown {tid}"))
-            .oids
-            .insert(oid);
+            .oids;
+        if let Err(pos) = oids.binary_search(&oid) {
+            oids.insert(pos, oid);
+        }
     }
 
     /// Removes `oid` after one of the transaction's data records became
@@ -113,7 +121,9 @@ impl Ltt {
         let Some(entry) = self.map.get_mut(&tid) else {
             return false;
         };
-        entry.oids.remove(&oid);
+        if let Ok(pos) = entry.oids.binary_search(&oid) {
+            entry.oids.remove(pos);
+        }
         entry.oids.is_empty() && entry.state == TxState::Committed
     }
 
@@ -130,6 +140,13 @@ impl Ltt {
     /// Removes and returns an entry (commit completion, abort, kill).
     pub fn remove(&mut self, tid: Tid) -> Option<LttEntry> {
         self.map.remove(&tid)
+    }
+
+    /// Takes a removed entry back for buffer reuse once the caller is done
+    /// reading it (see [`Ltt::begin`]).
+    pub fn recycle(&mut self, mut entry: LttEntry) {
+        entry.oids.clear();
+        self.spare_oids.push(entry.oids);
     }
 
     /// True when the transaction is tracked.
@@ -154,6 +171,7 @@ impl Ltt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
 
     #[test]
     fn begin_tracks_entry() {
@@ -200,6 +218,30 @@ mod tests {
         let entry = ltt.remove(Tid(1)).unwrap();
         assert_eq!(entry.tx_cell, 100);
         assert!(ltt.is_empty());
+    }
+
+    #[test]
+    fn oids_stay_sorted_and_deduplicated() {
+        let mut ltt = Ltt::new();
+        ltt.begin(Tid(1), 100);
+        for &o in &[9, 3, 7, 3, 9, 1] {
+            ltt.add_oid(Tid(1), Oid(o));
+        }
+        assert_eq!(
+            ltt.get(Tid(1)).unwrap().oids,
+            vec![Oid(1), Oid(3), Oid(7), Oid(9)]
+        );
+    }
+
+    #[test]
+    fn recycled_entry_buffers_are_reused_clean() {
+        let mut ltt = Ltt::new();
+        ltt.begin(Tid(1), 100);
+        ltt.add_oid(Tid(1), Oid(5));
+        let entry = ltt.remove(Tid(1)).unwrap();
+        ltt.recycle(entry);
+        ltt.begin(Tid(2), 101);
+        assert!(ltt.get(Tid(2)).unwrap().oids.is_empty());
     }
 
     #[test]

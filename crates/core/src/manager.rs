@@ -79,6 +79,14 @@ pub struct ElManager {
     /// Recycled [`Effects`] (one event is in flight at a time, so a single
     /// spare covers the event loop).
     spare_fx: Option<Effects>,
+    /// Record vectors of retired blocks, reused when a buffer opens.
+    pub(crate) spare_records: Vec<Vec<LogRecord>>,
+    /// Tid vectors of drained `pending_commits` entries.
+    pub(crate) spare_tids: Vec<Vec<Tid>>,
+    /// Gather buffers for [`crate::advance`]'s head maintenance (a pool,
+    /// not a single scratch: forwarding re-enters gap maintenance in the
+    /// next generation).
+    pub(crate) spare_gather: Vec<Vec<CellIdx>>,
 }
 
 impl ElManager {
@@ -120,12 +128,27 @@ impl ElManager {
             scratch_oids: Vec::new(),
             scratch_cells: Vec::new(),
             spare_fx: None,
+            spare_records: Vec::new(),
+            spare_tids: Vec::new(),
+            spare_gather: Vec::new(),
         })
     }
 
     /// A cleared [`Effects`], reusing the recycled one when available.
     pub(crate) fn fresh_fx(&mut self) -> Effects {
         self.spare_fx.take().unwrap_or_default()
+    }
+
+    /// An empty [`Block`] at `addr`, backed by a recycled record vector
+    /// when one is available.
+    pub(crate) fn fresh_block(&mut self, addr: elog_storage::BlockAddr) -> Block {
+        Block::recycled(addr, self.spare_records.pop().unwrap_or_default())
+    }
+
+    /// Reclaims a retired block's record storage.
+    pub(crate) fn recycle_block(&mut self, mut block: Block) {
+        block.records.clear();
+        self.spare_records.push(block.records);
     }
 
     /// Takes a drained [`Effects`] back for reuse (see
@@ -283,9 +306,10 @@ impl ElManager {
             commit_block: block,
             requested_at: now,
         };
+        let spare = &mut self.spare_tids;
         self.pending_commits
             .entry((home_gen, block))
-            .or_default()
+            .or_insert_with(|| spare.pop().unwrap_or_default())
             .push(tid);
         fx
     }
@@ -449,6 +473,7 @@ impl ElManager {
         debug_assert!(entry.oids.is_empty());
         self.unlink_cell(entry.tx_cell);
         self.arena.free(entry.tx_cell);
+        self.ltt.recycle(entry);
     }
 
     /// Removes a transaction and all its non-garbage records (abort/kill).
@@ -476,6 +501,7 @@ impl ElManager {
         self.scratch_cells = cells;
         self.unlink_cell(entry.tx_cell);
         self.arena.free(entry.tx_cell);
+        self.ltt.recycle(entry);
         true
     }
 

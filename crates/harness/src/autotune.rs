@@ -144,6 +144,7 @@ pub fn autotune(base: &RunConfig, explore_secs: u64) -> TuneResult {
             generation_blocks: g.clone(),
             total_blocks: g.iter().sum(),
             probes,
+            search: Default::default(),
         },
         probes,
     }

@@ -1,0 +1,153 @@
+//! The bench regression gate.
+//!
+//! `ci.sh` runs `bench --quick` on every pass; this module turns that
+//! smoke run into a real gate by comparing the fresh report against the
+//! committed `BENCH_*.json` snapshot and failing on a throughput cliff.
+//! The comparison reads the *top-level* `events_per_sec` (measured-run
+//! events over measured-run wall, probe wall excluded from neither — the
+//! same machine produced both numbers, so the ratio is meaningful even
+//! though the absolute figure is machine-specific).
+//!
+//! The reports are written by `bench` itself with a fixed field order, so
+//! a full JSON parser would be dead weight: the extractor scans for the
+//! first occurrence of a key, which in the bench schema is always the
+//! top-level one (per-experiment rows live inside the `experiments` array
+//! that every top-level field precedes).
+
+/// The fields the gate compares.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchSummary {
+    /// Top-level measured-run throughput (events per second).
+    pub events_per_sec: f64,
+    /// Top-level allocations per event (measured + probe events).
+    pub allocations_per_event: f64,
+    /// Whether the report came from a `--quick` basket.
+    pub quick: bool,
+}
+
+/// Extracts the number following `"key": ` at its first occurrence.
+fn scan_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+impl BenchSummary {
+    /// Parses the gate-relevant fields out of a bench report.
+    pub fn parse(json: &str) -> Option<BenchSummary> {
+        let quick = json
+            .find("\"quick\":")
+            .map(|i| json[i + 8..].trim_start().starts_with("true"))?;
+        Some(BenchSummary {
+            events_per_sec: scan_number(json, "events_per_sec")?,
+            allocations_per_event: scan_number(json, "allocations_per_event")?,
+            quick,
+        })
+    }
+}
+
+/// Compares a fresh report against the committed baseline.
+///
+/// Fails when throughput dropped by more than `max_regress_pct` percent.
+/// Faster-than-baseline runs and allocation *improvements* always pass;
+/// the allocation ratio is reported but not gated (it is a per-event
+/// count, so it barely jitters — a real alloc regression will also show
+/// up as a throughput cliff, and gating one number keeps the knob count
+/// down). Returns a human-readable verdict either way.
+pub fn check_regression(
+    baseline: &BenchSummary,
+    current: &BenchSummary,
+    max_regress_pct: f64,
+) -> Result<String, String> {
+    if baseline.quick != current.quick {
+        return Err(format!(
+            "baseline quick={} but current quick={}: refusing to compare \
+             different basket sizes",
+            baseline.quick, current.quick
+        ));
+    }
+    let floor = baseline.events_per_sec * (1.0 - max_regress_pct / 100.0);
+    let ratio = current.events_per_sec / baseline.events_per_sec.max(1e-9);
+    let detail = format!(
+        "throughput {:.0} ev/s vs baseline {:.0} ev/s ({:+.1}%), \
+         allocs/event {:.3} vs {:.3}",
+        current.events_per_sec,
+        baseline.events_per_sec,
+        (ratio - 1.0) * 100.0,
+        current.allocations_per_event,
+        baseline.allocations_per_event,
+    );
+    if current.events_per_sec < floor {
+        Err(format!(
+            "perf regression beyond {max_regress_pct:.0}%: {detail}"
+        ))
+    } else {
+        Ok(detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(events_per_sec: f64, allocs: f64, quick: bool) -> String {
+        // Same field order as the bench binary's writer.
+        format!(
+            "{{\n  \"date\": \"2026-08-06\",\n  \"quick\": {quick},\n  \"jobs\": 1,\n  \
+             \"total_wall_secs\": 2.0,\n  \"total_events\": 800000,\n  \
+             \"events_per_sec\": {events_per_sec},\n  \"allocations\": 400000,\n  \
+             \"allocations_per_event\": {allocs},\n  \"probe_events\": 6000000,\n  \
+             \"replay_hit_rate\": 0.9,\n  \"memo_hit_rate\": 0.2,\n  \
+             \"experiments\": [\n    {{\"name\": \"x\", \"events_per_sec\": 99, \
+             \"allocations_per_event\": 99.0}}\n  ]\n}}"
+        )
+    }
+
+    #[test]
+    fn parse_reads_top_level_fields_not_experiment_rows() {
+        let s = BenchSummary::parse(&report(407178.0, 0.051, true)).unwrap();
+        assert_eq!(s.events_per_sec, 407178.0);
+        assert_eq!(s.allocations_per_event, 0.051);
+        assert!(s.quick);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(BenchSummary::parse("not json at all").is_none());
+        assert!(BenchSummary::parse("{\"quick\": true}").is_none());
+    }
+
+    #[test]
+    fn injected_30_percent_regression_fails_the_gate() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        // 35% slower than baseline: must fail a 30% gate.
+        let bad = BenchSummary::parse(&report(260_000.0, 0.05, true)).unwrap();
+        let err = check_regression(&base, &bad, 30.0).unwrap_err();
+        assert!(err.contains("perf regression"), "{err}");
+        // Exactly at the floor still passes (the gate is strict-less-than).
+        let edge = BenchSummary::parse(&report(280_000.0, 0.05, true)).unwrap();
+        assert!(check_regression(&base, &edge, 30.0).is_ok());
+    }
+
+    #[test]
+    fn small_jitter_and_improvements_pass() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let jitter = BenchSummary::parse(&report(350_000.0, 0.06, true)).unwrap();
+        let verdict = check_regression(&base, &jitter, 30.0).unwrap();
+        assert!(verdict.contains("-12.5%"), "{verdict}");
+        let faster = BenchSummary::parse(&report(800_000.0, 0.01, true)).unwrap();
+        assert!(check_regression(&base, &faster, 30.0).is_ok());
+    }
+
+    #[test]
+    fn basket_size_mismatch_refuses_comparison() {
+        let quick = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let full = BenchSummary::parse(&report(400_000.0, 0.05, false)).unwrap();
+        let err = check_regression(&quick, &full, 30.0).unwrap_err();
+        assert!(err.contains("basket"), "{err}");
+    }
+}

@@ -16,7 +16,13 @@
 //! `--jobs` defaults to 1 so events/s numbers are not confounded by
 //! scheduling. `--date` overrides the UTC date stamp (reproducible
 //! output for tests).
+//!
+//! `--baseline PATH` turns the run into a regression gate: the fresh
+//! report's top-level throughput is compared against the committed
+//! snapshot at PATH and the process exits non-zero when it regressed by
+//! more than `--max-regress` percent (default 30).
 
+use elog_harness::benchgate::{check_regression, BenchSummary};
 use elog_harness::experiments::registry;
 use elog_harness::sweep::{run_scenarios, ExecOptions};
 use elog_sim::perfstats::{allocations, CountingAlloc};
@@ -32,6 +38,8 @@ struct Options {
     jobs: usize,
     out: Option<std::path::PathBuf>,
     date: Option<String>,
+    baseline: Option<std::path::PathBuf>,
+    max_regress_pct: f64,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +48,8 @@ fn parse_args() -> Options {
         jobs: 1,
         out: None,
         date: None,
+        baseline: None,
+        max_regress_pct: 30.0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -70,8 +80,29 @@ fn parse_args() -> Options {
                 });
                 opts.date = Some(d);
             }
+            "--baseline" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--baseline requires a path");
+                    std::process::exit(2);
+                });
+                opts.baseline = Some(path.into());
+            }
+            "--max-regress" => {
+                let pct = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|p| p.is_finite() && (0.0..100.0).contains(p))
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-regress requires a percentage in [0, 100)");
+                        std::process::exit(2);
+                    });
+                opts.max_regress_pct = pct;
+            }
             "--help" | "-h" => {
-                println!("usage: bench [--quick] [--jobs N] [--out PATH] [--date YYYY-MM-DD]");
+                println!(
+                    "usage: bench [--quick] [--jobs N] [--out PATH] [--date YYYY-MM-DD] \
+                     [--baseline PATH] [--max-regress PCT]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -153,17 +184,20 @@ fn main() {
         total_wall += wall;
         total_allocs += allocs;
         eprintln!(
-            "[bench] {}: {:.2?} wall, {} events, {} allocations",
+            "[bench] {}: {:.2?} wall, {} events, {} allocations, {} probe events",
             e.name(),
             wall,
             perf.events,
-            allocs
+            allocs,
+            perf.search.probe_events,
         );
         let _ = write!(
             per_experiment,
             "{}    {{\"name\": {}, \"scenarios\": {}, \"failed\": {}, \"wall_secs\": {:.3}, \
              \"events\": {}, \"events_per_sec\": {:.0}, \"allocations\": {}, \
-             \"heap_peak\": {}, \"tombstone_ratio\": {:.4}, \"compactions\": {}}}",
+             \"allocations_per_event\": {:.3}, \"heap_peak\": {}, \"compactions\": {}, \
+             \"probes\": {}, \"probe_events\": {}, \"replay_hit_rate\": {:.3}, \
+             \"memo_hit_rate\": {:.3}, \"events_per_probe\": {:.0}}}",
             if i == 0 { "" } else { ",\n" },
             json_str(e.name()),
             scenarios.len(),
@@ -172,9 +206,14 @@ fn main() {
             perf.events,
             perf.events as f64 / wall.as_secs_f64().max(1e-9),
             allocs,
+            allocs as f64 / (perf.events + perf.search.probe_events).max(1) as f64,
             perf.queue.heap_peak,
-            perf.queue.tombstone_ratio(),
             perf.queue.compactions,
+            perf.search.sim_probes + perf.search.memo_hits,
+            perf.search.probe_events,
+            perf.search.replay_hit_rate(),
+            perf.search.memo_hit_rate(),
+            perf.search.events_per_probe(),
         );
     }
     let wall_all = t_all.elapsed();
@@ -183,7 +222,9 @@ fn main() {
         "{{\n  \"date\": {},\n  \"quick\": {},\n  \"jobs\": {},\n  \
          \"total_wall_secs\": {:.3},\n  \"total_events\": {},\n  \
          \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
-         \"allocations_per_event\": {:.3},\n  \"experiments\": [\n{}\n  ]\n}}",
+         \"allocations_per_event\": {:.3},\n  \"probe_events\": {},\n  \
+         \"replay_hit_rate\": {:.3},\n  \"memo_hit_rate\": {:.3},\n  \
+         \"experiments\": [\n{}\n  ]\n}}",
         json_str(&date),
         opts.quick,
         opts.jobs,
@@ -191,7 +232,10 @@ fn main() {
         total.events,
         total.events as f64 / total_wall.as_secs_f64().max(1e-9),
         total_allocs,
-        total_allocs as f64 / (total.events.max(1)) as f64,
+        total_allocs as f64 / (total.events + total.search.probe_events).max(1) as f64,
+        total.search.probe_events,
+        total.search.replay_hit_rate(),
+        total.search.memo_hit_rate(),
         per_experiment,
     );
 
@@ -201,4 +245,23 @@ fn main() {
     std::fs::write(&path, format!("{json}\n")).expect("write bench report");
     eprintln!("wrote {}", path.display());
     println!("{json}");
+
+    if let Some(baseline_path) = opts.baseline {
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        });
+        let baseline = BenchSummary::parse(&text).unwrap_or_else(|| {
+            eprintln!("baseline {} is not a bench report", baseline_path.display());
+            std::process::exit(2);
+        });
+        let current = BenchSummary::parse(&json).expect("own report parses");
+        match check_regression(&baseline, &current, opts.max_regress_pct) {
+            Ok(verdict) => eprintln!("[bench] gate OK: {verdict}"),
+            Err(why) => {
+                eprintln!("[bench] gate FAILED: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

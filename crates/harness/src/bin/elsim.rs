@@ -155,6 +155,7 @@ fn main() {
         stop_on_kill: false,
         track_oracle: false,
         lifetime_hints: false,
+        trace: None,
     };
 
     if a.min_space {

@@ -22,6 +22,7 @@
 //! | Design-choice ablations (ours) | [`experiments::ablations`] |
 
 pub mod autotune;
+pub mod benchgate;
 pub mod experiments;
 pub mod minspace;
 pub mod report;

@@ -10,10 +10,32 @@
 //! two-generation EL the total is *not* jointly monotone — a bigger gen0
 //! changes what reaches gen1 — so the search scans gen0 and binary-searches
 //! the minimal gen1 for each, parallelised across threads.
+//!
+//! # Probe engine
+//!
+//! Every probe varies only `generation_blocks`; the workload is fixed. So
+//! probes run through a [`Prober`]: the first kill-free probe captures the
+//! workload into a [`WorkloadTrace`], and every later probe *replays* it —
+//! no RNG, no oid picker, no per-event allocation (see
+//! `elog_workload::trace` for the exactness argument). The prober also
+//! keeps one scratch [`RunConfig`] per search instead of cloning the
+//! configuration for every probe.
+//!
+//! On top of replay, the EL search memoises probe verdicts across its two
+//! passes using per-axis monotonicity: a surviving `[g0, g1]` dominates
+//! every `[g0, g1' ≥ g1]`, and a killing `[g0, g1]` dominates every
+//! component-wise smaller geometry. The memo is built during the anchor
+//! pass and *frozen* before the gen0 scan, so the scan's probe counts are
+//! identical for every `jobs` setting. (The exhaustive fallback scan does
+//! not consult the memo: it exists precisely for the corner where
+//! monotonicity across gen0 is distrusted.)
 
-use crate::runner::{run, RunConfig};
+use crate::runner::{run, run_capture, RunConfig};
 use elog_core::ElConfig;
-use elog_sim::SimTime;
+use elog_sim::{SearchStats, SimTime};
+use elog_workload::WorkloadTrace;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Outcome of a minimum-space search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,18 +44,144 @@ pub struct MinSpaceResult {
     pub generation_blocks: Vec<u32>,
     /// Total blocks.
     pub total_blocks: u32,
-    /// Number of probe simulations executed.
+    /// Number of probe verdicts the search needed (simulated + memoised;
+    /// identical whether or not the memo is enabled).
     pub probes: u32,
+    /// Probe-engine counters (replay/memo hits, probe event volume).
+    pub search: SearchStats,
+}
+
+/// One memo-answered verdict, for soundness audits: the probed geometry
+/// and the verdict the memo derived for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoHit {
+    /// The geometry the verdict was derived for.
+    pub blocks: [u32; 2],
+    /// `true` = survives (no kills), `false` = kills.
+    pub survived: bool,
+}
+
+/// Verdicts observed by the EL anchor pass, queried under per-axis
+/// monotonicity (see module docs).
+#[derive(Clone, Debug, Default)]
+struct Memo {
+    /// Geometries that killed: dominate everything component-wise smaller.
+    kills: Vec<(u32, u32)>,
+    /// Geometries that survived: dominate the same gen0 at larger gen1.
+    survives: Vec<(u32, u32)>,
+}
+
+impl Memo {
+    fn record(&mut self, g0: u32, g1: u32, survived: bool) {
+        if survived {
+            self.survives.push((g0, g1));
+        } else {
+            self.kills.push((g0, g1));
+        }
+    }
+
+    fn lookup(&self, g0: u32, g1: u32) -> Option<bool> {
+        if self.kills.iter().any(|&(k0, k1)| g0 <= k0 && g1 <= k1) {
+            return Some(false);
+        }
+        if self.survives.iter().any(|&(s0, s1)| g0 == s0 && g1 >= s1) {
+            return Some(true);
+        }
+        None
+    }
+}
+
+/// Runs geometry probes for one search: a reusable scratch configuration
+/// plus the capture/replay machinery (see module docs).
+struct Prober {
+    cfg: RunConfig,
+    trace: Option<Arc<WorkloadTrace>>,
+    /// Probe verdicts requested, simulated or memoised.
+    probes: u32,
+    stats: SearchStats,
+    /// Memo-derived verdicts, recorded for soundness audits.
+    memo_trail: Vec<MemoHit>,
+}
+
+impl Prober {
+    fn new(base: &RunConfig, trace: Option<Arc<WorkloadTrace>>) -> Self {
+        let mut cfg = base.clone();
+        cfg.stop_on_kill = true;
+        cfg.track_oracle = false;
+        cfg.trace = None;
+        Prober {
+            cfg,
+            trace,
+            probes: 0,
+            stats: SearchStats::default(),
+            memo_trail: Vec::new(),
+        }
+    }
+
+    /// True when `blocks` survives the whole horizon without kills.
+    fn survives(&mut self, blocks: &[u32]) -> bool {
+        self.probes += 1;
+        self.stats.sim_probes += 1;
+        self.cfg.el.log.generation_blocks.clear();
+        self.cfg.el.log.generation_blocks.extend_from_slice(blocks);
+        let result = match &self.trace {
+            Some(trace) => {
+                self.stats.replay_probes += 1;
+                self.cfg.trace = Some(trace.clone());
+                let r = run(&self.cfg);
+                self.cfg.trace = None;
+                r
+            }
+            None => {
+                // First probe(s) run live; the first kill-free one hands
+                // back the trace every later probe replays.
+                let (r, trace) = run_capture(&self.cfg);
+                self.trace = trace;
+                r
+            }
+        };
+        self.stats.probe_events += result.perf.events;
+        result.killed == 0
+    }
+
+    /// Memo-aware probe: consults `memo` first, simulating only on a miss.
+    fn survives_memo(&mut self, memo: &Memo, g0: u32, g1: u32) -> bool {
+        match memo.lookup(g0, g1) {
+            Some(verdict) => {
+                self.probes += 1;
+                self.stats.memo_hits += 1;
+                self.memo_trail.push(MemoHit {
+                    blocks: [g0, g1],
+                    survived: verdict,
+                });
+                verdict
+            }
+            None => self.survives(&[g0, g1]),
+        }
+    }
+
+    /// Folds another prober's counters into this one (order-independent,
+    /// so parallel scans stay deterministic).
+    fn absorb(&mut self, other: Prober) {
+        self.probes += other.probes;
+        self.stats.merge(&other.stats);
+        self.memo_trail.extend(other.memo_trail);
+    }
+
+    fn into_result(self, generation_blocks: Vec<u32>) -> MinSpaceResult {
+        MinSpaceResult {
+            total_blocks: generation_blocks.iter().sum(),
+            generation_blocks,
+            probes: self.probes,
+            search: self.stats,
+        }
+    }
 }
 
 /// True when the configuration survives the whole horizon without kills.
-fn survives(base: &RunConfig, blocks: &[u32]) -> bool {
-    let mut cfg = base.clone();
-    cfg.el.log.generation_blocks = blocks.to_vec();
-    cfg.stop_on_kill = true;
-    cfg.track_oracle = false;
-    let r = run(&cfg);
-    r.killed == 0
+/// One-shot form for tests and callers outside a search loop.
+pub fn survives(base: &RunConfig, blocks: &[u32]) -> bool {
+    Prober::new(base, None).survives(blocks)
 }
 
 /// Smallest single-generation (firewall) log with no kills.
@@ -41,24 +189,29 @@ fn survives(base: &RunConfig, blocks: &[u32]) -> bool {
 /// `hi_limit` caps the search; the result is clamped there if even the cap
 /// kills (the caller should treat hitting the cap as "infeasible").
 pub fn fw_min_space(base: &RunConfig, hi_limit: u32) -> MinSpaceResult {
-    let mut probes = 0;
+    fw_min_space_traced(base, hi_limit).0
+}
+
+/// [`fw_min_space`] plus the workload trace its probes captured, for
+/// reuse by the caller's measured run.
+pub fn fw_min_space_traced(
+    base: &RunConfig,
+    hi_limit: u32,
+) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>) {
+    let mut p = Prober::new(base, None);
     let k = base.el.log.gap_blocks;
     let mut lo = k + 1; // smallest valid geometry
     let mut hi = hi_limit;
     // Establish a surviving upper bound by doubling.
     let mut upper = (lo * 2).min(hi);
     loop {
-        probes += 1;
-        if survives(base, &[upper]) {
+        if p.survives(&[upper]) {
             hi = upper;
             break;
         }
         if upper >= hi_limit {
-            return MinSpaceResult {
-                generation_blocks: vec![hi_limit],
-                total_blocks: hi_limit,
-                probes,
-            };
+            let trace = p.trace.clone();
+            return (p.into_result(vec![hi_limit]), trace);
         }
         lo = upper + 1;
         upper = (upper * 2).min(hi_limit);
@@ -66,34 +219,32 @@ pub fn fw_min_space(base: &RunConfig, hi_limit: u32) -> MinSpaceResult {
     // Binary search smallest surviving size in [lo, hi].
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        probes += 1;
-        if survives(base, &[mid]) {
+        if p.survives(&[mid]) {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
-    MinSpaceResult {
-        generation_blocks: vec![hi],
-        total_blocks: hi,
-        probes,
-    }
+    let trace = p.trace.clone();
+    (p.into_result(vec![hi]), trace)
 }
 
 /// For a fixed gen0, the smallest last generation with no kills, or `None`
-/// if even `hi_limit` kills.
-fn min_g1_for(base: &RunConfig, g0: u32, hi_limit: u32, probes: &mut u32) -> Option<u32> {
-    let k = base.el.log.gap_blocks;
-    let mut lo = k + 1;
+/// if even `hi_limit` kills. `probe` answers "does `[g0, g1]` survive?".
+fn min_g1_for(
+    probe: &mut impl FnMut(u32, u32) -> bool,
+    gap_blocks: u32,
+    g0: u32,
+    hi_limit: u32,
+) -> Option<u32> {
+    let mut lo = gap_blocks + 1;
     let mut hi = hi_limit;
-    *probes += 1;
-    if !survives(base, &[g0, hi]) {
+    if !probe(g0, hi) {
         return None;
     }
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        *probes += 1;
-        if survives(base, &[g0, mid]) {
+        if probe(g0, mid) {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -129,31 +280,87 @@ pub fn el_min_space_jobs(
     g1_limit: u32,
     jobs: usize,
 ) -> MinSpaceResult {
+    el_min_space_traced(base, g0_max, g1_limit, jobs, true).0
+}
+
+/// [`el_min_space_jobs`] with the probe engine exposed: returns the
+/// captured workload trace (for the caller's measured run) and the audit
+/// trail of memo-derived verdicts. `use_memo = false` simulates every
+/// probe (the memo-soundness tests compare against this).
+pub fn el_min_space_traced(
+    base: &RunConfig,
+    g0_max: u32,
+    g1_limit: u32,
+    jobs: usize,
+    use_memo: bool,
+) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
     let k = base.el.log.gap_blocks;
-    let mut probes = 0;
-    let anchor = min_g1_for(base, g0_max, g1_limit, &mut probes);
+    let mut anchor_prober = Prober::new(base, None);
+    let mut memo = Memo::default();
+    let anchor = {
+        let p = &mut anchor_prober;
+        let m = &mut memo;
+        min_g1_for(
+            &mut |g0, g1| {
+                let v = p.survives(&[g0, g1]);
+                m.record(g0, g1, v);
+                v
+            },
+            k,
+            g0_max,
+            g1_limit,
+        )
+    };
     let Some(anchor_g1) = anchor else {
         // Even the biggest gen0 cannot fit: fall back to the exhaustive
         // scan (min gen1 need not be monotone in gen0, so a smaller gen0
-        // may still be feasible).
-        return el_min_space_scan(base, g0_max, g1_limit, jobs, probes);
+        // may still be feasible). No memo there — see module docs.
+        return el_min_space_scan(base, g0_max, g1_limit, jobs, anchor_prober);
     };
+    // The memo is frozen here: the scan reads the anchor pass's verdicts
+    // but records none of its own (within one gen0's binary search no
+    // probe ever dominates a later one), keeping probe counts independent
+    // of `jobs`.
+    let memo = memo;
+    let trace = anchor_prober.trace.clone();
     let bound = g0_max + anchor_g1;
     let g0_range: Vec<u32> = (k + 1..g0_max).collect();
+    // Workers draw scratch probers from a pool instead of cloning the
+    // configuration per gen0; every prober already replays the anchor's
+    // trace.
+    let pool: Mutex<Vec<Prober>> = Mutex::new(Vec::new());
     let results = crate::sweep::parallel_map(&g0_range, jobs, |_, &g0| {
-        let mut probes = 0;
+        let mut p = pool
+            .lock()
+            .expect("prober pool")
+            .pop()
+            .unwrap_or_else(|| Prober::new(base, trace.clone()));
         let cap = (bound - g0).saturating_sub(1).min(g1_limit);
         let g1 = if cap < k + 1 {
             None // any feasible gen1 would already tie or exceed the bound
         } else {
-            min_g1_for(base, g0, cap, &mut probes)
+            min_g1_for(
+                &mut |g0, g1| {
+                    if use_memo {
+                        p.survives_memo(&memo, g0, g1)
+                    } else {
+                        p.survives(&[g0, g1])
+                    }
+                },
+                k,
+                g0,
+                cap,
+            )
         };
-        (g0, g1, probes)
+        pool.lock().expect("prober pool").push(p);
+        (g0, g1)
     });
+    for p in pool.into_inner().expect("prober pool") {
+        anchor_prober.absorb(p);
+    }
     let mut best = (g0_max, anchor_g1);
     for r in results {
-        let (g0, g1, p) = r.expect("probe simulation panicked");
-        probes += p;
+        let (g0, g1) = r.expect("probe simulation panicked");
         if let Some(g1) = g1 {
             // Capped strictly below the bound, so this beats the anchor;
             // among the capped candidates the usual rule applies.
@@ -167,11 +374,9 @@ pub fn el_min_space_jobs(
         }
     }
     let (g0, g1) = best;
-    MinSpaceResult {
-        generation_blocks: vec![g0, g1],
-        total_blocks: g0 + g1,
-        probes,
-    }
+    let trace = anchor_prober.trace.clone();
+    let trail = std::mem::take(&mut anchor_prober.memo_trail);
+    (anchor_prober.into_result(vec![g0, g1]), trace, trail)
 }
 
 /// The exhaustive gen0 scan (no pruning bound); used when the anchor gen0
@@ -181,19 +386,28 @@ fn el_min_space_scan(
     g0_max: u32,
     g1_limit: u32,
     jobs: usize,
-    mut probes: u32,
-) -> MinSpaceResult {
+    mut acc: Prober,
+) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
     let k = base.el.log.gap_blocks;
+    let trace = acc.trace.clone();
     let g0_range: Vec<u32> = (k + 1..g0_max).collect();
+    let pool: Mutex<Vec<Prober>> = Mutex::new(Vec::new());
     let results = crate::sweep::parallel_map(&g0_range, jobs, |_, &g0| {
-        let mut probes = 0;
-        let g1 = min_g1_for(base, g0, g1_limit, &mut probes);
-        (g0, g1, probes)
+        let mut p = pool
+            .lock()
+            .expect("prober pool")
+            .pop()
+            .unwrap_or_else(|| Prober::new(base, trace.clone()));
+        let g1 = min_g1_for(&mut |g0, g1| p.survives(&[g0, g1]), k, g0, g1_limit);
+        pool.lock().expect("prober pool").push(p);
+        (g0, g1)
     });
+    for p in pool.into_inner().expect("prober pool") {
+        acc.absorb(p);
+    }
     let mut best: Option<(u32, u32)> = None;
     for r in results {
-        let (g0, g1, p) = r.expect("probe simulation panicked");
-        probes += p;
+        let (g0, g1) = r.expect("probe simulation panicked");
         if let Some(g1) = g1 {
             let better = match best {
                 None => true,
@@ -207,24 +421,33 @@ fn el_min_space_scan(
         }
     }
     let (g0, g1) = best.expect("no feasible EL geometry within limits");
-    MinSpaceResult {
-        generation_blocks: vec![g0, g1],
-        total_blocks: g0 + g1,
-        probes,
-    }
+    let trace = acc.trace.clone();
+    let trail = std::mem::take(&mut acc.memo_trail);
+    (acc.into_result(vec![g0, g1]), trace, trail)
 }
 
 /// With gen0 fixed, the smallest last generation with no kills (Figure 7's
 /// "progressively decreased its size until we observed transactions being
 /// killed").
 pub fn el_min_last_gen(base: &RunConfig, g0: u32, g1_limit: u32) -> Option<MinSpaceResult> {
-    let mut probes = 0;
-    let g1 = min_g1_for(base, g0, g1_limit, &mut probes)?;
-    Some(MinSpaceResult {
-        generation_blocks: vec![g0, g1],
-        total_blocks: g0 + g1,
-        probes,
-    })
+    el_min_last_gen_traced(base, g0, g1_limit, None).map(|(r, _)| r)
+}
+
+/// [`el_min_last_gen`] reusing (and returning) a workload trace. A trace
+/// captured under a different *log* configuration — e.g. recirculation
+/// off — is still valid: the trace depends only on seed, mix, arrivals,
+/// horizon and oid-space size.
+pub fn el_min_last_gen_traced(
+    base: &RunConfig,
+    g0: u32,
+    g1_limit: u32,
+    trace: Option<Arc<WorkloadTrace>>,
+) -> Option<(MinSpaceResult, Option<Arc<WorkloadTrace>>)> {
+    let mut p = Prober::new(base, trace);
+    let k = base.el.log.gap_blocks;
+    let g1 = min_g1_for(&mut |g0, g1| p.survives(&[g0, g1]), k, g0, g1_limit)?;
+    let trace = p.trace.clone();
+    Some((p.into_result(vec![g0, g1]), trace))
 }
 
 /// Convenience: the paper's base run (5 % long transactions, default flush
@@ -257,6 +480,9 @@ mod tests {
         // 20 s of 5% mix needs well under 512 blocks.
         assert!(r.total_blocks < 512);
         assert!(r.probes > 0);
+        // All probes after the first kill-free one replay the capture.
+        assert!(r.search.replay_probes > 0);
+        assert_eq!(r.search.sim_probes, r.probes as u64);
     }
 
     #[test]
@@ -266,6 +492,11 @@ mod tests {
         assert_eq!(r.generation_blocks.len(), 2);
         assert!(survives(&base, &r.generation_blocks));
         assert!(r.total_blocks >= 6);
+        assert_eq!(
+            r.search.sim_probes + r.search.memo_hits,
+            r.probes as u64,
+            "every verdict is either simulated or memoised"
+        );
     }
 
     #[test]
@@ -284,7 +515,32 @@ mod tests {
         // 40% long transactions cannot fit a 4-block last generation with
         // a 3-block gen0.
         let base = paper_base(0.4, false, 20);
-        let mut probes = 0;
-        assert_eq!(min_g1_for(&base, 3, 4, &mut probes), None);
+        let mut p = Prober::new(&base, None);
+        assert_eq!(
+            min_g1_for(
+                &mut |g0, g1| p.survives(&[g0, g1]),
+                base.el.log.gap_blocks,
+                3,
+                4
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn memo_dominance_rules() {
+        let mut m = Memo::default();
+        m.record(24, 9, false); // kill at [24, 9]
+        m.record(24, 10, true); // survive at [24, 10]
+                                // Kill dominance: component-wise smaller geometries also kill.
+        assert_eq!(m.lookup(20, 9), Some(false));
+        assert_eq!(m.lookup(24, 8), Some(false));
+        assert_eq!(m.lookup(10, 3), Some(false));
+        // Survive dominance: same gen0, bigger gen1.
+        assert_eq!(m.lookup(24, 11), Some(true));
+        assert_eq!(m.lookup(24, 10), Some(true));
+        // No dominance: different gen0 above the kill, or bigger g1.
+        assert_eq!(m.lookup(23, 10), None);
+        assert_eq!(m.lookup(25, 9), None);
     }
 }

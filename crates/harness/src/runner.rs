@@ -5,7 +5,8 @@ use elog_core::{Effects, ElConfig, ElManager, LmMetrics, LmTimer, LogManager};
 use elog_model::{BufferPool, CommittedOracle, ObjectVersion, Tid};
 use elog_sim::FxHashMap;
 use elog_sim::{Engine, EventQueue, EventToken, PerfStats, SimRng, SimTime, Simulate};
-use elog_workload::{ArrivalProcess, TxMix, WorkloadDriver, WorkloadEvent};
+use elog_workload::{ArrivalProcess, TxMix, WorkloadDriver, WorkloadEvent, WorkloadTrace};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Composite event alphabet of a run.
@@ -38,6 +39,11 @@ pub struct RunConfig {
     /// §6 lifetime hints: place each transaction's records directly in the
     /// generation whose wrap time exceeds its expected duration.
     pub lifetime_hints: bool,
+    /// Replay this captured workload instead of generating one. The trace
+    /// must come from a kill-free run with the same seed, mix, arrivals,
+    /// runtime and oid-space size; only the log geometry may differ (see
+    /// `elog_workload::trace`). `None` runs the live RNG-driven driver.
+    pub trace: Option<Arc<WorkloadTrace>>,
 }
 
 impl RunConfig {
@@ -53,6 +59,7 @@ impl RunConfig {
             stop_on_kill: false,
             track_oracle: false,
             lifetime_hints: false,
+            trace: None,
         }
     }
 
@@ -106,6 +113,12 @@ impl RunConfig {
         self.el.log.generation_blocks = blocks;
         self
     }
+
+    /// Sets (or clears) the workload trace to replay.
+    pub fn with_trace(mut self, trace: Option<Arc<WorkloadTrace>>) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// The composite model driven by the event engine.
@@ -123,6 +136,14 @@ pub struct SimModel<L: LogManager = ElManager> {
     /// RAM image of object versions (when tracked).
     pub pool: BufferPool,
     tokens: FxHashMap<Tid, Vec<EventToken>>,
+    /// Retired token vectors, reused by later transactions.
+    token_pool: Vec<Vec<EventToken>>,
+    /// Scratch buffer `on_arrival` fills (no per-arrival allocation).
+    wl_events: Vec<(SimTime, WorkloadEvent)>,
+    /// Cancellation tokens are tracked only when they can matter: a
+    /// stop-on-kill probe ends at its first kill, so nothing is ever
+    /// cancelled and the bookkeeping is skipped wholesale.
+    track_tokens: bool,
     stop_on_kill: bool,
     track_oracle: bool,
     lifetime_hints: bool,
@@ -138,11 +159,16 @@ impl<L: LogManager> SimModel<L> {
         for tid in fx.acks.drain(..) {
             self.acks += 1;
             let updates = self.driver.on_commit_ack(now, tid);
-            self.tokens.remove(&tid);
+            if self.track_tokens {
+                if let Some(mut tokens) = self.tokens.remove(&tid) {
+                    tokens.clear();
+                    self.token_pool.push(tokens);
+                }
+            }
             if self.track_oracle {
                 self.oracle
                     .commit(tid, updates.iter().map(|u| (u.oid, u.seq, u.ts)));
-                for u in &updates {
+                for u in updates {
                     let v = ObjectVersion {
                         tid,
                         seq: u.seq,
@@ -155,9 +181,12 @@ impl<L: LogManager> SimModel<L> {
         }
         for tid in fx.kills.drain(..) {
             self.kills += 1;
-            if let Some(tokens) = self.tokens.remove(&tid) {
-                for t in tokens {
-                    queue.cancel(t);
+            if self.track_tokens {
+                if let Some(mut tokens) = self.tokens.remove(&tid) {
+                    for t in tokens.drain(..) {
+                        queue.cancel(t);
+                    }
+                    self.token_pool.push(tokens);
                 }
             }
             if self.track_oracle {
@@ -199,7 +228,8 @@ impl<L: LogManager> Simulate for SimModel<L> {
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
         match event {
             Ev::Workload(WorkloadEvent::Arrival) => {
-                if let Some((new, events)) = self.driver.on_arrival(now) {
+                let mut events = std::mem::take(&mut self.wl_events);
+                if let Some(new) = self.driver.on_arrival(now, &mut events) {
                     let fx = if self.lifetime_hints {
                         let duration = self.driver.mix().types()[new.type_idx].duration;
                         self.lm.begin_hinted(now, new.tid, duration)
@@ -207,17 +237,24 @@ impl<L: LogManager> Simulate for SimModel<L> {
                         self.lm.begin(now, new.tid)
                     };
                     self.apply(now, fx, queue);
-                    for (at, ev) in events {
+                    for &(at, ev) in &events {
                         let token = queue.schedule(at, Ev::Workload(ev));
-                        match ev {
-                            WorkloadEvent::WriteData { tid, .. }
-                            | WorkloadEvent::WriteCommit { tid } => {
-                                self.tokens.entry(tid).or_default().push(token);
+                        if self.track_tokens {
+                            match ev {
+                                WorkloadEvent::WriteData { tid, .. }
+                                | WorkloadEvent::WriteCommit { tid } => {
+                                    let pool = &mut self.token_pool;
+                                    self.tokens
+                                        .entry(tid)
+                                        .or_insert_with(|| pool.pop().unwrap_or_default())
+                                        .push(token);
+                                }
+                                WorkloadEvent::Arrival => {}
                             }
-                            WorkloadEvent::Arrival => {}
                         }
                     }
                 }
+                self.wl_events = events;
             }
             Ev::Workload(WorkloadEvent::WriteData { tid, seq }) => {
                 if let Some((oid, size)) = self.driver.on_write_data(now, tid, seq) {
@@ -275,20 +312,38 @@ pub struct RunResult {
 /// (`HybridManager`, a pre-warmed `ElManager`, …). The workload side comes
 /// from `cfg` as usual.
 pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimModel<L>> {
-    let rng = SimRng::new(cfg.seed);
-    let driver = WorkloadDriver::new(
-        cfg.mix.clone(),
-        cfg.arrivals,
-        cfg.el.db.num_objects,
-        cfg.runtime,
-        &rng,
-    );
+    let driver = match &cfg.trace {
+        Some(trace) => {
+            assert_eq!(
+                trace.horizon(),
+                cfg.runtime,
+                "trace horizon must match the run's horizon"
+            );
+            WorkloadDriver::replay(cfg.mix.clone(), trace.clone(), cfg.track_oracle)
+        }
+        None => {
+            let rng = SimRng::new(cfg.seed);
+            WorkloadDriver::new(
+                cfg.mix.clone(),
+                cfg.arrivals,
+                cfg.el.db.num_objects,
+                cfg.runtime,
+                &rng,
+            )
+        }
+    };
     let model = SimModel {
         driver,
         lm,
         oracle: CommittedOracle::new(),
         pool: BufferPool::new(),
         tokens: FxHashMap::default(),
+        token_pool: Vec::new(),
+        wl_events: Vec::new(),
+        // In a stop-on-kill probe the first kill ends the run, so pending
+        // events of killed transactions are never delivered either way;
+        // skipping their tokens changes no observable result.
+        track_tokens: !cfg.stop_on_kill || cfg.track_oracle,
         stop_on_kill: cfg.stop_on_kill,
         track_oracle: cfg.track_oracle,
         lifetime_hints: cfg.lifetime_hints,
@@ -321,10 +376,34 @@ pub fn run(cfg: &RunConfig) -> RunResult {
     let mut engine = build_model(cfg);
     let wall_start = Instant::now();
     let ended_at = engine.run_until(cfg.runtime);
+    snapshot(&engine, cfg, ended_at, wall_start)
+}
+
+/// Like [`run`], but captures the workload into a [`WorkloadTrace`] as it
+/// goes. The trace comes back `Some` only when the run was kill-free (a
+/// killed capture is truncated); `cfg.trace` must be `None`.
+pub fn run_capture(cfg: &RunConfig) -> (RunResult, Option<Arc<WorkloadTrace>>) {
+    assert!(cfg.trace.is_none(), "cannot capture while replaying");
+    let mut engine = build_model(cfg);
+    engine.model_mut().driver.enable_capture();
+    let wall_start = Instant::now();
+    let ended_at = engine.run_until(cfg.runtime);
+    let result = snapshot(&engine, cfg, ended_at, wall_start);
+    let trace = engine.model_mut().driver.take_trace().map(Arc::new);
+    (result, trace)
+}
+
+fn snapshot(
+    engine: &Engine<SimModel>,
+    cfg: &RunConfig,
+    ended_at: SimTime,
+    wall_start: Instant,
+) -> RunResult {
     let perf = PerfStats {
         events: engine.events_processed(),
         wall: wall_start.elapsed(),
         queue: engine.queue().perf(),
+        ..PerfStats::default()
     };
     let model = engine.model();
     let horizon = cfg.runtime.min(ended_at.max(cfg.runtime));

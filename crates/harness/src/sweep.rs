@@ -321,11 +321,13 @@ fn run_job(scenario: &Scenario) -> Output {
         Job::Measure(cfg) => Output::Measured(run(&seeded(cfg))),
         Job::FwMin { base, limit } => {
             let base = seeded(base);
-            let min = minspace::fw_min_space(&base, *limit);
-            let measured = run(&base
+            let (min, trace) = minspace::fw_min_space_traced(&base, *limit);
+            let mut measured = run(&base
                 .clone()
                 .geometry(min.generation_blocks.clone())
-                .stop_on_kill(false));
+                .stop_on_kill(false)
+                .with_trace(trace));
+            measured.perf.search = min.search;
             Output::MinSpace { min, measured }
         }
         Job::ElMin {
@@ -336,11 +338,13 @@ fn run_job(scenario: &Scenario) -> Output {
             let base = seeded(base);
             // Serial inner search: parallelism belongs to the scenario
             // level here, not nested inside one scenario.
-            let min = minspace::el_min_space_jobs(&base, *g0_max, *g1_limit, 1);
-            let measured = run(&base
+            let (min, trace, _) = minspace::el_min_space_traced(&base, *g0_max, *g1_limit, 1, true);
+            let mut measured = run(&base
                 .clone()
                 .geometry(min.generation_blocks.clone())
-                .stop_on_kill(false));
+                .stop_on_kill(false)
+                .with_trace(trace));
+            measured.perf.search = min.search;
             Output::MinSpace { min, measured }
         }
         Job::ElRecircMin {
@@ -358,16 +362,22 @@ fn run_job(scenario: &Scenario) -> Output {
             // garbage before its head), then the last generation shrinks
             // with recirculation on. A joint minimum would pick a
             // degenerate tiny generation 0 that recirculates everything.
+            // The workload trace is geometry- and recirculation-independent,
+            // so one capture serves both searches and the measured run.
             let mut norec = base.clone();
             norec.el.log.recirculation = false;
-            let g0 =
-                minspace::el_min_space_jobs(&norec, *g0_max, *g1_limit, 1).generation_blocks[0];
-            let min = minspace::el_min_last_gen(&base, g0, *g1_limit)
+            let (norec_min, trace, _) =
+                minspace::el_min_space_traced(&norec, *g0_max, *g1_limit, 1, true);
+            let g0 = norec_min.generation_blocks[0];
+            let (mut min, trace) = minspace::el_min_last_gen_traced(&base, g0, *g1_limit, trace)
                 .expect("no-recirculation gen0 must stay feasible with recirculation");
-            let measured = run(&base
+            min.search.merge(&norec_min.search);
+            let mut measured = run(&base
                 .clone()
                 .geometry(min.generation_blocks.clone())
-                .stop_on_kill(false));
+                .stop_on_kill(false)
+                .with_trace(trace));
+            measured.perf.search = min.search;
             Output::MinSpace { min, measured }
         }
         Job::CrashRecover(cfg) => {

@@ -1,0 +1,79 @@
+//! Memo-soundness suite: the EL search's probe-verdict memo must be a
+//! pure accelerator. With the memo disabled every probe is simulated;
+//! with it enabled some verdicts are derived from per-axis dominance —
+//! but the chosen geometry, the probe count and every derived verdict
+//! must be exactly what simulation would have produced.
+
+use elog_core::MemoryModel;
+use elog_harness::minspace::{self, el_min_space_traced, paper_base};
+
+/// Runs the search memo-on and memo-off on one configuration and checks
+/// (a) identical outcome probe-for-probe, (b) every memo-derived verdict
+/// against a fresh simulation of that exact geometry.
+fn assert_memo_sound(base: &elog_harness::RunConfig, g0_max: u32, g1_limit: u32) {
+    // jobs = 1 keeps the scan order (and so the memo trail) deterministic.
+    let (with_memo, _, trail) = el_min_space_traced(base, g0_max, g1_limit, 1, true);
+    let (without_memo, _, no_trail) = el_min_space_traced(base, g0_max, g1_limit, 1, false);
+
+    assert_eq!(
+        with_memo.generation_blocks, without_memo.generation_blocks,
+        "memo changed the selected geometry"
+    );
+    assert_eq!(with_memo.total_blocks, without_memo.total_blocks);
+    assert_eq!(
+        with_memo.probes, without_memo.probes,
+        "memo changed how many verdicts the search consumed"
+    );
+    assert_eq!(
+        with_memo.search.sim_probes + with_memo.search.memo_hits,
+        without_memo.search.sim_probes,
+        "every memo hit must stand in for exactly one simulated probe"
+    );
+    assert!(no_trail.is_empty(), "memo-off run must derive no verdicts");
+    assert!(
+        with_memo.search.memo_hits > 0,
+        "vacuous soundness check: the memo was never consulted"
+    );
+    assert_eq!(with_memo.search.memo_hits as usize, trail.len());
+
+    // Re-simulate every derived verdict. `minspace::survives` runs the
+    // geometry live (capture path), so this checks the memo against the
+    // ground truth, not against the replay machinery that fed it.
+    for hit in &trail {
+        let simulated = minspace::survives(base, &hit.blocks);
+        assert_eq!(
+            simulated, hit.survived,
+            "memo verdict for {:?} contradicts simulation",
+            hit.blocks
+        );
+    }
+}
+
+#[test]
+fn memo_sound_on_fig4_style_search() {
+    // The fig4-6 quick sweep's EL search shape (no recirculation), at a
+    // shorter horizon so re-simulating the memo trail stays cheap.
+    let mut base = paper_base(0.2, false, 20);
+    base.el.memory_model = MemoryModel::Ephemeral;
+    assert_memo_sound(&base, 24, 128);
+}
+
+#[test]
+fn memo_sound_on_fig7_style_search() {
+    // Fig7's regime: recirculation enabled, heavier mix.
+    let base = paper_base(0.4, true, 20);
+    assert_memo_sound(&base, 20, 128);
+}
+
+#[test]
+fn memo_does_not_leak_across_jobs_settings() {
+    // The memo is frozen before the parallel scan, so probe counts (and
+    // the result) are identical for every worker count.
+    let base = paper_base(0.2, false, 20);
+    let (serial, _, _) = el_min_space_traced(&base, 20, 128, 1, true);
+    let (parallel, _, _) = el_min_space_traced(&base, 20, 128, 4, true);
+    assert_eq!(serial.generation_blocks, parallel.generation_blocks);
+    assert_eq!(serial.probes, parallel.probes);
+    assert_eq!(serial.search.sim_probes, parallel.search.sim_probes);
+    assert_eq!(serial.search.memo_hits, parallel.search.memo_hits);
+}

@@ -51,6 +51,61 @@ impl QueueStats {
     }
 }
 
+/// Counters of one minimum-space search: how many geometry probes ran,
+/// how many were served by trace replay or the verdict memo, and how much
+/// simulation the probes cost. Carried inside [`PerfStats`] so a measured
+/// run can account for the search that produced its geometry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Probe simulations actually executed.
+    pub sim_probes: u64,
+    /// Of those, probes that replayed a captured workload trace instead
+    /// of re-running the RNG-driven driver.
+    pub replay_probes: u64,
+    /// Probe verdicts answered by the monotonicity memo (no simulation).
+    pub memo_hits: u64,
+    /// Events delivered across all probe simulations.
+    pub probe_events: u64,
+}
+
+impl SearchStats {
+    /// Fraction of executed probes that replayed a trace, in `[0, 1]`.
+    pub fn replay_hit_rate(&self) -> f64 {
+        if self.sim_probes == 0 {
+            0.0
+        } else {
+            self.replay_probes as f64 / self.sim_probes as f64
+        }
+    }
+
+    /// Fraction of probe verdicts answered by the memo, in `[0, 1]`.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let verdicts = self.sim_probes + self.memo_hits;
+        if verdicts == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / verdicts as f64
+        }
+    }
+
+    /// Mean events per executed probe (0 when no probes ran).
+    pub fn events_per_probe(&self) -> f64 {
+        if self.sim_probes == 0 {
+            0.0
+        } else {
+            self.probe_events as f64 / self.sim_probes as f64
+        }
+    }
+
+    /// Accumulates another search's counters.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.sim_probes += other.sim_probes;
+        self.replay_probes += other.replay_probes;
+        self.memo_hits += other.memo_hits;
+        self.probe_events += other.probe_events;
+    }
+}
+
 /// One run's performance aggregate: how much simulation happened and how
 /// fast the host executed it.
 #[derive(Clone, Copy, Debug, Default)]
@@ -61,6 +116,9 @@ pub struct PerfStats {
     pub wall: Duration,
     /// Event-queue counters.
     pub queue: QueueStats,
+    /// Min-space search counters, when a search produced this run's
+    /// geometry (zero for plain measured runs).
+    pub search: SearchStats,
 }
 
 impl PerfStats {
@@ -79,6 +137,7 @@ impl PerfStats {
         self.events += other.events;
         self.wall += other.wall;
         self.queue.merge(&other.queue);
+        self.search.merge(&other.search);
     }
 }
 
@@ -86,14 +145,23 @@ impl fmt::Display for PerfStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:.2} Mev/s ({} events in {:.2?}; heap peak {}, tombstone ratio {:.4}, {} compactions)",
+            "{:.2} Mev/s ({} events in {:.2?}; heap peak {}, {} compactions)",
             self.events_per_sec() / 1e6,
             self.events,
             self.wall,
             self.queue.heap_peak,
-            self.queue.tombstone_ratio(),
             self.queue.compactions,
-        )
+        )?;
+        if self.search.sim_probes > 0 {
+            write!(
+                f,
+                " [{} probes, {:.0}% replayed, {:.0}% memoized]",
+                self.search.sim_probes + self.search.memo_hits,
+                self.search.replay_hit_rate() * 100.0,
+                self.search.memo_hit_rate() * 100.0,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -168,6 +236,7 @@ mod tests {
                 heap_peak: 7,
                 ..QueueStats::default()
             },
+            ..PerfStats::default()
         };
         let b = PerfStats {
             events: 30,
@@ -177,6 +246,12 @@ mod tests {
                 heap_peak: 3,
                 ..QueueStats::default()
             },
+            search: SearchStats {
+                sim_probes: 4,
+                replay_probes: 3,
+                memo_hits: 1,
+                probe_events: 900,
+            },
         };
         a.merge(&b);
         assert_eq!(a.events, 40);
@@ -184,6 +259,10 @@ mod tests {
         assert_eq!(a.queue.scheduled, 52);
         assert_eq!(a.queue.heap_peak, 7);
         assert!((a.events_per_sec() - 2000.0).abs() < 1e-6);
+        assert_eq!(a.search.sim_probes, 4);
+        assert!((a.search.replay_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((a.search.memo_hit_rate() - 0.2).abs() < 1e-12);
+        assert!((a.search.events_per_probe() - 225.0).abs() < 1e-12);
     }
 
     #[test]

@@ -50,10 +50,17 @@ pub struct Block {
 impl Block {
     /// An empty block at `addr` (not yet durable).
     pub fn new(addr: BlockAddr) -> Self {
+        Self::recycled(addr, Vec::new())
+    }
+
+    /// An empty block at `addr` reusing a retired block's record storage,
+    /// so steady-state buffer turnover allocates nothing.
+    pub fn recycled(addr: BlockAddr, mut records: Vec<LogRecord>) -> Self {
+        records.clear();
         Block {
             addr,
             written_at: SimTime::MAX,
-            records: Vec::new(),
+            records,
             payload_used: 0,
         }
     }

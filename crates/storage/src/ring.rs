@@ -99,14 +99,16 @@ impl BlockRing {
 
     /// Installs a durable block into its slot (device write completed).
     ///
-    /// Returns `false` (and drops the block) when the slot has already been
-    /// reallocated to a newer block — possible only when the tail laps an
-    /// in-flight write, which the log manager counts as a durability
-    /// violation.
+    /// Returns the block displaced from storage, whose buffers the caller
+    /// may recycle: normally the slot's previous occupant, or the incoming
+    /// block itself when the slot has already been reallocated to a newer
+    /// block — possible only when the tail laps an in-flight write, which
+    /// the log manager counts as a durability violation. Whether the
+    /// install took effect is observable via [`BlockRing::block`].
     ///
     /// # Panics
     /// Panics if the block was never allocated, or belongs to another ring.
-    pub fn install(&mut self, block: Block) -> bool {
+    pub fn install(&mut self, block: Block) -> Option<Block> {
         assert_eq!(
             block.addr.gen, self.gen,
             "block belongs to another generation"
@@ -117,15 +119,12 @@ impl BlockRing {
             block.addr.seq
         );
         if block.addr.seq + self.capacity < self.tail {
-            return false; // lapped: the slot belongs to a newer allocation
+            return Some(block); // lapped: the slot belongs to a newer allocation
         }
         let slot = block.addr.slot(self.capacity) as usize;
         match &self.slots[slot] {
-            Some(existing) if existing.addr.seq > block.addr.seq => false,
-            _ => {
-                self.slots[slot] = Some(block);
-                true
-            }
+            Some(existing) if existing.addr.seq > block.addr.seq => Some(block),
+            _ => self.slots[slot].replace(block),
         }
     }
 
@@ -209,7 +208,7 @@ mod tests {
     fn install_and_lookup() {
         let mut r = BlockRing::new(GenId(0), 2);
         let a = r.allocate_tail().unwrap();
-        r.install(blk(GenId(0), a.seq));
+        let _ = r.install(blk(GenId(0), a.seq));
         assert!(r.block(0).is_some());
         assert!(r.block(1).is_none()); // allocated? no — never allocated
     }
@@ -218,12 +217,17 @@ mod tests {
     fn overwritten_block_disappears() {
         let mut r = BlockRing::new(GenId(0), 2);
         r.allocate_tail().unwrap();
-        r.install(blk(GenId(0), 0));
+        assert!(r.install(blk(GenId(0), 0)).is_none(), "empty slot");
         r.allocate_tail().unwrap();
-        r.install(blk(GenId(0), 1));
+        let _ = r.install(blk(GenId(0), 1));
         r.advance_head();
         r.allocate_tail().unwrap(); // seq 2, slot 0
-        r.install(blk(GenId(0), 2));
+        let displaced = r.install(blk(GenId(0), 2));
+        assert_eq!(
+            displaced.map(|b| b.addr.seq),
+            Some(0),
+            "overwritten block handed back for recycling"
+        );
         assert!(r.block(0).is_none(), "seq 0 overwritten by seq 2");
         assert!(r.block(2).is_some());
     }
@@ -232,7 +236,7 @@ mod tests {
     fn consumed_but_not_overwritten_stays_on_surface() {
         let mut r = BlockRing::new(GenId(0), 3);
         r.allocate_tail().unwrap();
-        r.install(blk(GenId(0), 0));
+        let _ = r.install(blk(GenId(0), 0));
         r.advance_head(); // consumed
         assert!(r.block(0).is_some(), "still physically present");
         assert_eq!(r.surface().count(), 1);
@@ -244,7 +248,7 @@ mod tests {
         let mut r = BlockRing::new(GenId(0), 4);
         r.allocate_tail().unwrap();
         r.allocate_tail().unwrap();
-        r.install(blk(GenId(0), 1)); // seq 0 allocated but in flight
+        let _ = r.install(blk(GenId(0), 1)); // seq 0 allocated but in flight
         let live: Vec<u64> = r.live().map(|b| b.addr.seq).collect();
         assert_eq!(live, vec![1]);
     }
@@ -253,7 +257,7 @@ mod tests {
     #[should_panic]
     fn install_unallocated_panics() {
         let mut r = BlockRing::new(GenId(0), 2);
-        r.install(blk(GenId(0), 5));
+        let _ = r.install(blk(GenId(0), 5));
     }
 
     #[test]
@@ -261,7 +265,7 @@ mod tests {
     fn install_wrong_generation_panics() {
         let mut r = BlockRing::new(GenId(0), 2);
         r.allocate_tail().unwrap();
-        r.install(blk(GenId(1), 0));
+        let _ = r.install(blk(GenId(1), 0));
     }
 
     #[test]
@@ -273,7 +277,7 @@ mod tests {
                 r.advance_head();
             }
             let a = r.allocate_tail().unwrap();
-            r.install(blk(GenId(0), a.seq));
+            let _ = r.install(blk(GenId(0), a.seq));
             installed += 1;
         }
         assert_eq!(installed, 1000);

@@ -115,7 +115,8 @@ proptest! {
             let addr = ring.allocate_tail().unwrap();
             let mut b = Block::new(addr);
             b.written_at = SimTime::from_micros(addr.seq);
-            prop_assert!(ring.install(b));
+            let _displaced = ring.install(b);
+            prop_assert!(ring.block(addr.seq).is_some());
         }
         let mut seqs: Vec<u64> = ring.surface().map(|b| b.addr.seq).collect();
         seqs.sort_unstable();

@@ -7,13 +7,21 @@
 //! time + payload) the caller must schedule, so the experiment harness can
 //! wrap them in its own composite event type and keep the cancellation
 //! tokens needed to retract a killed transaction's remaining writes.
+//!
+//! Two sources feed the stream (see [`crate::trace`]): **live** — the
+//! RNG-driven generator of the paper, optionally capturing a
+//! [`WorkloadTrace`] as it runs — and **replay** — walking a previously
+//! captured trace with no RNG, no oid picker and no per-event allocation,
+//! which is what the minimum-space searches probe geometries with.
 
 use crate::arrival::ArrivalProcess;
 use crate::oidpick::OidPicker;
 use crate::spec::TxMix;
+use crate::trace::{TraceBuilder, WorkloadTrace, UNWRITTEN};
 use elog_model::{Oid, Tid};
 use elog_sim::FxHashMap;
 use elog_sim::{Histogram, MaxGauge, SimRng, SimTime};
+use std::sync::Arc;
 
 /// Events the driver asks to be scheduled.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -94,23 +102,48 @@ impl WorkloadStats {
     }
 }
 
+/// Where the workload's nondeterminism comes from.
+///
+/// The variants differ in size (the live generator owns two RNGs and a
+/// picker, the replayer one `Arc`), but a driver holds exactly one
+/// `Source` for its whole life — boxing the large variant would buy
+/// nothing and cost a pointer chase on the generation hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+enum Source {
+    /// RNG-driven generation (the paper's model), optionally capturing.
+    Live {
+        arrivals: ArrivalProcess,
+        rng_mix: SimRng,
+        rng_oid: SimRng,
+        picker: OidPicker,
+        capture: Option<TraceBuilder>,
+    },
+    /// Replaying a captured trace: no RNG, no picker, no allocation.
+    Replay { trace: Arc<WorkloadTrace> },
+}
+
 /// The workload driver (see module docs).
 #[derive(Clone, Debug)]
 pub struct WorkloadDriver {
     mix: TxMix,
-    arrivals: ArrivalProcess,
-    rng_mix: SimRng,
-    rng_oid: SimRng,
-    picker: OidPicker,
+    source: Source,
     /// No arrivals are generated at or after this time.
     horizon: SimTime,
     next_tid: u64,
     active: FxHashMap<Tid, ActiveTxn>,
     stats: WorkloadStats,
+    /// When false (replay without an oracle), per-transaction updates are
+    /// not recorded and [`Self::on_commit_ack`] returns an empty slice.
+    track_updates: bool,
+    /// Retired update vectors, reused by later arrivals.
+    spare_updates: Vec<Vec<Update>>,
+    /// The last acknowledged transaction's updates (borrowed out).
+    ack_buf: Vec<Update>,
 }
 
 impl WorkloadDriver {
-    /// Creates a driver.
+    /// Creates a live driver.
     ///
     /// * `mix` — transaction types and pdf;
     /// * `arrivals` — arrival process (the paper uses deterministic);
@@ -128,15 +161,67 @@ impl WorkloadDriver {
         let n_types = mix.types().len();
         WorkloadDriver {
             mix,
-            arrivals,
-            rng_mix: rng.substream("workload/mix"),
-            rng_oid: rng.substream("workload/oid"),
-            picker: OidPicker::new(num_objects),
+            source: Source::Live {
+                arrivals,
+                rng_mix: rng.substream("workload/mix"),
+                rng_oid: rng.substream("workload/oid"),
+                picker: OidPicker::new(num_objects),
+                capture: None,
+            },
             horizon,
             next_tid: 0,
             active: FxHashMap::default(),
             stats: WorkloadStats::new(n_types),
+            track_updates: true,
+            spare_updates: Vec::new(),
+            ack_buf: Vec::new(),
         }
+    }
+
+    /// Creates a replay driver walking `trace`.
+    ///
+    /// `mix` must be the capture run's mix (type indices and record counts
+    /// are resolved against it). `track_updates` keeps per-transaction
+    /// update lists for oracle-tracking callers; probe runs pass `false`
+    /// and pay no per-update bookkeeping.
+    pub fn replay(mix: TxMix, trace: Arc<WorkloadTrace>, track_updates: bool) -> Self {
+        let n_types = mix.types().len();
+        let horizon = trace.horizon();
+        WorkloadDriver {
+            mix,
+            source: Source::Replay { trace },
+            horizon,
+            next_tid: 0,
+            active: FxHashMap::default(),
+            stats: WorkloadStats::new(n_types),
+            track_updates,
+            spare_updates: Vec::new(),
+            ack_buf: Vec::new(),
+        }
+    }
+
+    /// Starts capturing a [`WorkloadTrace`]. Must be called before the
+    /// first arrival; panics on a replay driver.
+    pub fn enable_capture(&mut self) {
+        assert_eq!(self.next_tid, 0, "capture must start before any arrival");
+        match &mut self.source {
+            Source::Live { capture, .. } => *capture = Some(TraceBuilder::default()),
+            Source::Replay { .. } => panic!("cannot capture while replaying"),
+        }
+    }
+
+    /// Takes the captured trace, if capture was enabled *and* the run was
+    /// kill-free (a killed capture is truncated and unusable — see
+    /// [`crate::trace`] module docs).
+    pub fn take_trace(&mut self) -> Option<WorkloadTrace> {
+        let Source::Live { capture, .. } = &mut self.source else {
+            return None;
+        };
+        let builder = capture.take()?;
+        if self.stats.killed > 0 {
+            return None;
+        }
+        Some(builder.finish(self.horizon))
     }
 
     /// The first event to schedule: an arrival at `start`.
@@ -144,19 +229,47 @@ impl WorkloadDriver {
         vec![(start, WorkloadEvent::Arrival)]
     }
 
-    /// Handles an arrival: assigns a tid and type, and returns the new
-    /// transaction plus the events to schedule (its record writes and the
-    /// next arrival). Returns `None` past the horizon.
-    pub fn on_arrival(&mut self, now: SimTime) -> Option<(NewTxn, Vec<(SimTime, WorkloadEvent)>)> {
+    /// Handles an arrival: assigns a tid and type, fills `events` with the
+    /// record writes and next arrival to schedule (clearing it first), and
+    /// returns the new transaction. Returns `None` past the horizon.
+    pub fn on_arrival(
+        &mut self,
+        now: SimTime,
+        events: &mut Vec<(SimTime, WorkloadEvent)>,
+    ) -> Option<NewTxn> {
+        events.clear();
         if now >= self.horizon {
             return None;
         }
         let tid = Tid(self.next_tid);
+        let type_idx = match &mut self.source {
+            Source::Live {
+                arrivals,
+                rng_mix,
+                capture,
+                ..
+            } => {
+                let type_idx = self.mix.sample(rng_mix);
+                let next = now + arrivals.next_interval(rng_mix);
+                if next < self.horizon {
+                    events.push((next, WorkloadEvent::Arrival));
+                }
+                if let Some(b) = capture {
+                    b.on_arrival(now, type_idx, self.mix.types()[type_idx].data_records);
+                }
+                type_idx
+            }
+            Source::Replay { trace } => {
+                let t = trace.txns.get(self.next_tid as usize)?;
+                debug_assert_eq!(t.at, now, "replay arrival off schedule");
+                if let Some(next) = trace.txns.get(self.next_tid as usize + 1) {
+                    events.push((next.at, WorkloadEvent::Arrival));
+                }
+                t.type_idx as usize
+            }
+        };
         self.next_tid += 1;
-        let type_idx = self.mix.sample(&mut self.rng_mix);
         let ty = self.mix.types()[type_idx];
-
-        let mut events = Vec::with_capacity(ty.data_records as usize + 2);
         for seq in 1..=ty.data_records {
             events.push((
                 now + ty.data_write_offset(seq),
@@ -165,23 +278,23 @@ impl WorkloadDriver {
         }
         events.push((now + ty.duration, WorkloadEvent::WriteCommit { tid }));
 
-        let next = now + self.arrivals.next_interval(&mut self.rng_mix);
-        if next < self.horizon {
-            events.push((next, WorkloadEvent::Arrival));
-        }
-
+        let updates = if self.track_updates {
+            self.spare_updates.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
         self.active.insert(
             tid,
             ActiveTxn {
                 type_idx,
-                updates: Vec::with_capacity(ty.data_records as usize),
+                updates,
                 commit_written: None,
             },
         );
         self.stats.started += 1;
         self.stats.per_type_started[type_idx] += 1;
         self.stats.active.set(now, self.active.len() as u64);
-        Some((NewTxn { tid, type_idx }, events))
+        Some(NewTxn { tid, type_idx })
     }
 
     /// Handles a data-record write: picks the oid and returns it with the
@@ -193,8 +306,29 @@ impl WorkloadDriver {
             txn.commit_written.is_none(),
             "data write after commit for {tid}"
         );
-        let oid = self.picker.pick(&mut self.rng_oid);
-        txn.updates.push(Update { oid, seq, ts: now });
+        let oid = match &mut self.source {
+            Source::Live {
+                rng_oid,
+                picker,
+                capture,
+                ..
+            } => {
+                let oid = picker.pick(rng_oid);
+                if let Some(b) = capture {
+                    b.on_write_data(tid.0 as usize, seq, oid);
+                }
+                oid
+            }
+            Source::Replay { trace } => {
+                let t = &trace.txns[tid.0 as usize];
+                let oid = trace.oids[t.oid_start as usize + seq as usize - 1];
+                debug_assert_ne!(oid, UNWRITTEN, "replay delivered an unwritten slot");
+                oid
+            }
+        };
+        if self.track_updates {
+            txn.updates.push(Update { oid, seq, ts: now });
+        }
         self.stats.data_records += 1;
         let size = self.mix.types()[txn.type_idx].record_size;
         Some((oid, size))
@@ -214,12 +348,17 @@ impl WorkloadDriver {
 
     /// Handles the commit acknowledgement (t4): the transaction's oids stop
     /// being "chosen by an active transaction", and its updates are
-    /// returned so the caller can feed a committed-state oracle.
-    pub fn on_commit_ack(&mut self, now: SimTime, tid: Tid) -> Vec<Update> {
+    /// returned so the caller can feed a committed-state oracle. The slice
+    /// is valid until the next driver call (its storage is recycled); it
+    /// is empty when updates are not tracked.
+    pub fn on_commit_ack(&mut self, now: SimTime, tid: Tid) -> &[Update] {
+        self.ack_buf.clear();
         let Some(txn) = self.active.remove(&tid) else {
-            return Vec::new();
+            return &self.ack_buf;
         };
-        self.picker.release_all(txn.updates.iter().map(|u| u.oid));
+        if let Source::Live { picker, .. } = &mut self.source {
+            picker.release_all(txn.updates.iter().map(|u| u.oid));
+        }
         if let Some(t3) = txn.commit_written {
             self.stats
                 .commit_latency_ms
@@ -227,15 +366,27 @@ impl WorkloadDriver {
         }
         self.stats.committed += 1;
         self.stats.active.set(now, self.active.len() as u64);
-        txn.updates
+        if self.track_updates {
+            // Hand the updates out through `ack_buf` and recycle the old
+            // buffer, so steady-state acks allocate nothing.
+            let old = std::mem::replace(&mut self.ack_buf, txn.updates);
+            self.spare_updates.push(old);
+        }
+        &self.ack_buf
     }
 
     /// Handles a kill from the log manager: drops the transaction and
     /// releases its oids. The caller is responsible for cancelling the
     /// transaction's still-pending events.
     pub fn on_kill(&mut self, now: SimTime, tid: Tid) {
-        if let Some(txn) = self.active.remove(&tid) {
-            self.picker.release_all(txn.updates.iter().map(|u| u.oid));
+        if let Some(mut txn) = self.active.remove(&tid) {
+            if let Source::Live { picker, .. } = &mut self.source {
+                picker.release_all(txn.updates.iter().map(|u| u.oid));
+            }
+            if self.track_updates {
+                txn.updates.clear();
+                self.spare_updates.push(txn.updates);
+            }
             self.stats.killed += 1;
             self.stats.active.set(now, self.active.len() as u64);
         }
@@ -246,7 +397,8 @@ impl WorkloadDriver {
         self.active.len()
     }
 
-    /// The updates a live transaction has performed so far.
+    /// The updates a live transaction has performed so far (empty when
+    /// updates are not tracked).
     pub fn updates_of(&self, tid: Tid) -> Option<&[Update]> {
         self.active.get(&tid).map(|t| t.updates.as_slice())
     }
@@ -256,9 +408,12 @@ impl WorkloadDriver {
         &self.stats
     }
 
-    /// The oid picker (for diagnostics).
-    pub fn picker(&self) -> &OidPicker {
-        &self.picker
+    /// The oid picker (for diagnostics); `None` when replaying.
+    pub fn picker(&self) -> Option<&OidPicker> {
+        match &self.source {
+            Source::Live { picker, .. } => Some(picker),
+            Source::Replay { .. } => None,
+        }
     }
 
     /// The configured mix.
@@ -282,13 +437,21 @@ mod tests {
         )
     }
 
+    fn arrive(
+        d: &mut WorkloadDriver,
+        now: SimTime,
+    ) -> Option<(NewTxn, Vec<(SimTime, WorkloadEvent)>)> {
+        let mut events = Vec::new();
+        d.on_arrival(now, &mut events).map(|new| (new, events))
+    }
+
     #[test]
     fn arrival_produces_plan_and_schedule() {
         let mut d = driver(0.0, 10);
         let boot = d.bootstrap(SimTime::ZERO);
         assert_eq!(boot, vec![(SimTime::ZERO, WorkloadEvent::Arrival)]);
 
-        let (new, events) = d.on_arrival(SimTime::ZERO).unwrap();
+        let (new, events) = arrive(&mut d, SimTime::ZERO).unwrap();
         assert_eq!(new.tid, Tid(0));
         assert_eq!(new.type_idx, 0, "frac_long 0 ⇒ always short type");
         // Short type: 2 data writes + 1 commit + next arrival.
@@ -316,30 +479,30 @@ mod tests {
     fn horizon_stops_arrivals() {
         let mut d = driver(0.0, 1);
         // Arrival exactly at the horizon is rejected.
-        assert!(d.on_arrival(SimTime::from_secs(1)).is_none());
+        assert!(arrive(&mut d, SimTime::from_secs(1)).is_none());
         // An arrival just before the horizon happens but does not chain a
         // next arrival past it.
-        let (_, events) = d.on_arrival(SimTime::from_micros(999_999)).unwrap();
+        let (_, events) = arrive(&mut d, SimTime::from_micros(999_999)).unwrap();
         assert!(!events.iter().any(|(_, e)| *e == WorkloadEvent::Arrival));
     }
 
     #[test]
     fn full_transaction_lifecycle() {
         let mut d = driver(0.0, 10);
-        let (new, _) = d.on_arrival(SimTime::ZERO).unwrap();
+        let (new, _) = arrive(&mut d, SimTime::ZERO).unwrap();
         let tid = new.tid;
 
         let (oid1, size) = d.on_write_data(SimTime::from_millis(500), tid, 1).unwrap();
         assert_eq!(size, 100);
         let (oid2, _) = d.on_write_data(SimTime::from_millis(999), tid, 2).unwrap();
         assert_ne!(oid1, oid2, "same txn never reuses an oid");
-        assert!(d.picker().is_held(oid1));
+        assert!(d.picker().unwrap().is_held(oid1));
 
         assert!(d.on_write_commit(SimTime::from_secs(1), tid));
         let updates = d.on_commit_ack(SimTime::from_micros(1_030_000), tid);
         assert_eq!(updates.len(), 2);
         assert_eq!(updates[0].oid, oid1);
-        assert!(!d.picker().is_held(oid1), "ack releases oids");
+        assert!(!d.picker().unwrap().is_held(oid1), "ack releases oids");
         assert_eq!(d.stats().committed, 1);
         assert_eq!(d.stats().commit_latency_ms.total(), 1);
         // ~30 ms latency recorded.
@@ -349,12 +512,12 @@ mod tests {
     #[test]
     fn kill_releases_and_counts() {
         let mut d = driver(0.0, 10);
-        let (new, _) = d.on_arrival(SimTime::ZERO).unwrap();
+        let (new, _) = arrive(&mut d, SimTime::ZERO).unwrap();
         let (oid, _) = d
             .on_write_data(SimTime::from_millis(1), new.tid, 1)
             .unwrap();
         d.on_kill(SimTime::from_millis(2), new.tid);
-        assert!(!d.picker().is_held(oid));
+        assert!(!d.picker().unwrap().is_held(oid));
         assert_eq!(d.stats().killed, 1);
         assert_eq!(d.active_txns(), 0);
         // Stray events for the dead txn are ignored gracefully.
@@ -373,7 +536,7 @@ mod tests {
         let mut d = driver(0.5, 100);
         let mut t = SimTime::ZERO;
         for i in 0..50 {
-            let (new, _) = d.on_arrival(t).unwrap();
+            let (new, _) = arrive(&mut d, t).unwrap();
             assert_eq!(new.tid, Tid(i));
             t += SimTime::from_millis(10);
         }
@@ -386,8 +549,9 @@ mod tests {
     fn per_type_counts_follow_pdf() {
         let mut d = driver(0.3, 1_000_000);
         let mut t = SimTime::ZERO;
+        let mut events = Vec::new();
         for _ in 0..20_000 {
-            d.on_arrival(t).unwrap();
+            d.on_arrival(t, &mut events).unwrap();
             t += SimTime::from_millis(10);
         }
         let frac = d.stats().per_type_started[1] as f64 / 20_000.0;
@@ -397,10 +561,102 @@ mod tests {
     #[test]
     fn updates_of_live_txn_visible() {
         let mut d = driver(0.0, 10);
-        let (new, _) = d.on_arrival(SimTime::ZERO).unwrap();
+        let (new, _) = arrive(&mut d, SimTime::ZERO).unwrap();
         assert_eq!(d.updates_of(new.tid).unwrap().len(), 0);
         d.on_write_data(SimTime::from_millis(1), new.tid, 1);
         assert_eq!(d.updates_of(new.tid).unwrap().len(), 1);
         assert!(d.updates_of(Tid(999)).is_none());
+    }
+
+    /// Drives `d` through its full event stream with a tiny hand-rolled
+    /// event loop (no log manager: acks fire one ε after the commit
+    /// write), returning the committed count.
+    fn drain(d: &mut WorkloadDriver) -> (u64, Vec<Oid>) {
+        let mut queue: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, Tid, u32)>> =
+            std::collections::BinaryHeap::new();
+        // Kind: 0 arrival, 1 data, 2 commit, 3 ack.
+        let mut events = Vec::new();
+        let mut oids = Vec::new();
+        queue.push(std::cmp::Reverse((SimTime::ZERO, 0, Tid(0), 0)));
+        while let Some(std::cmp::Reverse((now, kind, tid, seq))) = queue.pop() {
+            match kind {
+                0 => {
+                    if let Some(new) = d.on_arrival(now, &mut events) {
+                        for &(at, ev) in &events {
+                            let (k, t, s) = match ev {
+                                WorkloadEvent::Arrival => (0, Tid(0), 0),
+                                WorkloadEvent::WriteData { tid, seq } => (1, tid, seq),
+                                WorkloadEvent::WriteCommit { tid } => (2, tid, 0),
+                            };
+                            queue.push(std::cmp::Reverse((at, k, t, s)));
+                        }
+                        let _ = new;
+                    }
+                }
+                1 => {
+                    if let Some((oid, _)) = d.on_write_data(now, tid, seq) {
+                        oids.push(oid);
+                    }
+                }
+                2 => {
+                    if d.on_write_commit(now, tid) {
+                        queue.push(std::cmp::Reverse((
+                            now + SimTime::from_millis(1),
+                            3,
+                            tid,
+                            0,
+                        )));
+                    }
+                }
+                _ => {
+                    d.on_commit_ack(now, tid);
+                }
+            }
+        }
+        (d.stats().committed, oids)
+    }
+
+    #[test]
+    fn replay_reproduces_capture_exactly() {
+        let mut live = driver(0.3, 5);
+        live.enable_capture();
+        let (live_committed, live_oids) = drain(&mut live);
+        let trace = live.take_trace().expect("kill-free capture");
+        assert_eq!(trace.transactions() as u64, live.stats().started);
+
+        let mut rep = WorkloadDriver::replay(TxMix::paper_mix(0.3), Arc::new(trace), true);
+        assert!(rep.picker().is_none());
+        let (rep_committed, rep_oids) = drain(&mut rep);
+        assert_eq!(live_committed, rep_committed);
+        assert_eq!(live_oids, rep_oids, "oid stream must replay exactly");
+        assert_eq!(live.stats().started, rep.stats().started);
+        assert_eq!(live.stats().data_records, rep.stats().data_records);
+        assert_eq!(live.stats().per_type_started, rep.stats().per_type_started);
+    }
+
+    #[test]
+    fn untracked_replay_acks_empty() {
+        let mut live = driver(0.0, 2);
+        live.enable_capture();
+        drain(&mut live);
+        let trace = Arc::new(live.take_trace().unwrap());
+        let mut rep = WorkloadDriver::replay(TxMix::paper_mix(0.0), trace, false);
+        let (new, _) = arrive(&mut rep, SimTime::ZERO).unwrap();
+        rep.on_write_data(SimTime::from_millis(500), new.tid, 1);
+        assert_eq!(rep.updates_of(new.tid).unwrap().len(), 0, "not tracked");
+        rep.on_write_commit(SimTime::from_secs(1), new.tid);
+        assert!(rep
+            .on_commit_ack(SimTime::from_micros(1_030_000), new.tid)
+            .is_empty());
+        assert_eq!(rep.stats().committed, 1);
+    }
+
+    #[test]
+    fn killed_capture_yields_no_trace() {
+        let mut d = driver(0.0, 10);
+        d.enable_capture();
+        let (new, _) = arrive(&mut d, SimTime::ZERO).unwrap();
+        d.on_kill(SimTime::from_millis(1), new.tid);
+        assert!(d.take_trace().is_none(), "killed run is truncated");
     }
 }

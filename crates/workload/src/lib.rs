@@ -30,14 +30,18 @@
 //! * [`oidpick`] — uniform oid selection "subject to the constraint that
 //!   the number has not already been chosen for an update by a transaction
 //!   which is still active";
-//! * [`driver`] — the event-producing driver gluing it all together.
+//! * [`driver`] — the event-producing driver gluing it all together;
+//! * [`trace`] — flat capture/replay of the workload-visible event stream,
+//!   so geometry probes skip the RNG-driven generator entirely.
 
 pub mod arrival;
 pub mod driver;
 pub mod oidpick;
 pub mod spec;
+pub mod trace;
 
 pub use arrival::ArrivalProcess;
 pub use driver::{WorkloadDriver, WorkloadEvent, WorkloadStats};
 pub use oidpick::OidPicker;
 pub use spec::{TxMix, TxType, EPSILON};
+pub use trace::WorkloadTrace;

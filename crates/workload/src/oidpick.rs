@@ -11,14 +11,16 @@
 //! pathological configurations (tiny object counts) are visible in stats.
 
 use elog_model::Oid;
-use elog_sim::SimRng;
-use std::collections::HashSet;
+use elog_sim::{FxHashSet, SimRng};
 
 /// Uniform oid picker excluding oids held by active transactions.
 #[derive(Clone, Debug)]
 pub struct OidPicker {
     num_objects: u64,
-    in_use: HashSet<Oid>,
+    /// Held-oid membership set. FxHash rather than SipHash: the set is
+    /// probed twice per data record (pick + release) and never iterated,
+    /// so ordering robustness buys nothing and hashing speed is the cost.
+    in_use: FxHashSet<Oid>,
     rejections: u64,
     picks: u64,
 }
@@ -29,7 +31,7 @@ impl OidPicker {
         assert!(num_objects > 0);
         OidPicker {
             num_objects,
-            in_use: HashSet::new(),
+            in_use: FxHashSet::default(),
             rejections: 0,
             picks: 0,
         }
@@ -96,6 +98,7 @@ impl OidPicker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn picks_are_unique_while_held() {

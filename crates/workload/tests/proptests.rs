@@ -80,8 +80,9 @@ proptest! {
         );
         let mut t = SimTime::ZERO;
         let mut live: Vec<elog_model::Tid> = Vec::new();
+        let mut events = Vec::new();
         for i in 0..bursts {
-            let (new, events) = d.on_arrival(t).expect("before horizon");
+            let new = d.on_arrival(t, &mut events).expect("before horizon");
             // Write the data records the plan scheduled.
             let writes = events
                 .iter()
@@ -115,6 +116,6 @@ proptest! {
             .iter()
             .map(|tid| d.updates_of(*tid).map_or(0, <[_]>::len))
             .sum();
-        prop_assert_eq!(d.picker().held(), expected_held);
+        prop_assert_eq!(d.picker().unwrap().held(), expected_held);
     }
 }
