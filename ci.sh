@@ -17,11 +17,14 @@ echo "== cargo test =="
 cargo test -q --offline --workspace
 
 echo "== bench --quick (perf regression gate) =="
-# One quick pass over the whole experiment basket, gated against the most
-# recent committed snapshot: the run fails when top-level throughput
-# regressed by more than 30% (see crates/harness/src/benchgate.rs). The
-# JSON is echoed so CI logs preserve the numbers; the report file itself
-# is throwaway (committed snapshots are produced deliberately:
+# One quick pass over the whole experiment basket — including the
+# crash-recovery bench (crash-point snapshots scanned + redone) — gated
+# against the most recent committed snapshot: the run fails when
+# top-level logging throughput OR the recovery section's scan/redo
+# record rate regressed by more than 30% (see
+# crates/harness/src/benchgate.rs). The JSON is echoed so CI logs
+# preserve the numbers; the report file itself is throwaway (committed
+# snapshots are produced deliberately:
 # `bench --quick --jobs 1 --out BENCH_$(date +%F).json`).
 BASELINE=$(ls BENCH_*.json | sort | tail -n 1)
 ./target/release/bench --quick --out "$(mktemp)" --baseline "$BASELINE" --max-regress 30

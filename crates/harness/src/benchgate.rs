@@ -2,17 +2,31 @@
 //!
 //! `ci.sh` runs `bench --quick` on every pass; this module turns that
 //! smoke run into a real gate by comparing the fresh report against the
-//! committed `BENCH_*.json` snapshot and failing on a throughput cliff.
-//! The comparison reads the *top-level* `events_per_sec` (measured-run
-//! events over measured-run wall, probe wall excluded from neither — the
-//! same machine produced both numbers, so the ratio is meaningful even
-//! though the absolute figure is machine-specific).
+//! committed `BENCH_*.json` snapshot and failing on a throughput cliff —
+//! on the forward (logging) path *and* the recovery path. The logging
+//! comparison reads the *top-level* `events_per_sec`; the recovery
+//! comparison reads the `recovery` section's aggregate scan and redo
+//! record rates (measured on the same machine as the baseline, so the
+//! ratios are meaningful even though the absolute figures are not).
 //!
 //! The reports are written by `bench` itself with a fixed field order, so
 //! a full JSON parser would be dead weight: the extractor scans for the
 //! first occurrence of a key, which in the bench schema is always the
-//! top-level one (per-experiment rows live inside the `experiments` array
-//! that every top-level field precedes).
+//! top-level one (per-experiment and per-crash-point rows live inside
+//! arrays that every aggregate field precedes). Schema drift between a
+//! baseline and a current report — a baseline that predates the
+//! `recovery` section, a report whose throughput is zero because a run
+//! produced no work — is diagnosed explicitly rather than panicking or
+//! silently passing.
+
+/// The recovery-path fields the gate compares.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoverySummary {
+    /// Aggregate byte-level scan throughput, records per second.
+    pub scan_records_per_sec: f64,
+    /// Aggregate single-pass REDO throughput, records per second.
+    pub redo_records_per_sec: f64,
+}
 
 /// The fields the gate compares.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -23,17 +37,27 @@ pub struct BenchSummary {
     pub allocations_per_event: f64,
     /// Whether the report came from a `--quick` basket.
     pub quick: bool,
+    /// The recovery section's aggregates; `None` when the report predates
+    /// the recovery bench (schema drift the gate must diagnose, not trip
+    /// over).
+    pub recovery: Option<RecoverySummary>,
 }
 
-/// Extracts the number following `"key": ` at its first occurrence.
-fn scan_number(json: &str, key: &str) -> Option<f64> {
+/// Extracts the number following `"key": ` at its first occurrence at or
+/// after byte offset `from`.
+fn scan_number_from(json: &str, from: usize, key: &str) -> Option<f64> {
     let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
+    let at = from + json.get(from..)?.find(&needle)? + needle.len();
     let rest = json[at..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts the number following `"key": ` at its first occurrence.
+fn scan_number(json: &str, key: &str) -> Option<f64> {
+    scan_number_from(json, 0, key)
 }
 
 impl BenchSummary {
@@ -42,22 +66,76 @@ impl BenchSummary {
         let quick = json
             .find("\"quick\":")
             .map(|i| json[i + 8..].trim_start().starts_with("true"))?;
+        // The recovery aggregates live inside the "recovery" object, whose
+        // own fields precede its per-crash-point rows — so first occurrence
+        // after the section marker is the aggregate.
+        let recovery = json.find("\"recovery\":").and_then(|i| {
+            Some(RecoverySummary {
+                scan_records_per_sec: scan_number_from(json, i, "scan_records_per_sec")?,
+                redo_records_per_sec: scan_number_from(json, i, "redo_records_per_sec")?,
+            })
+        });
         Some(BenchSummary {
             events_per_sec: scan_number(json, "events_per_sec")?,
             allocations_per_event: scan_number(json, "allocations_per_event")?,
             quick,
+            recovery,
         })
+    }
+}
+
+/// A throughput figure that cannot be gated: zero means the run produced
+/// no work (or the field was mis-parsed), non-finite means the report is
+/// malformed. Either way the gate must say so, not divide by it.
+fn check_rate(which: &str, role: &str, v: f64) -> Result<(), String> {
+    if !v.is_finite() || v <= 0.0 {
+        Err(format!(
+            "{role} {which} is {v}: zero or invalid throughput — the run \
+             produced no work or the report schema drifted; regenerate the \
+             {role} snapshot"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// One throughput ratio against the gate floor. Returns the human-readable
+/// fragment on pass, the failure message on a cliff.
+fn gate_rate(
+    which: &str,
+    baseline: f64,
+    current: f64,
+    max_regress_pct: f64,
+) -> Result<String, String> {
+    check_rate(which, "baseline", baseline)?;
+    check_rate(which, "current", current)?;
+    let floor = baseline * (1.0 - max_regress_pct / 100.0);
+    let ratio = current / baseline;
+    let detail = format!(
+        "{which} {current:.0}/s vs baseline {baseline:.0}/s ({:+.1}%)",
+        (ratio - 1.0) * 100.0
+    );
+    if current < floor {
+        Err(format!(
+            "{which} regression beyond {max_regress_pct:.0}%: {detail}"
+        ))
+    } else {
+        Ok(detail)
     }
 }
 
 /// Compares a fresh report against the committed baseline.
 ///
-/// Fails when throughput dropped by more than `max_regress_pct` percent.
+/// Fails when logging throughput, recovery scan throughput, or recovery
+/// redo throughput dropped by more than `max_regress_pct` percent.
 /// Faster-than-baseline runs and allocation *improvements* always pass;
 /// the allocation ratio is reported but not gated (it is a per-event
 /// count, so it barely jitters — a real alloc regression will also show
 /// up as a throughput cliff, and gating one number keeps the knob count
-/// down). Returns a human-readable verdict either way.
+/// down). A baseline that predates the recovery section passes with an
+/// explicit diagnostic (refresh the snapshot); a *current* report that
+/// lost the section fails — that is schema drift in the wrong direction.
+/// Returns a human-readable verdict either way.
 pub fn check_regression(
     baseline: &BenchSummary,
     current: &BenchSummary,
@@ -70,32 +148,72 @@ pub fn check_regression(
             baseline.quick, current.quick
         ));
     }
-    let floor = baseline.events_per_sec * (1.0 - max_regress_pct / 100.0);
-    let ratio = current.events_per_sec / baseline.events_per_sec.max(1e-9);
-    let detail = format!(
-        "throughput {:.0} ev/s vs baseline {:.0} ev/s ({:+.1}%), \
-         allocs/event {:.3} vs {:.3}",
-        current.events_per_sec,
+    let mut parts = vec![gate_rate(
+        "events",
         baseline.events_per_sec,
-        (ratio - 1.0) * 100.0,
-        current.allocations_per_event,
-        baseline.allocations_per_event,
-    );
-    if current.events_per_sec < floor {
-        Err(format!(
-            "perf regression beyond {max_regress_pct:.0}%: {detail}"
-        ))
-    } else {
-        Ok(detail)
+        current.events_per_sec,
+        max_regress_pct,
+    )?];
+    parts.push(format!(
+        "allocs/event {:.3} vs {:.3}",
+        current.allocations_per_event, baseline.allocations_per_event,
+    ));
+    match (&baseline.recovery, &current.recovery) {
+        (Some(base), Some(cur)) => {
+            parts.push(gate_rate(
+                "recovery-scan records",
+                base.scan_records_per_sec,
+                cur.scan_records_per_sec,
+                max_regress_pct,
+            )?);
+            parts.push(gate_rate(
+                "recovery-redo records",
+                base.redo_records_per_sec,
+                cur.redo_records_per_sec,
+                max_regress_pct,
+            )?);
+        }
+        (None, Some(_)) => parts.push(
+            "recovery not gated: baseline predates the recovery section — \
+             refresh the committed BENCH snapshot"
+                .to_string(),
+        ),
+        (Some(_), None) => {
+            return Err(
+                "current report has no recovery section but the baseline does: \
+                 the recovery bench was lost (schema drift) — fix bench before \
+                 trusting this gate"
+                    .to_string(),
+            );
+        }
+        (None, None) => {
+            parts.push("recovery not gated: neither report carries a recovery section".to_string())
+        }
     }
+    Ok(parts.join("; "))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn report(events_per_sec: f64, allocs: f64, quick: bool) -> String {
+    fn report_with_recovery(
+        events_per_sec: f64,
+        allocs: f64,
+        quick: bool,
+        recovery: Option<(f64, f64)>,
+    ) -> String {
         // Same field order as the bench binary's writer.
+        let recovery_section = match recovery {
+            Some((scan, redo)) => format!(
+                ",\n  \"recovery\": {{\n    \"scan_blocks_per_sec\": 120000,\n    \
+                 \"scan_records_per_sec\": {scan},\n    \"redo_records_per_sec\": {redo},\n    \
+                 \"allocations_per_record\": 0.4,\n    \"corrupt_block_rate\": 0.002,\n    \
+                 \"points\": [\n      {{\"name\": \"el/mid-flush\", \
+                 \"scan_records_per_sec\": 1, \"redo_records_per_sec\": 1}}\n    ]\n  }}"
+            ),
+            None => String::new(),
+        };
         format!(
             "{{\n  \"date\": \"2026-08-06\",\n  \"quick\": {quick},\n  \"jobs\": 1,\n  \
              \"total_wall_secs\": 2.0,\n  \"total_events\": 800000,\n  \
@@ -103,8 +221,12 @@ mod tests {
              \"allocations_per_event\": {allocs},\n  \"probe_events\": 6000000,\n  \
              \"replay_hit_rate\": 0.9,\n  \"memo_hit_rate\": 0.2,\n  \
              \"experiments\": [\n    {{\"name\": \"x\", \"events_per_sec\": 99, \
-             \"allocations_per_event\": 99.0}}\n  ]\n}}"
+             \"allocations_per_event\": 99.0}}\n  ]{recovery_section}\n}}"
         )
+    }
+
+    fn report(events_per_sec: f64, allocs: f64, quick: bool) -> String {
+        report_with_recovery(events_per_sec, allocs, quick, Some((4e6, 8e6)))
     }
 
     #[test]
@@ -113,6 +235,20 @@ mod tests {
         assert_eq!(s.events_per_sec, 407178.0);
         assert_eq!(s.allocations_per_event, 0.051);
         assert!(s.quick);
+    }
+
+    #[test]
+    fn parse_reads_recovery_aggregates_not_point_rows() {
+        let s = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let r = s.recovery.expect("recovery section present");
+        assert_eq!(r.scan_records_per_sec, 4e6);
+        assert_eq!(r.redo_records_per_sec, 8e6);
+    }
+
+    #[test]
+    fn parse_tolerates_missing_recovery_section() {
+        let s = BenchSummary::parse(&report_with_recovery(400_000.0, 0.05, true, None)).unwrap();
+        assert!(s.recovery.is_none());
     }
 
     #[test]
@@ -127,10 +263,82 @@ mod tests {
         // 35% slower than baseline: must fail a 30% gate.
         let bad = BenchSummary::parse(&report(260_000.0, 0.05, true)).unwrap();
         let err = check_regression(&base, &bad, 30.0).unwrap_err();
-        assert!(err.contains("perf regression"), "{err}");
+        assert!(err.contains("events regression"), "{err}");
         // Exactly at the floor still passes (the gate is strict-less-than).
         let edge = BenchSummary::parse(&report(280_000.0, 0.05, true)).unwrap();
         assert!(check_regression(&base, &edge, 30.0).is_ok());
+    }
+
+    #[test]
+    fn injected_recovery_regression_fails_the_gate() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        // Logging fine, recovery scan 40% down: must fail.
+        let bad = BenchSummary::parse(&report_with_recovery(
+            400_000.0,
+            0.05,
+            true,
+            Some((2.4e6, 8e6)),
+        ))
+        .unwrap();
+        let err = check_regression(&base, &bad, 30.0).unwrap_err();
+        assert!(err.contains("recovery-scan"), "{err}");
+        // Redo regression alone also fails.
+        let bad = BenchSummary::parse(&report_with_recovery(
+            400_000.0,
+            0.05,
+            true,
+            Some((4e6, 4e6)),
+        ))
+        .unwrap();
+        let err = check_regression(&base, &bad, 30.0).unwrap_err();
+        assert!(err.contains("recovery-redo"), "{err}");
+        // Small recovery jitter passes and is reported.
+        let ok = BenchSummary::parse(&report_with_recovery(
+            400_000.0,
+            0.05,
+            true,
+            Some((3.5e6, 7.5e6)),
+        ))
+        .unwrap();
+        let verdict = check_regression(&base, &ok, 30.0).unwrap();
+        assert!(verdict.contains("recovery-scan"), "{verdict}");
+    }
+
+    #[test]
+    fn baseline_without_recovery_passes_with_diagnostic() {
+        let base = BenchSummary::parse(&report_with_recovery(400_000.0, 0.05, true, None)).unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("baseline predates"), "{verdict}");
+    }
+
+    #[test]
+    fn current_without_recovery_fails_when_baseline_has_it() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&report_with_recovery(400_000.0, 0.05, true, None)).unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("no recovery section"), "{err}");
+    }
+
+    #[test]
+    fn zero_or_invalid_throughput_is_diagnosed_not_silently_passed() {
+        // Zero baseline events: previously floor=0 made everything pass.
+        let base = BenchSummary::parse(&report(0.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("zero or invalid"), "{err}");
+        // Zero current recovery redo rate: diagnosed too.
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&report_with_recovery(
+            400_000.0,
+            0.05,
+            true,
+            Some((4e6, 0.0)),
+        ))
+        .unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("recovery-redo"), "{err}");
+        assert!(err.contains("zero or invalid"), "{err}");
     }
 
     #[test]

@@ -17,16 +17,24 @@
 //! scheduling. `--date` overrides the UTC date stamp (reproducible
 //! output for tests).
 //!
+//! Besides the forward path, the report carries a `recovery` section:
+//! crash-point snapshots (mid-forwarding, mid-flush, post-wrap) of the
+//! paper's FW and EL recovery subjects are serialised through the block
+//! codec and priced through `scan_bytes` + `recover` — per-point scan
+//! and redo throughput, allocations per record, corrupt-block rate.
+//!
 //! `--baseline PATH` turns the run into a regression gate: the fresh
-//! report's top-level throughput is compared against the committed
-//! snapshot at PATH and the process exits non-zero when it regressed by
-//! more than `--max-regress` percent (default 30).
+//! report's top-level throughput *and* the recovery section's aggregate
+//! scan/redo rates are compared against the committed snapshot at PATH
+//! and the process exits non-zero when any regressed by more than
+//! `--max-regress` percent (default 30).
 
 use elog_harness::benchgate::{check_regression, BenchSummary};
+use elog_harness::crashpoint::bench_recovery;
 use elog_harness::experiments::registry;
 use elog_harness::sweep::{run_scenarios, ExecOptions};
 use elog_sim::perfstats::{allocations, CountingAlloc};
-use elog_sim::PerfStats;
+use elog_sim::{PerfStats, RecoveryStats};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -216,6 +224,54 @@ fn main() {
             perf.search.events_per_probe(),
         );
     }
+    // The recovery bench: crash-point snapshots of the paper's FW and EL
+    // recovery subjects, scanned + redone under the same wall/allocation
+    // instrumentation as the forward path. Aggregates precede the
+    // per-point rows so benchgate's first-occurrence scan (scoped to
+    // after the "recovery" key) reads the aggregate, not a row.
+    let points = bench_recovery(opts.quick);
+    let mut agg = RecoveryStats::default();
+    let mut per_point = String::new();
+    for (i, p) in points.iter().enumerate() {
+        agg.merge(&p.stats);
+        eprintln!("[bench] recovery {}: {}", p.label, p.stats);
+        let _ = write!(
+            per_point,
+            "{}      {{\"name\": {}, \"at_secs\": {:.3}, \"iters\": {}, \"blocks\": {}, \
+             \"decoded_blocks\": {}, \"corrupt_blocks\": {}, \"records\": {}, \
+             \"scan_blocks_per_sec\": {:.0}, \"scan_records_per_sec\": {:.0}, \
+             \"redo_records_per_sec\": {:.0}, \"allocations_per_record\": {:.3}, \
+             \"verified\": {}, \"modelled_secs\": {:.3}}}",
+            if i == 0 { "" } else { ",\n" },
+            json_str(&p.label),
+            p.at.as_secs_f64(),
+            p.iters,
+            p.stats.blocks,
+            p.stats.decoded_blocks,
+            p.stats.corrupt_blocks,
+            p.stats.records,
+            p.stats.scan_blocks_per_sec(),
+            p.stats.scan_records_per_sec(),
+            p.stats.redo_records_per_sec(),
+            p.stats.allocations_per_record(),
+            p.verified,
+            p.modelled.as_secs_f64(),
+        );
+    }
+    let all_verified = points.iter().all(|p| p.verified);
+    let recovery_json = format!(
+        "  \"recovery\": {{\n    \"scan_blocks_per_sec\": {:.0},\n    \
+         \"scan_records_per_sec\": {:.0},\n    \"redo_records_per_sec\": {:.0},\n    \
+         \"allocations_per_record\": {:.3},\n    \"corrupt_block_rate\": {:.4},\n    \
+         \"verified\": {},\n    \"points\": [\n{}\n    ]\n  }}",
+        agg.scan_blocks_per_sec(),
+        agg.scan_records_per_sec(),
+        agg.redo_records_per_sec(),
+        agg.allocations_per_record(),
+        agg.corrupt_block_rate(),
+        all_verified,
+        per_point,
+    );
     let wall_all = t_all.elapsed();
 
     let json = format!(
@@ -224,7 +280,7 @@ fn main() {
          \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
          \"allocations_per_event\": {:.3},\n  \"probe_events\": {},\n  \
          \"replay_hit_rate\": {:.3},\n  \"memo_hit_rate\": {:.3},\n  \
-         \"experiments\": [\n{}\n  ]\n}}",
+         \"experiments\": [\n{}\n  ],\n{}\n}}",
         json_str(&date),
         opts.quick,
         opts.jobs,
@@ -237,6 +293,7 @@ fn main() {
         total.search.replay_hit_rate(),
         total.search.memo_hit_rate(),
         per_experiment,
+        recovery_json,
     );
 
     let path = opts

@@ -1,0 +1,310 @@
+//! Crash-point injection: price the recovery path the way the logging
+//! path is priced.
+//!
+//! The forward path has a bench snapshot and a regression gate; this
+//! module gives the recovery crate the same treatment. A live EL or FW
+//! run is advanced to configurable *crash points* — fractions of its
+//! horizon named for the phase the log is in when the crash lands — and
+//! at each point the durable disk surface is snapshotted, serialised
+//! through the byte-level codec ([`elog_storage::encode_surface`]), and
+//! handed to `scan_bytes` + `recover` under wall-clock and allocation
+//! instrumentation ([`RecoveryStats`]). The scan/redo passes are repeated
+//! a fixed number of iterations so the tiny paper-scale log (28–123
+//! blocks) produces stable rates.
+//!
+//! Crash-point semantics (documented in DESIGN.md):
+//!
+//! * **mid-forwarding** (25 % of the horizon): generation 0 has wrapped
+//!   and is actively forwarding long-transaction records; the last
+//!   generation is still filling. The surface holds the most *stale*
+//!   gen0 copies relative to its size.
+//! * **mid-flush** (55 %): steady state — flush traffic, commits and
+//!   forwarding all in flight. The snapshot additionally carries one
+//!   *torn duplicate* of the newest durable block (a half-written
+//!   recirculation copy, exactly what a crash mid-write leaves), so the
+//!   corrupt-block path is exercised and priced; the intact original is
+//!   still present, so recovery must still verify.
+//! * **post-wrap** (95 %): every generation, recirculation included, has
+//!   cycled; stale physical copies are at their steady-state maximum and
+//!   the scan's dedup does the most work.
+//!
+//! Because the engine supports incremental `run_until`, one forward run
+//! per configuration serves all its crash points: the run is paused at
+//! each point, snapshotted, and resumed.
+
+use crate::runner::{build_model, RunConfig};
+use elog_model::{CommittedOracle, StableDb};
+use elog_recovery::{
+    check_against_oracle, estimate_recovery_time, recover, scan_bytes, RecoveryTimeModel,
+};
+use elog_sim::perfstats::allocations;
+use elog_sim::{RecoveryStats, SimTime};
+use elog_storage::{encode_surface, surface_bytes};
+use std::time::{Duration, Instant};
+
+/// One named crash instant, as a fraction of the run's horizon.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPoint {
+    /// Phase name ("mid-forwarding", "mid-flush", "post-wrap").
+    pub name: &'static str,
+    /// Fraction of the horizon at which the crash lands, in `(0, 1]`.
+    pub fraction: f64,
+    /// Inject a torn duplicate of the newest durable block into the
+    /// snapshot (the half-written copy a real crash leaves mid-write).
+    pub torn_tail: bool,
+}
+
+/// Gen0 wrapped, long records forwarding, last generation still filling.
+pub const MID_FORWARDING: CrashPoint = CrashPoint {
+    name: "mid-forwarding",
+    fraction: 0.25,
+    torn_tail: false,
+};
+
+/// Steady state with flush traffic in flight; carries a torn duplicate.
+pub const MID_FLUSH: CrashPoint = CrashPoint {
+    name: "mid-flush",
+    fraction: 0.55,
+    torn_tail: true,
+};
+
+/// Every generation (recirculation included) has cycled.
+pub const POST_WRAP: CrashPoint = CrashPoint {
+    name: "post-wrap",
+    fraction: 0.95,
+    torn_tail: false,
+};
+
+/// The bench's standard crash points, in run order.
+pub const DEFAULT_POINTS: [CrashPoint; 3] = [MID_FORWARDING, MID_FLUSH, POST_WRAP];
+
+/// The frozen disk image of one crash: everything recovery is allowed to
+/// see (serialised durable blocks + the stable database) plus the ground
+/// truth it is checked against.
+#[derive(Clone, Debug)]
+pub struct CrashSnapshot {
+    /// `config/point` label ("el/mid-flush").
+    pub label: String,
+    /// Virtual time of the crash.
+    pub at: SimTime,
+    /// Every durable block, serialised through the block codec.
+    pub encoded: Vec<Vec<u8>>,
+    /// Version stamps of the flushed database at the crash.
+    pub stable: StableDb,
+    /// Acknowledged commits up to the crash (ground truth).
+    pub oracle: CommittedOracle,
+    /// Configured blocks per generation (for the 1993 time model).
+    pub per_gen_blocks: Vec<u64>,
+}
+
+/// Advances one run through `points` (sorted by fraction), snapshotting
+/// the disk surface at each. `label` prefixes each snapshot's label.
+pub fn snapshot_run(label: &str, cfg: &RunConfig, points: &[CrashPoint]) -> Vec<CrashSnapshot> {
+    let cfg = cfg.clone().track_oracle(true);
+    let mut sorted: Vec<CrashPoint> = points.to_vec();
+    sorted.sort_by(|a, b| a.fraction.total_cmp(&b.fraction));
+    let mut engine = build_model(&cfg);
+    let mut snaps = Vec::with_capacity(sorted.len());
+    for p in sorted {
+        assert!(
+            p.fraction > 0.0 && p.fraction <= 1.0,
+            "crash fraction {} out of (0, 1]",
+            p.fraction
+        );
+        let at = SimTime::from_micros((cfg.runtime.as_micros() as f64 * p.fraction) as u64);
+        engine.run_until(at);
+        let model = engine.model();
+        let mut encoded = encode_surface(&model.lm.log_surface());
+        if p.torn_tail {
+            tear_newest(&mut encoded);
+        }
+        let metrics = model.lm.metrics(at);
+        snaps.push(CrashSnapshot {
+            label: format!("{label}/{}", p.name),
+            at,
+            encoded,
+            stable: model.lm.stable_db().clone(),
+            oracle: model.oracle.clone(),
+            per_gen_blocks: metrics.per_gen_blocks,
+        });
+    }
+    snaps
+}
+
+/// Appends a corrupted duplicate of the last non-empty encoded block: the
+/// torn half-write a crash leaves on the device. The intact original
+/// stays in the image, so recovery still has every record — the duplicate
+/// only exercises (and prices) the corrupt-block rejection path.
+fn tear_newest(encoded: &mut Vec<Vec<u8>>) {
+    if let Some(last) = encoded.iter().rev().find(|b| !b.is_empty()).cloned() {
+        let mut torn = last;
+        let n = torn.len();
+        torn[n - 1] ^= 0xFF;
+        encoded.push(torn);
+    }
+}
+
+/// One crash point's recovery price.
+#[derive(Clone, Debug)]
+pub struct RecoveryBenchPoint {
+    /// `config/point` label.
+    pub label: String,
+    /// Virtual time of the crash.
+    pub at: SimTime,
+    /// Scan/redo iterations the counters aggregate over.
+    pub iters: u32,
+    /// Aggregated scan + redo counters.
+    pub stats: RecoveryStats,
+    /// The reconstruction matched the oracle of acknowledged commits.
+    pub verified: bool,
+    /// Modelled 1993-hardware recovery time for this log shape.
+    pub modelled: SimTime,
+}
+
+/// Prices recovery from one snapshot: `iters` byte-level scan + REDO
+/// passes under wall and allocation instrumentation, one verification.
+pub fn bench_snapshot(snap: &CrashSnapshot, iters: u32) -> RecoveryBenchPoint {
+    assert!(iters > 0, "at least one iteration");
+    let mut stats = RecoveryStats::default();
+    let mut verified = false;
+    let mut modelled = SimTime::ZERO;
+    let mut min_scan = Duration::MAX;
+    let mut min_redo = Duration::MAX;
+    for i in 0..iters {
+        let alloc0 = allocations();
+        let t0 = Instant::now();
+        let (image, _errors) = scan_bytes(snap.encoded.iter().map(Vec::as_slice));
+        let scan_wall = t0.elapsed();
+        let t1 = Instant::now();
+        let state = recover(&image, &snap.stable);
+        let redo_wall = t1.elapsed();
+        let allocs = allocations() - alloc0;
+        min_scan = min_scan.min(scan_wall);
+        min_redo = min_redo.min(redo_wall);
+        stats.merge(&RecoveryStats {
+            blocks: image.stats.blocks,
+            decoded_blocks: image.stats.decoded_blocks,
+            corrupt_blocks: image.stats.corrupt_blocks,
+            records: image.stats.records,
+            bytes: surface_bytes(&snap.encoded),
+            redone: state.redone,
+            recovered_objects: state.versions.len() as u64,
+            allocations: allocs,
+            scan_wall,
+            redo_wall,
+        });
+        if i == 0 {
+            // Every iteration reconstructs the same state; verify once.
+            verified = check_against_oracle(&snap.oracle, &state).is_ok();
+            modelled = estimate_recovery_time(
+                &RecoveryTimeModel::default(),
+                &snap.per_gen_blocks,
+                image.stats.records,
+            );
+        }
+    }
+    // Price throughput from the best iteration, not the sum: a single
+    // scan/redo pass is microseconds at paper scale, so summed wall is
+    // dominated by scheduler preemption and would make the regression
+    // gate fire on noise. The minimum is the classic noise-robust
+    // estimator for a deterministic kernel — every iteration does
+    // identical work, so the fastest one is the least-perturbed one.
+    stats.scan_wall = min_scan * iters;
+    stats.redo_wall = min_redo * iters;
+    RecoveryBenchPoint {
+        label: snap.label.clone(),
+        at: snap.at,
+        iters,
+        stats,
+        verified,
+        modelled,
+    }
+}
+
+/// The full recovery bench: the paper's FW and EL recovery subjects (the
+/// published minima the `recovery time` experiment crashes), each crashed
+/// at [`DEFAULT_POINTS`] and priced with [`bench_snapshot`].
+pub fn bench_recovery(quick: bool) -> Vec<RecoveryBenchPoint> {
+    let cfg = if quick {
+        crate::experiments::recovery_time::Config::quick()
+    } else {
+        crate::experiments::recovery_time::Config::paper()
+    };
+    // The redo pass is microseconds at these log sizes; enough iterations
+    // that scheduler jitter stays well inside the 30 % regression gate.
+    let iters = if quick { 384 } else { 768 };
+    let mut out = Vec::new();
+    for (label, run_cfg) in [("el", cfg.el_run()), ("fw", cfg.fw_run())] {
+        for snap in snapshot_run(label, &run_cfg, &DEFAULT_POINTS) {
+            out.push(bench_snapshot(&snap, iters));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::recovery_time::Config;
+
+    #[test]
+    fn snapshots_grow_along_the_run_and_all_points_verify() {
+        let cfg = Config::quick();
+        let snaps = snapshot_run("el", &cfg.el_run(), &DEFAULT_POINTS);
+        assert_eq!(snaps.len(), 3);
+        assert!(snaps.windows(2).all(|w| w[0].at < w[1].at));
+        for snap in &snaps {
+            assert!(!snap.encoded.is_empty(), "{}: empty surface", snap.label);
+            assert!(!snap.oracle.is_empty(), "{}: nothing committed", snap.label);
+            let point = bench_snapshot(snap, 2);
+            assert!(point.verified, "{} failed verification", point.label);
+            assert_eq!(point.stats.records % 2, 0, "two equal iterations");
+            assert!(point.stats.recovered_objects > 0);
+            assert!(point.modelled > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_counted_but_loses_no_state() {
+        let cfg = Config::quick();
+        let snaps = snapshot_run("el", &cfg.el_run(), &[MID_FLUSH]);
+        let point = bench_snapshot(&snaps[0], 1);
+        assert_eq!(point.stats.corrupt_blocks, 1, "torn duplicate rejected");
+        assert_eq!(
+            point.stats.blocks,
+            point.stats.decoded_blocks + point.stats.corrupt_blocks,
+            "attempted = decoded + corrupt"
+        );
+        assert!(point.stats.corrupt_block_rate() > 0.0);
+        assert!(point.verified, "torn duplicate must not lose state");
+    }
+
+    #[test]
+    fn firewall_surface_is_larger_and_still_recovers() {
+        let cfg = Config::quick();
+        let el = bench_snapshot(
+            &snapshot_run("el", &cfg.el_run(), &[POST_WRAP]).remove(0),
+            1,
+        );
+        let fw = bench_snapshot(
+            &snapshot_run("fw", &cfg.fw_run(), &[POST_WRAP]).remove(0),
+            1,
+        );
+        assert!(fw.verified && el.verified);
+        assert!(
+            fw.stats.blocks > el.stats.blocks,
+            "FW ({}) must out-block EL ({})",
+            fw.stats.blocks,
+            el.stats.blocks
+        );
+        assert!(fw.modelled > el.modelled, "less log ⇒ faster recovery");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let cfg = Config::quick();
+        let a = snapshot_run("el", &cfg.el_run(), &[MID_FORWARDING]).remove(0);
+        let b = snapshot_run("el", &cfg.el_run(), &[MID_FORWARDING]).remove(0);
+        assert_eq!(a.encoded, b.encoded, "same run ⇒ byte-identical surface");
+    }
+}

@@ -51,28 +51,40 @@ impl Config {
             runtime_secs: 20,
         }
     }
+
+    /// The FW run this configuration crashes (also the crashpoint bench's
+    /// firewall subject).
+    pub fn fw_run(&self) -> RunConfig {
+        let mut fw = RunConfig::paper(
+            self.frac_long,
+            ElConfig::firewall(self.fw_blocks, FlushConfig::default()),
+        )
+        .runtime_secs(self.runtime_secs);
+        fw.el.memory_model = MemoryModel::Firewall;
+        fw
+    }
+
+    /// The EL run this configuration crashes (also the crashpoint bench's
+    /// ephemeral subject).
+    pub fn el_run(&self) -> RunConfig {
+        let log = LogConfig {
+            generation_blocks: self.el_geometry.clone(),
+            recirculation: true,
+            ..LogConfig::default()
+        };
+        RunConfig::paper(
+            self.frac_long,
+            ElConfig::ephemeral(log, FlushConfig::default()),
+        )
+        .runtime_secs(self.runtime_secs)
+    }
 }
 
 /// Two crash-recovery scenarios — the FW minimum and the EL minimum —
 /// sharing a seed index so both crash the same workload.
 pub fn scenarios_for(cfg: &Config) -> Vec<Scenario> {
-    let mut fw = RunConfig::paper(
-        cfg.frac_long,
-        ElConfig::firewall(cfg.fw_blocks, FlushConfig::default()),
-    )
-    .runtime_secs(cfg.runtime_secs);
-    fw.el.memory_model = MemoryModel::Firewall;
-
-    let log = LogConfig {
-        generation_blocks: cfg.el_geometry.clone(),
-        recirculation: true,
-        ..LogConfig::default()
-    };
-    let el = RunConfig::paper(
-        cfg.frac_long,
-        ElConfig::ephemeral(log, FlushConfig::default()),
-    )
-    .runtime_secs(cfg.runtime_secs);
+    let fw = cfg.fw_run();
+    let el = cfg.el_run();
 
     vec![
         Scenario::new(

@@ -23,6 +23,7 @@
 
 pub mod autotune;
 pub mod benchgate;
+pub mod crashpoint;
 pub mod experiments;
 pub mod minspace;
 pub mod report;
@@ -30,6 +31,9 @@ pub mod runner;
 pub mod sweep;
 
 pub use autotune::{autotune, TuneResult};
+pub use crashpoint::{
+    bench_recovery, bench_snapshot, snapshot_run, CrashPoint, CrashSnapshot, RecoveryBenchPoint,
+};
 pub use minspace::{
     el_min_last_gen, el_min_space, el_min_space_jobs, fw_min_space, MinSpaceResult,
 };

@@ -31,6 +31,18 @@ pub struct ObjectVersion {
     pub ts: SimTime,
 }
 
+impl ObjectVersion {
+    /// Total order on versions of one object: newest timestamp wins, and
+    /// equal-timestamp versions from distinct transactions are ordered by
+    /// `(tid, seq)`. Every newest-version decision in the system (stable
+    /// installs, oracle commits, recovery REDO) compares by this key, so
+    /// the winner never depends on arrival or scan order.
+    #[inline]
+    pub fn order_key(&self) -> (SimTime, Tid, u32) {
+        (self.ts, self.tid, self.seq)
+    }
+}
+
 /// The on-disk stable version of the database.
 #[derive(Clone, Debug, Default)]
 pub struct StableDb {
@@ -46,10 +58,13 @@ impl StableDb {
 
     /// Installs a flushed update. Returns `false` (and ignores the write)
     /// when the stable version is already as new — which can happen when a
-    /// superseded flush request was already in flight on a drive.
+    /// superseded flush request was already in flight on a drive. "As new"
+    /// is the [`ObjectVersion::order_key`] total order, so the surviving
+    /// version is independent of flush-completion order even when two
+    /// transactions stamped the same instant.
     pub fn install(&mut self, oid: Oid, version: ObjectVersion) -> bool {
         let newer = match self.versions.get(&oid) {
-            Some(v) => version.ts > v.ts,
+            Some(v) => version.order_key() > v.order_key(),
             None => true,
         };
         if newer {
@@ -102,11 +117,15 @@ impl CommittedOracle {
     }
 
     /// Records a committed transaction's updates: `(oid, seq, record ts)`.
+    /// The newest version per object is kept under the
+    /// [`ObjectVersion::order_key`] total order — the same order recovery
+    /// uses, so ground truth is well-defined even when two transactions
+    /// updated one object at the same instant.
     pub fn commit(&mut self, tid: Tid, updates: impl IntoIterator<Item = (Oid, u32, SimTime)>) {
         for (oid, seq, ts) in updates {
             let v = ObjectVersion { tid, seq, ts };
             match self.versions.get_mut(&oid) {
-                Some(existing) if existing.ts >= v.ts => {}
+                Some(existing) if existing.order_key() >= v.order_key() => {}
                 Some(existing) => *existing = v,
                 None => {
                     self.versions.insert(oid, v);
@@ -182,6 +201,41 @@ mod tests {
         assert_eq!(db.version(Oid(1)).unwrap().tid, Tid(3));
         assert_eq!(db.installs(), 2);
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn order_key_is_total_on_equal_timestamps() {
+        // ts dominates; tid breaks ts ties; seq breaks (ts, tid) ties.
+        assert!(v(1, 1, 20).order_key() > v(9, 9, 10).order_key());
+        assert!(v(2, 1, 10).order_key() > v(1, 9, 10).order_key());
+        assert!(v(1, 2, 10).order_key() > v(1, 1, 10).order_key());
+        assert_eq!(v(3, 4, 5).order_key(), v(3, 4, 5).order_key());
+    }
+
+    #[test]
+    fn install_breaks_timestamp_ties_by_tid_seq() {
+        // Two flushes stamped the same instant: the (tid, seq)-greater one
+        // wins regardless of completion order.
+        let mut a = StableDb::new();
+        a.install(Oid(1), v(1, 1, 10));
+        a.install(Oid(1), v(2, 1, 10));
+        let mut b = StableDb::new();
+        b.install(Oid(1), v(2, 1, 10));
+        b.install(Oid(1), v(1, 1, 10));
+        assert_eq!(a.version(Oid(1)), b.version(Oid(1)));
+        assert_eq!(a.version(Oid(1)).unwrap().tid, Tid(2));
+    }
+
+    #[test]
+    fn oracle_breaks_timestamp_ties_by_tid_seq() {
+        let mut a = CommittedOracle::new();
+        a.commit(Tid(1), [(Oid(5), 1, SimTime::from_millis(10))]);
+        a.commit(Tid(2), [(Oid(5), 1, SimTime::from_millis(10))]);
+        let mut b = CommittedOracle::new();
+        b.commit(Tid(2), [(Oid(5), 1, SimTime::from_millis(10))]);
+        b.commit(Tid(1), [(Oid(5), 1, SimTime::from_millis(10))]);
+        assert_eq!(a.version(Oid(5)), b.version(Oid(5)));
+        assert_eq!(a.version(Oid(5)).unwrap().tid, Tid(2));
     }
 
     #[test]

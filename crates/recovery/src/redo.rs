@@ -5,12 +5,15 @@
 //! database") makes recovery a pure fold:
 //!
 //! * a transaction is committed iff the scan found its COMMIT record;
-//! * for each object, the newest committed update (by record timestamp)
-//!   is the candidate version;
-//! * the candidate is applied only if it is newer than the stable
-//!   database's version stamp — stale physical copies (superseded or
-//!   already-flushed updates whose commit records were collected) lose
-//!   this comparison automatically.
+//! * for each object, the newest committed update is the candidate
+//!   version — "newest" under the total order
+//!   [`ObjectVersion::order_key`] `(ts, tid, seq)`, so equal-timestamp
+//!   updates from distinct transactions resolve identically no matter
+//!   which generation's physical copy the scan ingested first;
+//! * the candidate is applied only if it is newer (same total order) than
+//!   the stable database's version stamp — stale physical copies
+//!   (superseded or already-flushed updates whose commit records were
+//!   collected) lose this comparison automatically.
 
 use crate::scan::LogImage;
 use elog_model::{ObjectVersion, Oid, StableDb};
@@ -55,17 +58,19 @@ pub fn recover(image: &LogImage, stable: &StableDb) -> RecoveredState {
             ts: d.ts,
         };
         match candidates.get_mut(&d.oid) {
-            Some(existing) if existing.ts >= v.ts => {}
+            Some(existing) if existing.order_key() >= v.order_key() => {}
             Some(existing) => *existing = v,
             None => {
                 candidates.insert(d.oid, v);
             }
         }
     }
-    // Apply candidates newer than the stable version.
+    // Apply candidates newer than the stable version (same total order as
+    // the candidate fold, so a scan-order permutation cannot flip the
+    // stable-vs-log verdict either).
     for (oid, v) in candidates {
         match out.versions.get(&oid) {
-            Some(stable_v) if stable_v.ts >= v.ts => out.skipped_stale += 1,
+            Some(stable_v) if stable_v.order_key() >= v.order_key() => out.skipped_stale += 1,
             _ => {
                 out.versions.insert(oid, v);
                 out.redone += 1;
@@ -148,6 +153,52 @@ mod tests {
         let image = scan_blocks([&g]);
         let out = recover(&image, &StableDb::new());
         assert_eq!(out.versions[&Oid(5)].tid, Tid(2), "ts 30 beats 10 and 20");
+    }
+
+    #[test]
+    fn equal_timestamp_candidates_resolve_by_tid_regardless_of_scan_order() {
+        // Two committed updates of the same object stamped the same
+        // instant, physically in different generations: whichever
+        // generation is ingested first, the (ts, tid, seq)-greatest wins.
+        let fwd = block(vec![data(2, 5, 1, 10), commit(2, 11)]);
+        let rev = block(vec![data(7, 5, 1, 10), commit(7, 11)]);
+        let a = recover(&scan_blocks([&fwd, &rev]), &StableDb::new());
+        let b = recover(&scan_blocks([&rev, &fwd]), &StableDb::new());
+        assert_eq!(a.versions[&Oid(5)], b.versions[&Oid(5)]);
+        assert_eq!(a.versions[&Oid(5)].tid, Tid(7), "max (ts, tid, seq) wins");
+    }
+
+    #[test]
+    fn equal_timestamp_same_tid_resolves_by_seq() {
+        let g = block(vec![data(1, 5, 3, 10), data(1, 5, 1, 10), commit(1, 11)]);
+        let out = recover(&scan_blocks([&g]), &StableDb::new());
+        assert_eq!(out.versions[&Oid(5)].seq, 3);
+    }
+
+    #[test]
+    fn stable_vs_log_tie_uses_same_total_order() {
+        // Log copy shares the stable version's timestamp but has a higher
+        // tid: the log wins under (ts, tid, seq); a *lower* tid loses.
+        let g = block(vec![data(9, 5, 1, 10), commit(9, 11)]);
+        let image = scan_blocks([&g]);
+        let mut stable = StableDb::new();
+        stable.install(
+            Oid(5),
+            ObjectVersion {
+                tid: Tid(3),
+                seq: 1,
+                ts: SimTime::from_millis(10),
+            },
+        );
+        let out = recover(&image, &stable);
+        assert_eq!(out.versions[&Oid(5)].tid, Tid(9));
+        assert_eq!(out.redone, 1);
+
+        let g = block(vec![data(1, 5, 1, 10), commit(1, 11)]);
+        let image = scan_blocks([&g]);
+        let out = recover(&image, &stable);
+        assert_eq!(out.versions[&Oid(5)].tid, Tid(3));
+        assert_eq!(out.skipped_stale, 1);
     }
 
     #[test]

@@ -25,8 +25,11 @@ pub struct LogImage {
 /// Scan accounting.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ScanStats {
-    /// Blocks read.
+    /// Blocks the scan *attempted* to read — decoded plus corrupt. This is
+    /// the denominator of the corruption rate and the blocks/s throughput.
     pub blocks: u64,
+    /// Blocks that decoded cleanly and contributed records.
+    pub decoded_blocks: u64,
     /// Records examined (before deduplication).
     pub records: u64,
     /// Duplicate physical copies skipped.
@@ -37,9 +40,21 @@ pub struct ScanStats {
     pub payload_bytes: u64,
 }
 
+impl ScanStats {
+    /// Fraction of attempted blocks the codec rejected, in `[0, 1]`.
+    pub fn corrupt_rate(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.corrupt_blocks as f64 / self.blocks as f64
+        }
+    }
+}
+
 impl LogImage {
     fn ingest(&mut self, block: &Block) {
         self.stats.blocks += 1;
+        self.stats.decoded_blocks += 1;
         self.stats.payload_bytes += u64::from(block.payload_used);
         for rec in &block.records {
             self.stats.records += 1;
@@ -100,6 +115,9 @@ where
         match decode_block(bytes) {
             Ok(block) => image.ingest(&block),
             Err(e) => {
+                // A corrupt block was still an attempted read: count it in
+                // `blocks` so totals and the corruption *rate* are right.
+                image.stats.blocks += 1;
                 image.stats.corrupt_blocks += 1;
                 errors.push(e);
             }
@@ -199,6 +217,19 @@ mod tests {
         assert_eq!(errors.len(), 1);
         assert_eq!(image.data.len(), 1);
         assert!(image.committed.contains(&Tid(1)));
+        // Attempted = decoded + corrupt; the rate uses attempted blocks.
+        assert_eq!(image.stats.blocks, 2);
+        assert_eq!(image.stats.decoded_blocks, 1);
+        assert!((image.stats.corrupt_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_rate_zero_on_clean_or_empty_scans() {
+        assert_eq!(ScanStats::default().corrupt_rate(), 0.0);
+        let g0 = vec![block(0, 0, vec![data(1, 5, 1, 1)])];
+        let image = scan_blocks([&g0]);
+        assert_eq!(image.stats.corrupt_rate(), 0.0);
+        assert_eq!(image.stats.blocks, image.stats.decoded_blocks);
     }
 
     #[test]

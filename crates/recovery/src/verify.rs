@@ -42,7 +42,10 @@ pub fn check_against_oracle(oracle: &CommittedOracle, recovered: &RecoveredState
         match recovered.versions.get(&oid) {
             None => report.missing.push(oid),
             Some(got) if got == &want => report.exact += 1,
-            Some(got) if got.ts > want.ts => report.acceptable_newer += 1,
+            // "Newer" is the (ts, tid, seq) total order recovery itself
+            // uses, so an equal-timestamp winner from a higher tid is
+            // classified the same way the REDO pass ranked it.
+            Some(got) if got.order_key() > want.order_key() => report.acceptable_newer += 1,
             Some(_) => report.stale.push(oid),
         }
     }
@@ -98,6 +101,20 @@ mod tests {
         let rep = check_against_oracle(&o, &r);
         assert!(rep.is_ok());
         assert_eq!(rep.acceptable_newer, 1);
+    }
+
+    #[test]
+    fn equal_timestamp_higher_tid_is_newer_lower_is_stale() {
+        let o = oracle_with(&[(1, v(5, 10))]);
+        let newer = recovered_with(&[(1, v(8, 10))]);
+        let rep = check_against_oracle(&o, &newer);
+        assert!(rep.is_ok());
+        assert_eq!(rep.acceptable_newer, 1);
+
+        let stale = recovered_with(&[(1, v(2, 10))]);
+        let rep = check_against_oracle(&o, &stale);
+        assert!(!rep.is_ok());
+        assert_eq!(rep.stale, vec![Oid(1)]);
     }
 
     #[test]

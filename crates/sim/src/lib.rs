@@ -47,7 +47,7 @@ pub mod trace;
 pub use engine::{Engine, Simulate};
 pub use event::{EventQueue, EventToken};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use perfstats::{CountingAlloc, PerfStats, QueueStats, SearchStats};
+pub use perfstats::{CountingAlloc, PerfStats, QueueStats, RecoveryStats, SearchStats};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, MaxGauge, MeanAccumulator, TimeWeighted};
 pub use time::SimTime;

@@ -106,6 +106,109 @@ impl SearchStats {
     }
 }
 
+/// Counters of one crash-recovery pass: what the byte-level scan read and
+/// what the single-pass REDO rebuilt, with the wall clock of each phase.
+/// The recovery bench assembles one per crash point; `merge` folds them
+/// into the aggregate the regression gate compares.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryStats {
+    /// Blocks the scan attempted to decode (decoded + corrupt).
+    pub blocks: u64,
+    /// Blocks that decoded cleanly.
+    pub decoded_blocks: u64,
+    /// Blocks the codec rejected (torn/corrupt).
+    pub corrupt_blocks: u64,
+    /// Records examined by the scan (before deduplication).
+    pub records: u64,
+    /// Log bytes the scan examined.
+    pub bytes: u64,
+    /// Objects whose version came from the log in the REDO pass.
+    pub redone: u64,
+    /// Objects in the reconstructed state (stable ∪ redone).
+    pub recovered_objects: u64,
+    /// Heap allocations across scan + redo (0 without a counting
+    /// allocator installed).
+    pub allocations: u64,
+    /// Wall clock of the byte-level scan.
+    pub scan_wall: Duration,
+    /// Wall clock of the single-pass REDO.
+    pub redo_wall: Duration,
+}
+
+impl RecoveryStats {
+    /// Attempted blocks per scan second (0 for an unmeasured pass).
+    pub fn scan_blocks_per_sec(&self) -> f64 {
+        per_sec(self.blocks, self.scan_wall)
+    }
+
+    /// Scanned records per scan second (0 for an unmeasured pass).
+    pub fn scan_records_per_sec(&self) -> f64 {
+        per_sec(self.records, self.scan_wall)
+    }
+
+    /// Scanned records per REDO second (0 for an unmeasured pass).
+    pub fn redo_records_per_sec(&self) -> f64 {
+        per_sec(self.records, self.redo_wall)
+    }
+
+    /// Fraction of attempted blocks the codec rejected, in `[0, 1]`.
+    pub fn corrupt_block_rate(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.corrupt_blocks as f64 / self.blocks as f64
+        }
+    }
+
+    /// Heap allocations per scanned record (0 when nothing was scanned).
+    pub fn allocations_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.allocations as f64 / self.records as f64
+        }
+    }
+
+    /// Accumulates another pass (wall times add: serial composition).
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.blocks += other.blocks;
+        self.decoded_blocks += other.decoded_blocks;
+        self.corrupt_blocks += other.corrupt_blocks;
+        self.records += other.records;
+        self.bytes += other.bytes;
+        self.redone += other.redone;
+        self.recovered_objects += other.recovered_objects;
+        self.allocations += other.allocations;
+        self.scan_wall += other.scan_wall;
+        self.redo_wall += other.redo_wall;
+    }
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scan {:.2} Mrec/s ({} blocks, {} corrupt), redo {:.2} Mrec/s \
+             ({} records, {} objects)",
+            self.scan_records_per_sec() / 1e6,
+            self.blocks,
+            self.corrupt_blocks,
+            self.redo_records_per_sec() / 1e6,
+            self.records,
+            self.recovered_objects,
+        )
+    }
+}
+
+fn per_sec(count: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
 /// One run's performance aggregate: how much simulation happened and how
 /// fast the host executed it.
 #[derive(Clone, Copy, Debug, Default)]
@@ -263,6 +366,35 @@ mod tests {
         assert!((a.search.replay_hit_rate() - 0.75).abs() < 1e-12);
         assert!((a.search.memo_hit_rate() - 0.2).abs() < 1e-12);
         assert!((a.search.events_per_probe() - 225.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_stats_rates_and_merge() {
+        assert_eq!(RecoveryStats::default().scan_records_per_sec(), 0.0);
+        assert_eq!(RecoveryStats::default().corrupt_block_rate(), 0.0);
+        assert_eq!(RecoveryStats::default().allocations_per_record(), 0.0);
+        let mut a = RecoveryStats {
+            blocks: 100,
+            decoded_blocks: 95,
+            corrupt_blocks: 5,
+            records: 2_000,
+            allocations: 500,
+            scan_wall: Duration::from_millis(10),
+            redo_wall: Duration::from_millis(5),
+            ..RecoveryStats::default()
+        };
+        assert!((a.scan_blocks_per_sec() - 10_000.0).abs() < 1e-6);
+        assert!((a.scan_records_per_sec() - 200_000.0).abs() < 1e-6);
+        assert!((a.redo_records_per_sec() - 400_000.0).abs() < 1e-6);
+        assert!((a.corrupt_block_rate() - 0.05).abs() < 1e-12);
+        assert!((a.allocations_per_record() - 0.25).abs() < 1e-12);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.blocks, 200);
+        assert_eq!(a.records, 4_000);
+        assert_eq!(a.scan_wall, Duration::from_millis(20));
+        // Doubling counts and wall leaves the rates unchanged.
+        assert!((a.scan_records_per_sec() - 200_000.0).abs() < 1e-6);
     }
 
     #[test]
