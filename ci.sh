@@ -16,6 +16,13 @@ cargo build --offline --release --workspace
 echo "== cargo test =="
 cargo test -q --offline --workspace
 
+echo "== 3-gen lattice smoke =="
+# A small-basket N-generation minimum-space search end to end: exercises
+# the lattice search (anchor pass, pruning bound, dominance memo) through
+# the public CLI. Any panic — infeasible lattice, memo/probe mismatch —
+# fails CI.
+./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2
+
 echo "== bench --quick (perf regression gate) =="
 # One quick pass over the whole experiment basket — including the
 # crash-recovery bench (crash-point snapshots scanned + redone) — gated

@@ -7,7 +7,10 @@
 //! comparison reads the *top-level* `events_per_sec`; the recovery
 //! comparison reads the `recovery` section's aggregate scan and redo
 //! record rates (measured on the same machine as the baseline, so the
-//! ratios are meaningful even though the absolute figures are not).
+//! ratios are meaningful even though the absolute figures are not). The
+//! `lattice` section (min-space search probe counts, memo hit rate,
+//! pruned volume) is parsed and echoed for context but never rate-gated:
+//! its numbers are workload properties, not host throughput.
 //!
 //! The reports are written by `bench` itself with a fixed field order, so
 //! a full JSON parser would be dead weight: the extractor scans for the
@@ -28,6 +31,19 @@ pub struct RecoverySummary {
     pub redo_records_per_sec: f64,
 }
 
+/// The lattice-search aggregates the gate reports (context only — probe
+/// counts and pruned volume are workload properties, not host throughput,
+/// so they are never rate-gated).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatticeSummary {
+    /// Probe verdicts across every min-space search (simulated + memoised).
+    pub probes: f64,
+    /// Fraction of verdicts answered by the dominance memo.
+    pub memo_hit_rate: f64,
+    /// Lattice points excluded by the pruning bound without a probe.
+    pub pruned_volume: f64,
+}
+
 /// The fields the gate compares.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BenchSummary {
@@ -41,6 +57,9 @@ pub struct BenchSummary {
     /// the recovery bench (schema drift the gate must diagnose, not trip
     /// over).
     pub recovery: Option<RecoverySummary>,
+    /// The lattice section's aggregates; `None` when the report predates
+    /// the lattice search (warn, matching the recovery precedent).
+    pub lattice: Option<LatticeSummary>,
 }
 
 /// Extracts the number following `"key": ` at its first occurrence at or
@@ -75,11 +94,23 @@ impl BenchSummary {
                 redo_records_per_sec: scan_number_from(json, i, "redo_records_per_sec")?,
             })
         });
+        // Same pattern for the lattice section: its aggregate fields are
+        // the first occurrences after the section marker (the marker
+        // itself follows the experiments array, so per-experiment rows
+        // cannot shadow it).
+        let lattice = json.find("\"lattice\":").and_then(|i| {
+            Some(LatticeSummary {
+                probes: scan_number_from(json, i, "probes")?,
+                memo_hit_rate: scan_number_from(json, i, "memo_hit_rate")?,
+                pruned_volume: scan_number_from(json, i, "pruned_volume")?,
+            })
+        });
         Some(BenchSummary {
             events_per_sec: scan_number(json, "events_per_sec")?,
             allocations_per_event: scan_number(json, "allocations_per_event")?,
             quick,
             recovery,
+            lattice,
         })
     }
 }
@@ -158,6 +189,39 @@ pub fn check_regression(
         "allocs/event {:.3} vs {:.3}",
         current.allocations_per_event, baseline.allocations_per_event,
     ));
+    // The lattice section is context, not a gated rate: probe counts and
+    // pruned volume are properties of the search workload, which changes
+    // legitimately whenever an experiment's ceilings do. Presence is
+    // still checked like the recovery section — losing the section is
+    // schema drift; a baseline predating it only warns.
+    match (&baseline.lattice, &current.lattice) {
+        (base, Some(cur)) => {
+            parts.push(format!(
+                "lattice {:.0} probes ({:.0}% memoized, {:.0} pruned)",
+                cur.probes,
+                cur.memo_hit_rate * 100.0,
+                cur.pruned_volume
+            ));
+            if base.is_none() {
+                parts.push(
+                    "lattice baseline missing: baseline predates the lattice \
+                     section — refresh the committed BENCH snapshot"
+                        .to_string(),
+                );
+            }
+        }
+        (Some(_), None) => {
+            return Err(
+                "current report has no lattice section but the baseline does: \
+                 the lattice stats were lost (schema drift) — fix bench before \
+                 trusting this gate"
+                    .to_string(),
+            );
+        }
+        (None, None) => {
+            parts.push("lattice not reported: neither report carries a lattice section".to_string())
+        }
+    }
     match (&baseline.recovery, &current.recovery) {
         (Some(base), Some(cur)) => {
             parts.push(gate_rate(
@@ -197,13 +261,22 @@ pub fn check_regression(
 mod tests {
     use super::*;
 
-    fn report_with_recovery(
+    fn report_full(
         events_per_sec: f64,
         allocs: f64,
         quick: bool,
         recovery: Option<(f64, f64)>,
+        lattice: Option<(f64, f64, f64)>,
     ) -> String {
-        // Same field order as the bench binary's writer.
+        // Same field order as the bench binary's writer: experiments,
+        // then lattice, then recovery.
+        let lattice_section = match lattice {
+            Some((probes, rate, pruned)) => format!(
+                ",\n  \"lattice\": {{\n    \"probes\": {probes},\n    \"memo_hits\": 40,\n    \
+                 \"memo_hit_rate\": {rate},\n    \"pruned_volume\": {pruned}\n  }}"
+            ),
+            None => String::new(),
+        };
         let recovery_section = match recovery {
             Some((scan, redo)) => format!(
                 ",\n  \"recovery\": {{\n    \"scan_blocks_per_sec\": 120000,\n    \
@@ -220,8 +293,24 @@ mod tests {
              \"events_per_sec\": {events_per_sec},\n  \"allocations\": 400000,\n  \
              \"allocations_per_event\": {allocs},\n  \"probe_events\": 6000000,\n  \
              \"replay_hit_rate\": 0.9,\n  \"memo_hit_rate\": 0.2,\n  \
-             \"experiments\": [\n    {{\"name\": \"x\", \"events_per_sec\": 99, \
-             \"allocations_per_event\": 99.0}}\n  ]{recovery_section}\n}}"
+             \"experiments\": [\n    {{\"name\": \"x\", \"probes\": 7, \
+             \"events_per_sec\": 99, \"allocations_per_event\": 99.0}}\n  \
+             ]{lattice_section}{recovery_section}\n}}"
+        )
+    }
+
+    fn report_with_recovery(
+        events_per_sec: f64,
+        allocs: f64,
+        quick: bool,
+        recovery: Option<(f64, f64)>,
+    ) -> String {
+        report_full(
+            events_per_sec,
+            allocs,
+            quick,
+            recovery,
+            Some((200.0, 0.35, 5000.0)),
         )
     }
 
@@ -243,6 +332,61 @@ mod tests {
         let r = s.recovery.expect("recovery section present");
         assert_eq!(r.scan_records_per_sec, 4e6);
         assert_eq!(r.redo_records_per_sec, 8e6);
+    }
+
+    #[test]
+    fn parse_reads_lattice_aggregates_not_experiment_rows() {
+        // The experiment row carries "probes": 7; the lattice section's
+        // own probes must win because parsing is scoped past the marker.
+        let s = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let l = s.lattice.expect("lattice section present");
+        assert_eq!(l.probes, 200.0);
+        assert_eq!(l.memo_hit_rate, 0.35);
+        assert_eq!(l.pruned_volume, 5000.0);
+    }
+
+    #[test]
+    fn parse_tolerates_missing_lattice_section() {
+        let s = BenchSummary::parse(&report_full(400_000.0, 0.05, true, Some((4e6, 8e6)), None))
+            .unwrap();
+        assert!(s.lattice.is_none());
+    }
+
+    #[test]
+    fn lattice_baseline_missing_warns_and_passes() {
+        let base = BenchSummary::parse(&report_full(400_000.0, 0.05, true, Some((4e6, 8e6)), None))
+            .unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(
+            verdict.contains("predates the lattice section"),
+            "{verdict}"
+        );
+    }
+
+    #[test]
+    fn lattice_lost_from_current_fails() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&report_full(400_000.0, 0.05, true, Some((4e6, 8e6)), None))
+            .unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("no lattice section"), "{err}");
+    }
+
+    #[test]
+    fn lattice_stats_are_reported_but_never_gated() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        // Wildly different lattice numbers: still a pass (context only).
+        let cur = BenchSummary::parse(&report_full(
+            400_000.0,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((9_000.0, 0.01, 2.0)),
+        ))
+        .unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("lattice 9000 probes"), "{verdict}");
     }
 
     #[test]

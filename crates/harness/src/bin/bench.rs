@@ -17,7 +17,9 @@
 //! scheduling. `--date` overrides the UTC date stamp (reproducible
 //! output for tests).
 //!
-//! Besides the forward path, the report carries a `recovery` section:
+//! Besides the forward path, the report carries a `lattice` section — the
+//! aggregate min-space search counters (probes, memo hits, pruned lattice
+//! volume), report-only context for the gate — and a `recovery` section:
 //! crash-point snapshots (mid-forwarding, mid-flush, post-wrap) of the
 //! paper's FW and EL recovery subjects are serialised through the block
 //! codec and priced through `scan_bytes` + `recover` — per-point scan
@@ -258,6 +260,18 @@ fn main() {
             p.modelled.as_secs_f64(),
         );
     }
+    // Lattice-search aggregate: every min-space search (2-gen and N-gen
+    // alike) routes through the lattice subsystem, so the totals' search
+    // counters summarise it directly. Report-only — benchgate reads it
+    // for context but does not rate-gate it.
+    let lattice_json = format!(
+        "  \"lattice\": {{\n    \"probes\": {},\n    \"memo_hits\": {},\n    \
+         \"memo_hit_rate\": {:.3},\n    \"pruned_volume\": {}\n  }}",
+        total.search.sim_probes + total.search.memo_hits,
+        total.search.memo_hits,
+        total.search.memo_hit_rate(),
+        total.search.pruned_volume,
+    );
     let all_verified = points.iter().all(|p| p.verified);
     let recovery_json = format!(
         "  \"recovery\": {{\n    \"scan_blocks_per_sec\": {:.0},\n    \
@@ -280,7 +294,7 @@ fn main() {
          \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
          \"allocations_per_event\": {:.3},\n  \"probe_events\": {},\n  \
          \"replay_hit_rate\": {:.3},\n  \"memo_hit_rate\": {:.3},\n  \
-         \"experiments\": [\n{}\n  ],\n{}\n}}",
+         \"experiments\": [\n{}\n  ],\n{},\n{}\n}}",
         json_str(&date),
         opts.quick,
         opts.jobs,
@@ -293,6 +307,7 @@ fn main() {
         total.search.replay_hit_rate(),
         total.search.memo_hit_rate(),
         per_experiment,
+        lattice_json,
         recovery_json,
     );
 

@@ -14,11 +14,15 @@
 //!   --flush-ms T            flush transfer time, ms (default 25)
 //!   --seed N                random seed (default 0x5EED1993)
 //!   --min-space             search the minimum geometry instead of running
+//!                           (1 gen: firewall binary search; 2: gen0 scan ×
+//!                           gen1 bisection; 3+: lattice search with the
+//!                           given sizes as per-axis ceilings)
 //!   --jobs N                worker threads for --min-space probes
 //!                           (default: the machine's parallelism)
 //! ```
 
 use elog_core::{ElConfig, MemoryModel};
+use elog_harness::latsearch::{lattice_min_space, LatticeLimits, MAX_AXES};
 use elog_harness::minspace::{el_min_space_jobs, fw_min_space};
 use elog_harness::runner::{run, RunConfig};
 use elog_model::{FlushConfig, LogConfig};
@@ -78,10 +82,19 @@ fn parse() -> Args {
         match arg.as_str() {
             "--mode" => a.mode_fw = next(&mut it, "--mode") == "fw",
             "--gens" => {
-                a.gens = next(&mut it, "--gens")
+                let list = next(&mut it, "--gens");
+                if list.trim().is_empty() {
+                    eprintln!("--gens needs at least one generation size (N ≥ 1)");
+                    std::process::exit(2);
+                }
+                a.gens = list
                     .split(',')
-                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
                     .collect();
+                if a.gens.len() > MAX_AXES {
+                    eprintln!("--gens supports at most {MAX_AXES} generations");
+                    std::process::exit(2);
+                }
             }
             "--fw-blocks" => {
                 a.mode_fw = true;
@@ -165,11 +178,27 @@ fn main() {
                 "minimum FW log: {} blocks ({} probes)",
                 r.total_blocks, r.probes
             );
-        } else {
+        } else if a.gens.len() == 2 {
             let r = el_min_space_jobs(&cfg, 48, 1024, a.jobs);
             println!(
                 "minimum EL log: {:?} = {} blocks ({} probes)",
                 r.generation_blocks, r.total_blocks, r.probes
+            );
+        } else {
+            // N ≥ 3: the given sizes act as per-axis scan ceilings.
+            let limits = LatticeLimits {
+                prefix_max: a.gens[..a.gens.len() - 1].to_vec(),
+                last_limit: 1024,
+            };
+            let r = lattice_min_space(&cfg, &limits, a.jobs);
+            println!(
+                "minimum EL log ({} gens): {:?} = {} blocks ({} probes, {} memoized, {} pruned)",
+                a.gens.len(),
+                r.generation_blocks,
+                r.total_blocks,
+                r.probes,
+                r.search.memo_hits,
+                r.search.pruned_volume
             );
         }
         return;

@@ -1,29 +1,33 @@
 //! Reproduces every figure and numbered result of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--only NAME] [--csv DIR] [--progress]
+//! repro [--quick] [--jobs N] [--gens N] [--only NAME] [--csv DIR] [--progress]
 //! ```
 //!
 //! `--quick` shrinks runtimes and sweeps for a fast smoke pass; the default
 //! runs the full 500-second, all-mix configuration (several minutes).
 //! `--jobs N` sets the sweep executor's worker count (default: the
 //! machine's parallelism); stdout is byte-identical for every value.
-//! `--only NAME` keeps only experiments whose name contains NAME
-//! (case-insensitive), e.g. `--only recovery`. `--csv DIR` additionally
-//! writes each table as a CSV file. `--progress` reports per-scenario
-//! completion on stderr.
+//! `--gens N` sets the generation count of the fig_ngen lattice
+//! comparison (default 3; 1 ≤ N ≤ 8 — `1` degenerates to the firewall
+//! search, `2` to the two-generation search). `--only NAME` keeps only
+//! experiments whose name contains NAME (case-insensitive), e.g.
+//! `--only recovery`. `--csv DIR` additionally writes each table as a CSV
+//! file. `--progress` reports per-scenario completion on stderr.
 //!
 //! Every experiment is a [`elog_harness::sweep::Experiment`]; this binary
 //! just flattens the registry's scenarios through one executor pool and
 //! prints each experiment's tables in registry order.
 
-use elog_harness::experiments::registry;
+use elog_harness::experiments::registry_with;
+use elog_harness::latsearch::MAX_AXES;
 use elog_harness::report::Table;
 use elog_harness::sweep::{run_experiments, ExecOptions};
 use std::io::Write as _;
 
 struct Options {
     quick: bool,
+    gens: usize,
     only: Option<String>,
     csv_dir: Option<std::path::PathBuf>,
     exec: ExecOptions,
@@ -32,6 +36,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
+        gens: 3,
         only: None,
         csv_dir: None,
         exec: ExecOptions::default(),
@@ -55,6 +60,27 @@ fn parse_args() -> Options {
                 }
                 opts.exec.jobs = n;
             }
+            "--gens" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--gens requires a generation count (an integer ≥ 1)");
+                        std::process::exit(2);
+                    });
+                if n < 1 {
+                    eprintln!("--gens {n} is invalid: a log needs at least one generation (N ≥ 1)");
+                    std::process::exit(2);
+                }
+                if n > MAX_AXES {
+                    eprintln!(
+                        "--gens {n} is invalid: the lattice search supports at most \
+                         {MAX_AXES} generations"
+                    );
+                    std::process::exit(2);
+                }
+                opts.gens = n;
+            }
             "--only" => {
                 let name = args.next().unwrap_or_else(|| {
                     eprintln!("--only requires an experiment name fragment");
@@ -71,7 +97,8 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--jobs N] [--only NAME] [--csv DIR] [--progress]"
+                    "usage: repro [--quick] [--jobs N] [--gens N] [--only NAME] \
+                     [--csv DIR] [--progress]"
                 );
                 std::process::exit(0);
             }
@@ -103,12 +130,12 @@ fn main() {
         if opts.quick { " [quick mode]" } else { "" }
     );
 
-    let mut experiments = registry();
+    let mut experiments = registry_with(opts.gens);
     if let Some(only) = &opts.only {
         experiments.retain(|e| e.name().to_lowercase().contains(only));
         if experiments.is_empty() {
             eprintln!("--only {only:?} matches no experiment; registry:");
-            for e in registry() {
+            for e in registry_with(opts.gens) {
                 eprintln!("  {}", e.name());
             }
             std::process::exit(2);

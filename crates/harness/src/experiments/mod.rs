@@ -10,6 +10,7 @@
 pub mod ablations;
 pub mod fig4_6;
 pub mod fig7;
+pub mod fig_ngen;
 pub mod hybrid;
 pub mod rates;
 pub mod recovery_time;
@@ -17,8 +18,11 @@ pub mod scarce;
 
 use crate::sweep::Experiment;
 
-/// All experiments, in the report's print order.
-pub fn registry() -> Vec<Box<dyn Experiment>> {
+/// All experiments, in the report's print order, with the lattice
+/// comparison ([`fig_ngen`]) at `gens` generations (`repro --gens`).
+/// It prints last so reports from earlier `--gens`-less builds remain a
+/// byte-identical prefix.
+pub fn registry_with(gens: usize) -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(rates::Rates),
         Box::new(fig4_6::Fig46),
@@ -27,5 +31,11 @@ pub fn registry() -> Vec<Box<dyn Experiment>> {
         Box::new(recovery_time::RecoveryTime),
         Box::new(ablations::Ablations),
         Box::new(hybrid::Hybrid),
+        Box::new(fig_ngen::FigNgen { gens }),
     ]
+}
+
+/// [`registry_with`] at the default three-generation lattice comparison.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    registry_with(3)
 }

@@ -20,11 +20,13 @@
 //! | §4 update-rate prose (210→280/s) | [`experiments::rates`] |
 //! | §4/§6 recovery-time claim | [`experiments::recovery_time`] |
 //! | Design-choice ablations (ours) | [`experiments::ablations`] |
+//! | §5 N-generation extension | [`experiments::fig_ngen`] |
 
 pub mod autotune;
 pub mod benchgate;
 pub mod crashpoint;
 pub mod experiments;
+pub mod latsearch;
 pub mod minspace;
 pub mod report;
 pub mod runner;
@@ -34,6 +36,7 @@ pub use autotune::{autotune, TuneResult};
 pub use crashpoint::{
     bench_recovery, bench_snapshot, snapshot_run, CrashPoint, CrashSnapshot, RecoveryBenchPoint,
 };
+pub use latsearch::{lattice_min_space, Geometry, LatticeLimits, MemoHit};
 pub use minspace::{
     el_min_last_gen, el_min_space, el_min_space_jobs, fw_min_space, MinSpaceResult,
 };

@@ -11,31 +11,24 @@
 //! changes what reaches gen1 — so the search scans gen0 and binary-searches
 //! the minimal gen1 for each, parallelised across threads.
 //!
-//! # Probe engine
-//!
-//! Every probe varies only `generation_blocks`; the workload is fixed. So
-//! probes run through a [`Prober`]: the first kill-free probe captures the
-//! workload into a [`WorkloadTrace`], and every later probe *replays* it —
-//! no RNG, no oid picker, no per-event allocation (see
-//! `elog_workload::trace` for the exactness argument). The prober also
-//! keeps one scratch [`RunConfig`] per search instead of cloning the
-//! configuration for every probe.
-//!
-//! On top of replay, the EL search memoises probe verdicts across its two
-//! passes using per-axis monotonicity: a surviving `[g0, g1]` dominates
-//! every `[g0, g1' ≥ g1]`, and a killing `[g0, g1]` dominates every
-//! component-wise smaller geometry. The memo is built during the anchor
-//! pass and *frozen* before the gen0 scan, so the scan's probe counts are
-//! identical for every `jobs` setting. (The exhaustive fallback scan does
-//! not consult the memo: it exists precisely for the corner where
-//! monotonicity across gen0 is distrusted.)
+//! The two-generation EL search is the one-prefix-axis slice of the
+//! general N-generation lattice search ([`crate::latsearch`]):
+//! [`el_min_space_traced`] is a thin call into
+//! [`lattice_min_space_traced`] with `prefix_max = [g0_max]`. The probe
+//! engine (trace capture/replay, scratch-config reuse), the verdict memo
+//! and its dominance rules, the anchor-bound pruning, and the
+//! jobs-invariance argument all live there now; this module keeps the
+//! paper-facing entry points (FW binary search, fixed-gen0 searches, the
+//! base configurations).
 
-use crate::runner::{run, run_capture, RunConfig};
+use crate::latsearch::{lattice_min_space_traced, min_last_for, Geometry, LatticeLimits, Prober};
+use crate::runner::RunConfig;
 use elog_core::ElConfig;
 use elog_sim::{SearchStats, SimTime};
 use elog_workload::WorkloadTrace;
 use std::sync::Arc;
-use std::sync::Mutex;
+
+pub use crate::latsearch::MemoHit;
 
 /// Outcome of a minimum-space search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,133 +42,6 @@ pub struct MinSpaceResult {
     pub probes: u32,
     /// Probe-engine counters (replay/memo hits, probe event volume).
     pub search: SearchStats,
-}
-
-/// One memo-answered verdict, for soundness audits: the probed geometry
-/// and the verdict the memo derived for it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MemoHit {
-    /// The geometry the verdict was derived for.
-    pub blocks: [u32; 2],
-    /// `true` = survives (no kills), `false` = kills.
-    pub survived: bool,
-}
-
-/// Verdicts observed by the EL anchor pass, queried under per-axis
-/// monotonicity (see module docs).
-#[derive(Clone, Debug, Default)]
-struct Memo {
-    /// Geometries that killed: dominate everything component-wise smaller.
-    kills: Vec<(u32, u32)>,
-    /// Geometries that survived: dominate the same gen0 at larger gen1.
-    survives: Vec<(u32, u32)>,
-}
-
-impl Memo {
-    fn record(&mut self, g0: u32, g1: u32, survived: bool) {
-        if survived {
-            self.survives.push((g0, g1));
-        } else {
-            self.kills.push((g0, g1));
-        }
-    }
-
-    fn lookup(&self, g0: u32, g1: u32) -> Option<bool> {
-        if self.kills.iter().any(|&(k0, k1)| g0 <= k0 && g1 <= k1) {
-            return Some(false);
-        }
-        if self.survives.iter().any(|&(s0, s1)| g0 == s0 && g1 >= s1) {
-            return Some(true);
-        }
-        None
-    }
-}
-
-/// Runs geometry probes for one search: a reusable scratch configuration
-/// plus the capture/replay machinery (see module docs).
-struct Prober {
-    cfg: RunConfig,
-    trace: Option<Arc<WorkloadTrace>>,
-    /// Probe verdicts requested, simulated or memoised.
-    probes: u32,
-    stats: SearchStats,
-    /// Memo-derived verdicts, recorded for soundness audits.
-    memo_trail: Vec<MemoHit>,
-}
-
-impl Prober {
-    fn new(base: &RunConfig, trace: Option<Arc<WorkloadTrace>>) -> Self {
-        let mut cfg = base.clone();
-        cfg.stop_on_kill = true;
-        cfg.track_oracle = false;
-        cfg.trace = None;
-        Prober {
-            cfg,
-            trace,
-            probes: 0,
-            stats: SearchStats::default(),
-            memo_trail: Vec::new(),
-        }
-    }
-
-    /// True when `blocks` survives the whole horizon without kills.
-    fn survives(&mut self, blocks: &[u32]) -> bool {
-        self.probes += 1;
-        self.stats.sim_probes += 1;
-        self.cfg.el.log.generation_blocks.clear();
-        self.cfg.el.log.generation_blocks.extend_from_slice(blocks);
-        let result = match &self.trace {
-            Some(trace) => {
-                self.stats.replay_probes += 1;
-                self.cfg.trace = Some(trace.clone());
-                let r = run(&self.cfg);
-                self.cfg.trace = None;
-                r
-            }
-            None => {
-                // First probe(s) run live; the first kill-free one hands
-                // back the trace every later probe replays.
-                let (r, trace) = run_capture(&self.cfg);
-                self.trace = trace;
-                r
-            }
-        };
-        self.stats.probe_events += result.perf.events;
-        result.killed == 0
-    }
-
-    /// Memo-aware probe: consults `memo` first, simulating only on a miss.
-    fn survives_memo(&mut self, memo: &Memo, g0: u32, g1: u32) -> bool {
-        match memo.lookup(g0, g1) {
-            Some(verdict) => {
-                self.probes += 1;
-                self.stats.memo_hits += 1;
-                self.memo_trail.push(MemoHit {
-                    blocks: [g0, g1],
-                    survived: verdict,
-                });
-                verdict
-            }
-            None => self.survives(&[g0, g1]),
-        }
-    }
-
-    /// Folds another prober's counters into this one (order-independent,
-    /// so parallel scans stay deterministic).
-    fn absorb(&mut self, other: Prober) {
-        self.probes += other.probes;
-        self.stats.merge(&other.stats);
-        self.memo_trail.extend(other.memo_trail);
-    }
-
-    fn into_result(self, generation_blocks: Vec<u32>) -> MinSpaceResult {
-        MinSpaceResult {
-            total_blocks: generation_blocks.iter().sum(),
-            generation_blocks,
-            probes: self.probes,
-            search: self.stats,
-        }
-    }
 }
 
 /// True when the configuration survives the whole horizon without kills.
@@ -229,30 +95,6 @@ pub fn fw_min_space_traced(
     (p.into_result(vec![hi]), trace)
 }
 
-/// For a fixed gen0, the smallest last generation with no kills, or `None`
-/// if even `hi_limit` kills. `probe` answers "does `[g0, g1]` survive?".
-fn min_g1_for(
-    probe: &mut impl FnMut(u32, u32) -> bool,
-    gap_blocks: u32,
-    g0: u32,
-    hi_limit: u32,
-) -> Option<u32> {
-    let mut lo = gap_blocks + 1;
-    let mut hi = hi_limit;
-    if !probe(g0, hi) {
-        return None;
-    }
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if probe(g0, mid) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    Some(hi)
-}
-
 /// Minimum-total two-generation EL geometry on the default thread count.
 ///
 /// See [`el_min_space_jobs`].
@@ -266,14 +108,6 @@ pub fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceRes
 /// for each, on a `jobs`-wide work queue ([`crate::sweep::parallel_map`]).
 /// Returns the geometry minimising the total (ties prefer the larger gen0,
 /// which gives lower bandwidth). The result is independent of `jobs`.
-///
-/// Pruning: the search first anchors at `g0_max`. Because ties prefer the
-/// larger gen0, every other gen0 must *strictly* beat the anchor's total to
-/// win, so its gen1 search can be capped at `anchor_total - g0 - 1`. A
-/// gen0 whose capped probe still kills is rejected by that single probe —
-/// and killing probes stop early, so rejection is cheap. The pruning only
-/// skips geometries that provably cannot win; the selected geometry is
-/// identical to the exhaustive scan's.
 pub fn el_min_space_jobs(
     base: &RunConfig,
     g0_max: u32,
@@ -287,6 +121,9 @@ pub fn el_min_space_jobs(
 /// captured workload trace (for the caller's measured run) and the audit
 /// trail of memo-derived verdicts. `use_memo = false` simulates every
 /// probe (the memo-soundness tests compare against this).
+///
+/// This is the two-generation slice of the lattice search — see
+/// [`lattice_min_space_traced`] for the pruning and memo mechanics.
 pub fn el_min_space_traced(
     base: &RunConfig,
     g0_max: u32,
@@ -294,136 +131,11 @@ pub fn el_min_space_traced(
     jobs: usize,
     use_memo: bool,
 ) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
-    let k = base.el.log.gap_blocks;
-    let mut anchor_prober = Prober::new(base, None);
-    let mut memo = Memo::default();
-    let anchor = {
-        let p = &mut anchor_prober;
-        let m = &mut memo;
-        min_g1_for(
-            &mut |g0, g1| {
-                let v = p.survives(&[g0, g1]);
-                m.record(g0, g1, v);
-                v
-            },
-            k,
-            g0_max,
-            g1_limit,
-        )
+    let limits = LatticeLimits {
+        prefix_max: vec![g0_max],
+        last_limit: g1_limit,
     };
-    let Some(anchor_g1) = anchor else {
-        // Even the biggest gen0 cannot fit: fall back to the exhaustive
-        // scan (min gen1 need not be monotone in gen0, so a smaller gen0
-        // may still be feasible). No memo there — see module docs.
-        return el_min_space_scan(base, g0_max, g1_limit, jobs, anchor_prober);
-    };
-    // The memo is frozen here: the scan reads the anchor pass's verdicts
-    // but records none of its own (within one gen0's binary search no
-    // probe ever dominates a later one), keeping probe counts independent
-    // of `jobs`.
-    let memo = memo;
-    let trace = anchor_prober.trace.clone();
-    let bound = g0_max + anchor_g1;
-    let g0_range: Vec<u32> = (k + 1..g0_max).collect();
-    // Workers draw scratch probers from a pool instead of cloning the
-    // configuration per gen0; every prober already replays the anchor's
-    // trace.
-    let pool: Mutex<Vec<Prober>> = Mutex::new(Vec::new());
-    let results = crate::sweep::parallel_map(&g0_range, jobs, |_, &g0| {
-        let mut p = pool
-            .lock()
-            .expect("prober pool")
-            .pop()
-            .unwrap_or_else(|| Prober::new(base, trace.clone()));
-        let cap = (bound - g0).saturating_sub(1).min(g1_limit);
-        let g1 = if cap < k + 1 {
-            None // any feasible gen1 would already tie or exceed the bound
-        } else {
-            min_g1_for(
-                &mut |g0, g1| {
-                    if use_memo {
-                        p.survives_memo(&memo, g0, g1)
-                    } else {
-                        p.survives(&[g0, g1])
-                    }
-                },
-                k,
-                g0,
-                cap,
-            )
-        };
-        pool.lock().expect("prober pool").push(p);
-        (g0, g1)
-    });
-    for p in pool.into_inner().expect("prober pool") {
-        anchor_prober.absorb(p);
-    }
-    let mut best = (g0_max, anchor_g1);
-    for r in results {
-        let (g0, g1) = r.expect("probe simulation panicked");
-        if let Some(g1) = g1 {
-            // Capped strictly below the bound, so this beats the anchor;
-            // among the capped candidates the usual rule applies.
-            let (b0, b1) = best;
-            if (b0, b1) == (g0_max, anchor_g1)
-                || g0 + g1 < b0 + b1
-                || (g0 + g1 == b0 + b1 && g0 > b0)
-            {
-                best = (g0, g1);
-            }
-        }
-    }
-    let (g0, g1) = best;
-    let trace = anchor_prober.trace.clone();
-    let trail = std::mem::take(&mut anchor_prober.memo_trail);
-    (anchor_prober.into_result(vec![g0, g1]), trace, trail)
-}
-
-/// The exhaustive gen0 scan (no pruning bound); used when the anchor gen0
-/// is infeasible.
-fn el_min_space_scan(
-    base: &RunConfig,
-    g0_max: u32,
-    g1_limit: u32,
-    jobs: usize,
-    mut acc: Prober,
-) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
-    let k = base.el.log.gap_blocks;
-    let trace = acc.trace.clone();
-    let g0_range: Vec<u32> = (k + 1..g0_max).collect();
-    let pool: Mutex<Vec<Prober>> = Mutex::new(Vec::new());
-    let results = crate::sweep::parallel_map(&g0_range, jobs, |_, &g0| {
-        let mut p = pool
-            .lock()
-            .expect("prober pool")
-            .pop()
-            .unwrap_or_else(|| Prober::new(base, trace.clone()));
-        let g1 = min_g1_for(&mut |g0, g1| p.survives(&[g0, g1]), k, g0, g1_limit);
-        pool.lock().expect("prober pool").push(p);
-        (g0, g1)
-    });
-    for p in pool.into_inner().expect("prober pool") {
-        acc.absorb(p);
-    }
-    let mut best: Option<(u32, u32)> = None;
-    for r in results {
-        let (g0, g1) = r.expect("probe simulation panicked");
-        if let Some(g1) = g1 {
-            let better = match best {
-                None => true,
-                // Prefer smaller total; on ties prefer larger gen0 (less
-                // forwarded traffic, lower bandwidth).
-                Some((b0, b1)) => g0 + g1 < b0 + b1 || (g0 + g1 == b0 + b1 && g0 > b0),
-            };
-            if better {
-                best = Some((g0, g1));
-            }
-        }
-    }
-    let (g0, g1) = best.expect("no feasible EL geometry within limits");
-    let trace = acc.trace.clone();
-    let trail = std::mem::take(&mut acc.memo_trail);
-    (acc.into_result(vec![g0, g1]), trace, trail)
+    lattice_min_space_traced(base, &limits, jobs, use_memo)
 }
 
 /// With gen0 fixed, the smallest last generation with no kills (Figure 7's
@@ -445,7 +157,12 @@ pub fn el_min_last_gen_traced(
 ) -> Option<(MinSpaceResult, Option<Arc<WorkloadTrace>>)> {
     let mut p = Prober::new(base, trace);
     let k = base.el.log.gap_blocks;
-    let g1 = min_g1_for(&mut |g0, g1| p.survives(&[g0, g1]), k, g0, g1_limit)?;
+    let g1 = min_last_for(
+        &mut |g: &Geometry| p.survives(g.as_slice()),
+        k,
+        &[g0],
+        g1_limit,
+    )?;
     let trace = p.trace.clone();
     Some((p.into_result(vec![g0, g1]), trace))
 }
@@ -517,10 +234,10 @@ mod tests {
         let base = paper_base(0.4, false, 20);
         let mut p = Prober::new(&base, None);
         assert_eq!(
-            min_g1_for(
-                &mut |g0, g1| p.survives(&[g0, g1]),
+            min_last_for(
+                &mut |g: &Geometry| p.survives(g.as_slice()),
                 base.el.log.gap_blocks,
-                3,
+                &[3],
                 4
             ),
             None
@@ -528,19 +245,20 @@ mod tests {
     }
 
     #[test]
-    fn memo_dominance_rules() {
-        let mut m = Memo::default();
-        m.record(24, 9, false); // kill at [24, 9]
-        m.record(24, 10, true); // survive at [24, 10]
-                                // Kill dominance: component-wise smaller geometries also kill.
-        assert_eq!(m.lookup(20, 9), Some(false));
-        assert_eq!(m.lookup(24, 8), Some(false));
-        assert_eq!(m.lookup(10, 3), Some(false));
-        // Survive dominance: same gen0, bigger gen1.
-        assert_eq!(m.lookup(24, 11), Some(true));
-        assert_eq!(m.lookup(24, 10), Some(true));
-        // No dominance: different gen0 above the kill, or bigger g1.
-        assert_eq!(m.lookup(23, 10), None);
-        assert_eq!(m.lookup(25, 9), None);
+    fn two_gen_search_matches_lattice_slice() {
+        // Degeneracy: the 2-gen entry point is exactly the one-axis
+        // lattice search — identical geometry AND identical probe count.
+        let base = paper_base(0.05, false, 15);
+        let via_wrapper = el_min_space_jobs(&base, 16, 96, 1);
+        let (via_lattice, _, _) = lattice_min_space_traced(
+            &base,
+            &LatticeLimits {
+                prefix_max: vec![16],
+                last_limit: 96,
+            },
+            1,
+            true,
+        );
+        assert_eq!(via_wrapper, via_lattice);
     }
 }

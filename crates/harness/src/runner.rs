@@ -114,6 +114,21 @@ impl RunConfig {
         self
     }
 
+    /// Resizes the geometry to `n` generations, repeating the youngest
+    /// retained size to grow (so `[18, 16]` → `[18, 16, 16]`) and
+    /// truncating to shrink. Lattice searches overwrite the sizes anyway;
+    /// this fixes only the dimensionality.
+    ///
+    /// # Panics
+    /// Panics when `n` is 0 — a log needs at least one generation.
+    pub fn num_generations(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a log needs at least one generation (got n = 0)");
+        let g = &mut self.el.log.generation_blocks;
+        let last = *g.last().expect("validated configs have a generation");
+        g.resize(n, last);
+        self
+    }
+
     /// Sets (or clears) the workload trace to replay.
     pub fn with_trace(mut self, trace: Option<Arc<WorkloadTrace>>) -> Self {
         self.trace = trace;
@@ -314,11 +329,9 @@ pub struct RunResult {
 pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimModel<L>> {
     let driver = match &cfg.trace {
         Some(trace) => {
-            assert_eq!(
-                trace.horizon(),
-                cfg.runtime,
-                "trace horizon must match the run's horizon"
-            );
+            trace
+                .check_replayable(cfg.runtime)
+                .expect("trace horizon must match the run's horizon");
             WorkloadDriver::replay(cfg.mix.clone(), trace.clone(), cfg.track_oracle)
         }
         None => {
@@ -487,6 +500,14 @@ mod tests {
             r.ended_at < SimTime::from_secs(60),
             "must stop at first kill"
         );
+    }
+
+    #[test]
+    fn num_generations_resizes_geometry() {
+        let cfg = quick_cfg(0.05, vec![18, 16], false, 5).num_generations(3);
+        assert_eq!(cfg.el.log.generation_blocks, vec![18, 16, 16]);
+        let cfg = cfg.num_generations(1);
+        assert_eq!(cfg.el.log.generation_blocks, vec![18]);
     }
 
     #[test]

@@ -72,6 +72,17 @@ pub enum Job {
         /// gen1 binary-search ceiling.
         g1_limit: u32,
     },
+    /// Minimum N-generation EL space search over the geometry lattice
+    /// ([`crate::latsearch`]), then a measured run at the minimum.
+    ElLatticeMin {
+        /// Base configuration (geometry is overwritten by the search;
+        /// its dimensionality comes from `prefix_max.len() + 1`).
+        base: RunConfig,
+        /// Scan ceiling per prefix axis (generations `0..N-2`).
+        prefix_max: Vec<u32>,
+        /// Binary-search ceiling for the last generation.
+        last_limit: u32,
+    },
     /// The paper's recirculation procedure: size gen0 by the
     /// no-recirculation minimum, then shrink the last generation with
     /// recirculation on, then measure at the minimum. `base` must have
@@ -339,6 +350,28 @@ fn run_job(scenario: &Scenario) -> Output {
             // Serial inner search: parallelism belongs to the scenario
             // level here, not nested inside one scenario.
             let (min, trace, _) = minspace::el_min_space_traced(&base, *g0_max, *g1_limit, 1, true);
+            let mut measured = run(&base
+                .clone()
+                .geometry(min.generation_blocks.clone())
+                .stop_on_kill(false)
+                .with_trace(trace));
+            measured.perf.search = min.search;
+            Output::MinSpace { min, measured }
+        }
+        Job::ElLatticeMin {
+            base,
+            prefix_max,
+            last_limit,
+        } => {
+            let base = seeded(base).num_generations(prefix_max.len() + 1);
+            let limits = crate::latsearch::LatticeLimits {
+                prefix_max: prefix_max.clone(),
+                last_limit: *last_limit,
+            };
+            // Serial inner search, like ElMin: parallelism belongs to the
+            // scenario level.
+            let (min, trace, _) =
+                crate::latsearch::lattice_min_space_traced(&base, &limits, 1, true);
             let mut measured = run(&base
                 .clone()
                 .geometry(min.generation_blocks.clone())

@@ -66,6 +66,9 @@ pub struct SearchStats {
     pub memo_hits: u64,
     /// Events delivered across all probe simulations.
     pub probe_events: u64,
+    /// Lattice points excluded by the search's pruning bound without a
+    /// probe (skipped last-axis range, summed over all scan columns).
+    pub pruned_volume: u64,
 }
 
 impl SearchStats {
@@ -103,6 +106,7 @@ impl SearchStats {
         self.replay_probes += other.replay_probes;
         self.memo_hits += other.memo_hits;
         self.probe_events += other.probe_events;
+        self.pruned_volume += other.pruned_volume;
     }
 }
 
@@ -354,6 +358,7 @@ mod tests {
                 replay_probes: 3,
                 memo_hits: 1,
                 probe_events: 900,
+                pruned_volume: 11,
             },
         };
         a.merge(&b);
@@ -363,6 +368,7 @@ mod tests {
         assert_eq!(a.queue.heap_peak, 7);
         assert!((a.events_per_sec() - 2000.0).abs() < 1e-6);
         assert_eq!(a.search.sim_probes, 4);
+        assert_eq!(a.search.pruned_volume, 11);
         assert!((a.search.replay_hit_rate() - 0.75).abs() < 1e-12);
         assert!((a.search.memo_hit_rate() - 0.2).abs() < 1e-12);
         assert!((a.search.events_per_probe() - 225.0).abs() < 1e-12);

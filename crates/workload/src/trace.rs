@@ -72,6 +72,23 @@ impl WorkloadTrace {
         self.txns.capacity() * std::mem::size_of::<TraceTxn>()
             + self.oids.capacity() * std::mem::size_of::<Oid>()
     }
+
+    /// Checks that a replay under `horizon` would be exact: the trace must
+    /// have been captured under the *same* arrival horizon (a longer one
+    /// would be missing arrivals, a shorter one would replay arrivals the
+    /// capture never admitted). Search loops that reuse one capture across
+    /// many probes call this once per probe configuration instead of
+    /// asserting deep inside the driver.
+    pub fn check_replayable(&self, horizon: SimTime) -> Result<(), String> {
+        if self.horizon == horizon {
+            Ok(())
+        } else {
+            Err(format!(
+                "trace captured under horizon {:?} cannot replay a {:?} run",
+                self.horizon, horizon
+            ))
+        }
+    }
 }
 
 /// Accumulates a trace during a live (capturing) run.
