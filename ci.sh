@@ -23,6 +23,21 @@ echo "== 3-gen lattice smoke =="
 # fails CI.
 ./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2
 
+echo "== analytic equivalence smoke =="
+# The probe accelerators (analytic pruning, consumption certificates,
+# prefix resume — DESIGN.md §5g) must be pure: the same search run with
+# and without them has to print the same geometry and probe counts.
+# Event counters legitimately differ, so compare the full stdout of a
+# quick min-space search, which reports geometry and probes but not
+# event volume.
+ANA_ON=$(./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2)
+ANA_OFF=$(./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2 --no-analytic)
+if [ "$ANA_ON" != "$ANA_OFF" ]; then
+    echo "accelerated and probe-only searches disagree:" >&2
+    diff <(echo "$ANA_ON") <(echo "$ANA_OFF") >&2 || true
+    exit 1
+fi
+
 echo "== bench --quick (perf regression gate) =="
 # One quick pass over the whole experiment basket — including the
 # crash-recovery bench (crash-point snapshots scanned + redone) — gated

@@ -195,6 +195,11 @@ impl ElManager {
                             // Nowhere to keep it: drop from the log and rely
                             // on the expedited flush. Counted as unsafe —
                             // zero in all paper-parameter runs.
+                            if let Some(cert) = self.cert.as_mut() {
+                                // A pending flush was reordered: recorded
+                                // stamps beyond here carry the feedback.
+                                cert.on_expedite();
+                            }
                             self.stats.unsafe_drops += 1;
                             self.unlink_cell(h);
                             continue;
@@ -390,6 +395,11 @@ impl ElManager {
         let Some(seq) = self.gens[gi].ring.advance_head() else {
             return false;
         };
+        if gi + 1 == self.gens.len() {
+            if let Some(cert) = self.cert.as_mut() {
+                cert.on_expedite();
+            }
+        }
         loop {
             let h = self.gens[gi].h;
             if h == NIL {

@@ -13,8 +13,10 @@
 //! cells point at their blocks immediately.
 
 use crate::cell::CellIdx;
+use crate::ltt::TxState;
 use crate::manager::{ElManager, Inflight};
 use crate::types::{Effects, LmTimer};
+use elog_model::LogRecord;
 use elog_sim::SimTime;
 
 impl ElManager {
@@ -86,6 +88,18 @@ impl ElManager {
             self.arena.push_tail(&mut h, cell);
             self.gens[gi].h = h;
             let record = self.arena.get(cell).record;
+            if gi + 1 == self.gens.len() && self.cert.is_some() {
+                let (tid, data, committed) = match record {
+                    LogRecord::Data(d) => (d.tid, true, self.lot.is_committed_cell(d.oid, cell)),
+                    LogRecord::Tx(t) => {
+                        let state = self.ltt.get(t.tid).map(|e| e.state);
+                        (t.tid, false, matches!(state, Some(TxState::Committed)))
+                    }
+                };
+                if let Some(cert) = self.cert.as_mut() {
+                    cert.on_append(cell, addr.seq, tid, data, committed);
+                }
+            }
             self.gens[gi]
                 .open
                 .as_mut()
@@ -123,6 +137,11 @@ impl ElManager {
         };
         if self.alloc_violates_hold(gi, addr.seq) {
             self.stats.durability_violations += 1;
+        }
+        if gi + 1 == self.gens.len() {
+            if let Some(cert) = self.cert.as_mut() {
+                cert.on_alloc(addr.seq);
+            }
         }
         let block = self.fresh_block(addr);
         self.gens[gi].open = Some(block);

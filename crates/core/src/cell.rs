@@ -62,12 +62,14 @@ impl Cell {
     }
 }
 
+#[derive(Clone)]
 enum Slot {
     Used(Cell),
     Free { next: CellIdx },
 }
 
 /// Slab arena of cells with an embedded free list.
+#[derive(Clone)]
 pub struct CellArena {
     slots: Vec<Slot>,
     free_head: CellIdx,

@@ -48,6 +48,7 @@
 pub mod advance;
 pub mod append;
 pub mod cell;
+pub mod cert;
 pub mod host;
 pub mod hybrid;
 pub mod lot;
@@ -57,6 +58,7 @@ pub mod metrics;
 pub mod traits;
 pub mod types;
 
+pub use cert::{CertVerdict, ConsumptionCert};
 pub use host::SimpleHost;
 pub use hybrid::{HybridManager, HybridStats, HYBRID_BYTES_PER_TXN};
 pub use manager::ElManager;

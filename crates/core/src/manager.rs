@@ -33,6 +33,7 @@ use elog_sim::{Histogram, MaxGauge, SimTime};
 use elog_storage::{Block, BlockRing, LogDevice};
 
 /// Per-generation state.
+#[derive(Clone)]
 pub(crate) struct Gen {
     /// The circular disk array.
     pub ring: BlockRing,
@@ -46,12 +47,19 @@ pub(crate) struct Gen {
 }
 
 /// A sealed buffer whose device write is in progress.
+#[derive(Clone)]
 pub(crate) struct Inflight {
     pub gen: usize,
     pub block: Block,
 }
 
 /// The log manager (see module docs).
+///
+/// `Clone` deep-copies the entire state machine — rings, tables, arena,
+/// in-flight writes, statistics — so a simulation hosting the manager can
+/// be snapshotted mid-run and resumed (the search harness's prefix-resume
+/// probes rely on this).
+#[derive(Clone)]
 pub struct ElManager {
     pub(crate) cfg: ElConfig,
     pub(crate) arena: CellArena,
@@ -87,6 +95,8 @@ pub struct ElManager {
     /// not a single scratch: forwarding re-enters gap maintenance in the
     /// next generation).
     pub(crate) spare_gather: Vec<Vec<CellIdx>>,
+    /// Consumption-certificate recording, when armed (see [`crate::cert`]).
+    pub(crate) cert: Option<Box<crate::cert::CertLog>>,
 }
 
 impl ElManager {
@@ -131,6 +141,7 @@ impl ElManager {
             spare_records: Vec::new(),
             spare_tids: Vec::new(),
             spare_gather: Vec::new(),
+            cert: None,
         })
     }
 
@@ -380,6 +391,9 @@ impl ElManager {
             return;
         }
         entry.state = TxState::Committed;
+        if let Some(cert) = self.cert.as_mut() {
+            cert.on_commit(tid);
+        }
         // Scratch buffers (taken to appease the borrow checker) make the
         // per-commit loop allocation-free at steady state.
         let mut oids = std::mem::take(&mut self.scratch_oids);
@@ -519,6 +533,11 @@ impl ElManager {
             let mut h = self.gens[gen].h;
             self.arena.unlink(&mut h, idx);
             self.gens[gen].h = h;
+            if gen + 1 == self.gens.len() {
+                if let Some(cert) = self.cert.as_mut() {
+                    cert.on_unlink(idx);
+                }
+            }
         }
     }
 
@@ -588,6 +607,30 @@ impl ElManager {
     /// its upper quantiles.
     pub fn garbage_age_ms(&self) -> &Histogram {
         &self.garbage_age_ms
+    }
+
+    /// Blocks ever allocated at the last generation's tail (its ring's
+    /// tail sequence number). The search harness watches this to decide
+    /// when a probe's state stops being independent of the last
+    /// generation's capacity: no head advance can have happened while
+    /// `tail + gap_blocks < capacity`, so a snapshot taken below that
+    /// depth resumes exactly under any capacity that keeps the margin.
+    pub fn last_gen_allocated(&self) -> u64 {
+        self.gens
+            .last()
+            .expect("at least one generation")
+            .ring
+            .tail()
+    }
+
+    /// Rebinds the last generation to a new capacity (see
+    /// [`elog_storage::BlockRing::set_capacity`] for the legality
+    /// conditions). The stored configuration is updated so metrics and
+    /// validation reflect the new geometry.
+    pub fn set_last_gen_capacity(&mut self, blocks: u32) {
+        let last = self.gens.len() - 1;
+        self.gens[last].ring.set_capacity(u64::from(blocks));
+        self.cfg.log.generation_blocks[last] = blocks;
     }
 
     /// The crash-surface of the log: every physically durable block of

@@ -61,6 +61,14 @@ pub trait LogManager {
     /// Peak main-memory bytes under the technique's pricing model.
     fn peak_memory_bytes(&self) -> u64;
 
+    /// Blocks ever allocated at the last generation's tail, for hosts that
+    /// watch log-fill depth (the search harness's snapshot-resume probes).
+    /// Techniques without a meaningful notion report 0, which simply means
+    /// the watch never fires.
+    fn last_gen_allocated(&self) -> u64 {
+        0
+    }
+
     /// Completed log-block writes so far.
     fn log_writes(&self) -> u64;
 
@@ -107,6 +115,10 @@ impl LogManager for crate::ElManager {
 
     fn peak_memory_bytes(&self) -> u64 {
         crate::ElManager::peak_memory_bytes(self)
+    }
+
+    fn last_gen_allocated(&self) -> u64 {
+        crate::ElManager::last_gen_allocated(self)
     }
 
     fn log_writes(&self) -> u64 {

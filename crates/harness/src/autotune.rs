@@ -153,7 +153,8 @@ pub fn autotune(base: &RunConfig, explore_secs: u64) -> TuneResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::minspace::{el_min_space, paper_base};
+    use crate::latsearch::{LatticeLimits, SearchRequest};
+    use crate::minspace::paper_base;
 
     #[test]
     fn observation_reflects_the_mix() {
@@ -180,7 +181,16 @@ mod tests {
         let mut base = paper_base(0.05, false, 30);
         base.stop_on_kill = false;
         let tuned = autotune(&base, 30);
-        let grid = el_min_space(&base, 24, 128);
+        let grid = SearchRequest::lattice(
+            &base,
+            LatticeLimits {
+                prefix_max: vec![24],
+                last_limit: 128,
+            },
+        )
+        .jobs(crate::sweep::default_jobs())
+        .run()
+        .min;
 
         assert!(
             tuned.tuned.total_blocks <= grid.total_blocks + grid.total_blocks / 2,

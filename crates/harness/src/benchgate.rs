@@ -9,18 +9,69 @@
 //! record rates (measured on the same machine as the baseline, so the
 //! ratios are meaningful even though the absolute figures are not). The
 //! `lattice` section (min-space search probe counts, memo hit rate,
-//! pruned volume) is parsed and echoed for context but never rate-gated:
-//! its numbers are workload properties, not host throughput.
+//! pruned volume) and the `analytic` section (model rejections, prefix
+//! resumes and their saved events) are parsed and echoed for context but
+//! never rate-gated: their numbers are workload properties, not host
+//! throughput.
 //!
 //! The reports are written by `bench` itself with a fixed field order, so
 //! a full JSON parser would be dead weight: the extractor scans for the
 //! first occurrence of a key, which in the bench schema is always the
 //! top-level one (per-experiment and per-crash-point rows live inside
-//! arrays that every aggregate field precedes). Schema drift between a
-//! baseline and a current report — a baseline that predates the
-//! `recovery` section, a report whose throughput is zero because a run
-//! produced no work — is diagnosed explicitly rather than panicking or
-//! silently passing.
+//! arrays that every aggregate field precedes). Every section goes
+//! through the one [`ReportSection`] trait — locate + parse, describe,
+//! optionally gate — so schema drift between a baseline and a current
+//! report (a baseline that predates a section, a report whose throughput
+//! is zero because a run produced no work, a section lost from the
+//! current report) is diagnosed by a single shared path rather than three
+//! hand-rolled ones.
+
+/// One named section of the bench report, seen through the gate's eyes:
+/// how to locate and parse its aggregates, how to describe them in the
+/// verdict, and how (whether) to rate-gate them.
+///
+/// All sections share one schema-drift policy, implemented once in
+/// [`check_regression`]: a *baseline* that predates the section passes
+/// with an explicit "refresh the snapshot" diagnostic, a *current* report
+/// that lost the section fails (drift in the wrong direction), and a
+/// section absent from both is noted. Section impls only supply the
+/// numbers; they never re-implement that policy.
+pub trait ReportSection: Sized {
+    /// The JSON key labelling the section object (`"lattice"`, …).
+    const KEY: &'static str;
+
+    /// Parses the section's aggregate fields scanning forward from the
+    /// byte offset of its key marker. The bench writer puts every
+    /// aggregate field ahead of any nested per-row array, so the first
+    /// occurrence of each field key after the marker is the aggregate.
+    fn parse_at(json: &str, at: usize) -> Option<Self>;
+
+    /// Pushes the human-readable context fragment(s) for the verdict.
+    /// Gated sections may leave this empty — their [`gate`] fragments
+    /// already carry the numbers.
+    ///
+    /// [`gate`]: ReportSection::gate
+    fn describe(&self, parts: &mut Vec<String>);
+
+    /// Compares `current` against `self` (the baseline) and pushes the
+    /// comparison fragments. The default is report-only: no rate is
+    /// gated, nothing fails.
+    fn gate(
+        &self,
+        current: &Self,
+        max_regress_pct: f64,
+        parts: &mut Vec<String>,
+    ) -> Result<(), String> {
+        let _ = (current, max_regress_pct, parts);
+        Ok(())
+    }
+
+    /// Finds and parses the section; `None` when the report predates it.
+    fn parse(json: &str) -> Option<Self> {
+        let marker = format!("\"{}\":", Self::KEY);
+        json.find(&marker).and_then(|i| Self::parse_at(json, i))
+    }
+}
 
 /// The recovery-path fields the gate compares.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -31,9 +82,44 @@ pub struct RecoverySummary {
     pub redo_records_per_sec: f64,
 }
 
+impl ReportSection for RecoverySummary {
+    const KEY: &'static str = "recovery";
+
+    fn parse_at(json: &str, at: usize) -> Option<Self> {
+        Some(RecoverySummary {
+            scan_records_per_sec: scan_number_from(json, at, "scan_records_per_sec")?,
+            redo_records_per_sec: scan_number_from(json, at, "redo_records_per_sec")?,
+        })
+    }
+
+    // The gate fragments below already carry the rates.
+    fn describe(&self, _parts: &mut Vec<String>) {}
+
+    fn gate(
+        &self,
+        current: &Self,
+        max_regress_pct: f64,
+        parts: &mut Vec<String>,
+    ) -> Result<(), String> {
+        parts.push(gate_rate(
+            "recovery-scan records",
+            self.scan_records_per_sec,
+            current.scan_records_per_sec,
+            max_regress_pct,
+        )?);
+        parts.push(gate_rate(
+            "recovery-redo records",
+            self.redo_records_per_sec,
+            current.redo_records_per_sec,
+            max_regress_pct,
+        )?);
+        Ok(())
+    }
+}
+
 /// The lattice-search aggregates the gate reports (context only — probe
 /// counts and pruned volume are workload properties, not host throughput,
-/// so they are never rate-gated).
+/// so they are never rate-gated; the default no-op `gate` stands).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LatticeSummary {
     /// Probe verdicts across every min-space search (simulated + memoised).
@@ -42,6 +128,63 @@ pub struct LatticeSummary {
     pub memo_hit_rate: f64,
     /// Lattice points excluded by the pruning bound without a probe.
     pub pruned_volume: f64,
+}
+
+impl ReportSection for LatticeSummary {
+    const KEY: &'static str = "lattice";
+
+    fn parse_at(json: &str, at: usize) -> Option<Self> {
+        Some(LatticeSummary {
+            probes: scan_number_from(json, at, "probes")?,
+            memo_hit_rate: scan_number_from(json, at, "memo_hit_rate")?,
+            pruned_volume: scan_number_from(json, at, "pruned_volume")?,
+        })
+    }
+
+    fn describe(&self, parts: &mut Vec<String>) {
+        parts.push(format!(
+            "lattice {:.0} probes ({:.0}% memoized, {:.0} pruned)",
+            self.probes,
+            self.memo_hit_rate * 100.0,
+            self.pruned_volume
+        ));
+    }
+}
+
+/// The analytic pre-filter's aggregates (report-only, like the lattice
+/// section: rejections and resume savings are search-workload properties).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalyticSummary {
+    /// Probes answered by the analytic model without simulation.
+    pub rejections: f64,
+    /// Probes answered by a column's consumption certificate (0 for
+    /// reports predating the certificate).
+    pub cert_verdicts: f64,
+    /// Replay probes resumed from a prefix snapshot instead of t = 0.
+    pub resume_probes: f64,
+    /// Events those resumed probes did not have to re-deliver.
+    pub resume_saved_events: f64,
+}
+
+impl ReportSection for AnalyticSummary {
+    const KEY: &'static str = "analytic";
+
+    fn parse_at(json: &str, at: usize) -> Option<Self> {
+        Some(AnalyticSummary {
+            rejections: scan_number_from(json, at, "rejections")?,
+            cert_verdicts: scan_number_from(json, at, "cert_verdicts").unwrap_or(0.0),
+            resume_probes: scan_number_from(json, at, "resume_probes")?,
+            resume_saved_events: scan_number_from(json, at, "resume_saved_events")?,
+        })
+    }
+
+    fn describe(&self, parts: &mut Vec<String>) {
+        parts.push(format!(
+            "analytic {:.0} rejections, {:.0} certified verdicts, \
+             {:.0} resumed probes ({:.0} events saved)",
+            self.rejections, self.cert_verdicts, self.resume_probes, self.resume_saved_events
+        ));
+    }
 }
 
 /// The fields the gate compares.
@@ -60,6 +203,9 @@ pub struct BenchSummary {
     /// The lattice section's aggregates; `None` when the report predates
     /// the lattice search (warn, matching the recovery precedent).
     pub lattice: Option<LatticeSummary>,
+    /// The analytic section's aggregates; `None` when the report predates
+    /// the analytic pre-filter.
+    pub analytic: Option<AnalyticSummary>,
 }
 
 /// Extracts the number following `"key": ` at its first occurrence at or
@@ -80,37 +226,20 @@ fn scan_number(json: &str, key: &str) -> Option<f64> {
 }
 
 impl BenchSummary {
-    /// Parses the gate-relevant fields out of a bench report.
+    /// Parses the gate-relevant fields out of a bench report. Each section
+    /// goes through the one [`ReportSection`] path; only the top-level
+    /// scalars are read directly.
     pub fn parse(json: &str) -> Option<BenchSummary> {
         let quick = json
             .find("\"quick\":")
             .map(|i| json[i + 8..].trim_start().starts_with("true"))?;
-        // The recovery aggregates live inside the "recovery" object, whose
-        // own fields precede its per-crash-point rows — so first occurrence
-        // after the section marker is the aggregate.
-        let recovery = json.find("\"recovery\":").and_then(|i| {
-            Some(RecoverySummary {
-                scan_records_per_sec: scan_number_from(json, i, "scan_records_per_sec")?,
-                redo_records_per_sec: scan_number_from(json, i, "redo_records_per_sec")?,
-            })
-        });
-        // Same pattern for the lattice section: its aggregate fields are
-        // the first occurrences after the section marker (the marker
-        // itself follows the experiments array, so per-experiment rows
-        // cannot shadow it).
-        let lattice = json.find("\"lattice\":").and_then(|i| {
-            Some(LatticeSummary {
-                probes: scan_number_from(json, i, "probes")?,
-                memo_hit_rate: scan_number_from(json, i, "memo_hit_rate")?,
-                pruned_volume: scan_number_from(json, i, "pruned_volume")?,
-            })
-        });
         Some(BenchSummary {
             events_per_sec: scan_number(json, "events_per_sec")?,
             allocations_per_event: scan_number(json, "allocations_per_event")?,
             quick,
-            recovery,
-            lattice,
+            recovery: RecoverySummary::parse(json),
+            lattice: LatticeSummary::parse(json),
+            analytic: AnalyticSummary::parse(json),
         })
     }
 }
@@ -189,72 +318,63 @@ pub fn check_regression(
         "allocs/event {:.3} vs {:.3}",
         current.allocations_per_event, baseline.allocations_per_event,
     ));
-    // The lattice section is context, not a gated rate: probe counts and
-    // pruned volume are properties of the search workload, which changes
-    // legitimately whenever an experiment's ceilings do. Presence is
-    // still checked like the recovery section — losing the section is
-    // schema drift; a baseline predating it only warns.
-    match (&baseline.lattice, &current.lattice) {
-        (base, Some(cur)) => {
-            parts.push(format!(
-                "lattice {:.0} probes ({:.0}% memoized, {:.0} pruned)",
-                cur.probes,
-                cur.memo_hit_rate * 100.0,
-                cur.pruned_volume
-            ));
-            if base.is_none() {
-                parts.push(
-                    "lattice baseline missing: baseline predates the lattice \
-                     section — refresh the committed BENCH snapshot"
-                        .to_string(),
-                );
-            }
-        }
-        (Some(_), None) => {
-            return Err(
-                "current report has no lattice section but the baseline does: \
-                 the lattice stats were lost (schema drift) — fix bench before \
-                 trusting this gate"
-                    .to_string(),
-            );
-        }
-        (None, None) => {
-            parts.push("lattice not reported: neither report carries a lattice section".to_string())
-        }
-    }
-    match (&baseline.recovery, &current.recovery) {
-        (Some(base), Some(cur)) => {
-            parts.push(gate_rate(
-                "recovery-scan records",
-                base.scan_records_per_sec,
-                cur.scan_records_per_sec,
-                max_regress_pct,
-            )?);
-            parts.push(gate_rate(
-                "recovery-redo records",
-                base.redo_records_per_sec,
-                cur.redo_records_per_sec,
-                max_regress_pct,
-            )?);
-        }
-        (None, Some(_)) => parts.push(
-            "recovery not gated: baseline predates the recovery section — \
-             refresh the committed BENCH snapshot"
-                .to_string(),
-        ),
-        (Some(_), None) => {
-            return Err(
-                "current report has no recovery section but the baseline does: \
-                 the recovery bench was lost (schema drift) — fix bench before \
-                 trusting this gate"
-                    .to_string(),
-            );
-        }
-        (None, None) => {
-            parts.push("recovery not gated: neither report carries a recovery section".to_string())
-        }
-    }
+    gate_section(
+        &baseline.lattice,
+        &current.lattice,
+        max_regress_pct,
+        &mut parts,
+    )?;
+    gate_section(
+        &baseline.analytic,
+        &current.analytic,
+        max_regress_pct,
+        &mut parts,
+    )?;
+    gate_section(
+        &baseline.recovery,
+        &current.recovery,
+        max_regress_pct,
+        &mut parts,
+    )?;
     Ok(parts.join("; "))
+}
+
+/// The one schema-drift path every section shares (see [`ReportSection`]):
+/// present in both → gate then describe; baseline missing → describe and
+/// warn; current missing → fail; missing from both → note.
+fn gate_section<S: ReportSection>(
+    baseline: &Option<S>,
+    current: &Option<S>,
+    max_regress_pct: f64,
+    parts: &mut Vec<String>,
+) -> Result<(), String> {
+    match (baseline, current) {
+        (Some(base), Some(cur)) => {
+            base.gate(cur, max_regress_pct, parts)?;
+            cur.describe(parts);
+        }
+        (None, Some(cur)) => {
+            cur.describe(parts);
+            parts.push(format!(
+                "{key} not gated: baseline predates the {key} section — \
+                 refresh the committed BENCH snapshot",
+                key = S::KEY
+            ));
+        }
+        (Some(_), None) => {
+            return Err(format!(
+                "current report has no {key} section but the baseline does: \
+                 the {key} stats were lost (schema drift) — fix bench before \
+                 trusting this gate",
+                key = S::KEY
+            ));
+        }
+        (None, None) => parts.push(format!(
+            "{key} not reported: neither report carries a {key} section",
+            key = S::KEY
+        )),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -267,13 +387,22 @@ mod tests {
         quick: bool,
         recovery: Option<(f64, f64)>,
         lattice: Option<(f64, f64, f64)>,
+        analytic: Option<(f64, f64, f64)>,
     ) -> String {
         // Same field order as the bench binary's writer: experiments,
-        // then lattice, then recovery.
+        // then lattice, then analytic, then recovery.
         let lattice_section = match lattice {
             Some((probes, rate, pruned)) => format!(
                 ",\n  \"lattice\": {{\n    \"probes\": {probes},\n    \"memo_hits\": 40,\n    \
                  \"memo_hit_rate\": {rate},\n    \"pruned_volume\": {pruned}\n  }}"
+            ),
+            None => String::new(),
+        };
+        let analytic_section = match analytic {
+            Some((rejections, resumes, saved)) => format!(
+                ",\n  \"analytic\": {{\n    \"rejections\": {rejections},\n    \
+                 \"resume_probes\": {resumes},\n    \"resume_saved_events\": {saved},\n    \
+                 \"resume_hit_rate\": 0.1\n  }}"
             ),
             None => String::new(),
         };
@@ -295,7 +424,7 @@ mod tests {
              \"replay_hit_rate\": 0.9,\n  \"memo_hit_rate\": 0.2,\n  \
              \"experiments\": [\n    {{\"name\": \"x\", \"probes\": 7, \
              \"events_per_sec\": 99, \"allocations_per_event\": 99.0}}\n  \
-             ]{lattice_section}{recovery_section}\n}}"
+             ]{lattice_section}{analytic_section}{recovery_section}\n}}"
         )
     }
 
@@ -311,11 +440,36 @@ mod tests {
             quick,
             recovery,
             Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
         )
     }
 
     fn report(events_per_sec: f64, allocs: f64, quick: bool) -> String {
         report_with_recovery(events_per_sec, allocs, quick, Some((4e6, 8e6)))
+    }
+
+    /// A report missing only the lattice section.
+    fn no_lattice(events_per_sec: f64) -> String {
+        report_full(
+            events_per_sec,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            None,
+            Some((12.0, 30.0, 40000.0)),
+        )
+    }
+
+    /// A report missing only the analytic section.
+    fn no_analytic(events_per_sec: f64) -> String {
+        report_full(
+            events_per_sec,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            None,
+        )
     }
 
     #[test]
@@ -347,15 +501,13 @@ mod tests {
 
     #[test]
     fn parse_tolerates_missing_lattice_section() {
-        let s = BenchSummary::parse(&report_full(400_000.0, 0.05, true, Some((4e6, 8e6)), None))
-            .unwrap();
+        let s = BenchSummary::parse(&no_lattice(400_000.0)).unwrap();
         assert!(s.lattice.is_none());
     }
 
     #[test]
     fn lattice_baseline_missing_warns_and_passes() {
-        let base = BenchSummary::parse(&report_full(400_000.0, 0.05, true, Some((4e6, 8e6)), None))
-            .unwrap();
+        let base = BenchSummary::parse(&no_lattice(400_000.0)).unwrap();
         let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
         assert!(
@@ -367,8 +519,7 @@ mod tests {
     #[test]
     fn lattice_lost_from_current_fails() {
         let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
-        let cur = BenchSummary::parse(&report_full(400_000.0, 0.05, true, Some((4e6, 8e6)), None))
-            .unwrap();
+        let cur = BenchSummary::parse(&no_lattice(400_000.0)).unwrap();
         let err = check_regression(&base, &cur, 30.0).unwrap_err();
         assert!(err.contains("no lattice section"), "{err}");
     }
@@ -383,10 +534,56 @@ mod tests {
             true,
             Some((4e6, 8e6)),
             Some((9_000.0, 0.01, 2.0)),
+            Some((12.0, 30.0, 40000.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
         assert!(verdict.contains("lattice 9000 probes"), "{verdict}");
+    }
+
+    #[test]
+    fn parse_reads_analytic_aggregates() {
+        let s = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let a = s.analytic.expect("analytic section present");
+        assert_eq!(a.rejections, 12.0);
+        assert_eq!(a.resume_probes, 30.0);
+        assert_eq!(a.resume_saved_events, 40000.0);
+    }
+
+    #[test]
+    fn analytic_baseline_missing_warns_and_passes() {
+        let base = BenchSummary::parse(&no_analytic(400_000.0)).unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(
+            verdict.contains("predates the analytic section"),
+            "{verdict}"
+        );
+    }
+
+    #[test]
+    fn analytic_lost_from_current_fails() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&no_analytic(400_000.0)).unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("no analytic section"), "{err}");
+    }
+
+    #[test]
+    fn analytic_stats_are_reported_but_never_gated() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        // Wildly different analytic numbers: still a pass (report-only).
+        let cur = BenchSummary::parse(&report_full(
+            400_000.0,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((0.0, 0.0, 0.0)),
+        ))
+        .unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("analytic 0 rejections"), "{verdict}");
     }
 
     #[test]

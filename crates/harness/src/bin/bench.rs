@@ -19,7 +19,10 @@
 //!
 //! Besides the forward path, the report carries a `lattice` section — the
 //! aggregate min-space search counters (probes, memo hits, pruned lattice
-//! volume), report-only context for the gate — and a `recovery` section:
+//! volume), report-only context for the gate — an `analytic` section with
+//! the probe pre-filter's counters (model rejections, prefix-resume
+//! probes and the events they saved; `--no-analytic` zeroes it) — and a
+//! `recovery` section:
 //! crash-point snapshots (mid-forwarding, mid-flush, post-wrap) of the
 //! paper's FW and EL recovery subjects are serialised through the block
 //! codec and priced through `scan_bytes` + `recover` — per-point scan
@@ -65,6 +68,7 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--no-analytic" => elog_harness::analytic::set_enabled(false),
             "--jobs" => {
                 let n = args
                     .next()
@@ -111,7 +115,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: bench [--quick] [--jobs N] [--out PATH] [--date YYYY-MM-DD] \
-                     [--baseline PATH] [--max-regress PCT]"
+                     [--baseline PATH] [--max-regress PCT] [--no-analytic]"
                 );
                 std::process::exit(0);
             }
@@ -272,6 +276,19 @@ fn main() {
         total.search.memo_hit_rate(),
         total.search.pruned_volume,
     );
+    // Analytic pre-filter + prefix-resume aggregate. Report-only, like
+    // the lattice section: the counters say how much probing the model
+    // avoided, not how fast anything ran.
+    let analytic_json = format!(
+        "  \"analytic\": {{\n    \"rejections\": {},\n    \"cert_verdicts\": {},\n    \
+         \"resume_probes\": {},\n    \
+         \"resume_saved_events\": {},\n    \"resume_hit_rate\": {:.3}\n  }}",
+        total.search.analytic_rejections,
+        total.search.cert_verdicts,
+        total.search.resume_probes,
+        total.search.resume_saved_events,
+        total.search.resume_hit_rate(),
+    );
     let all_verified = points.iter().all(|p| p.verified);
     let recovery_json = format!(
         "  \"recovery\": {{\n    \"scan_blocks_per_sec\": {:.0},\n    \
@@ -294,7 +311,7 @@ fn main() {
          \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
          \"allocations_per_event\": {:.3},\n  \"probe_events\": {},\n  \
          \"replay_hit_rate\": {:.3},\n  \"memo_hit_rate\": {:.3},\n  \
-         \"experiments\": [\n{}\n  ],\n{},\n{}\n}}",
+         \"experiments\": [\n{}\n  ],\n{},\n{},\n{}\n}}",
         json_str(&date),
         opts.quick,
         opts.jobs,
@@ -308,6 +325,7 @@ fn main() {
         total.search.memo_hit_rate(),
         per_experiment,
         lattice_json,
+        analytic_json,
         recovery_json,
     );
 

@@ -19,6 +19,9 @@
 //!                           given sizes as per-axis ceilings)
 //!   --jobs N                worker threads for --min-space probes
 //!                           (default: the machine's parallelism)
+//!   --no-analytic           disable the analytic pre-filter and prefix
+//!                           resume: simulate every probe in full (the
+//!                           output must not change)
 //! ```
 
 use elog_core::{ElConfig, MemoryModel};
@@ -127,6 +130,7 @@ fn parse() -> Args {
             }
             "--seed" => a.seed = next(&mut it, "--seed").parse().unwrap_or_else(|_| usage()),
             "--min-space" => a.min_space = true,
+            "--no-analytic" => elog_harness::analytic::set_enabled(false),
             "--jobs" => {
                 a.jobs = next(&mut it, "--jobs").parse().unwrap_or_else(|_| usage());
                 if a.jobs == 0 {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--gens N] [--only NAME] [--csv DIR] [--progress]
+//!       [--no-analytic]
 //! ```
 //!
 //! `--quick` shrinks runtimes and sweeps for a fast smoke pass; the default
@@ -14,6 +15,9 @@
 //! experiments whose name contains NAME (case-insensitive), e.g.
 //! `--only recovery`. `--csv DIR` additionally writes each table as a CSV
 //! file. `--progress` reports per-scenario completion on stderr.
+//! `--no-analytic` disables the analytic probe pre-filter and prefix
+//! resume ([`elog_harness::analytic`]); stdout is byte-identical either
+//! way — the flag exists to prove exactly that.
 //!
 //! Every experiment is a [`elog_harness::sweep::Experiment`]; this binary
 //! just flattens the registry's scenarios through one executor pool and
@@ -46,6 +50,7 @@ fn parse_args() -> Options {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--progress" => opts.exec.progress = true,
+            "--no-analytic" => elog_harness::analytic::set_enabled(false),
             "--jobs" => {
                 let n = args
                     .next()
@@ -98,7 +103,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--jobs N] [--gens N] [--only NAME] \
-                     [--csv DIR] [--progress]"
+                     [--csv DIR] [--progress] [--no-analytic]"
                 );
                 std::process::exit(0);
             }

@@ -38,9 +38,11 @@
 //! for every `jobs` setting. One [`Prober`] captures the workload trace
 //! on the first kill-free probe; every later probe replays it.
 
+use crate::analytic::AnalyticModel;
 use crate::minspace::MinSpaceResult;
-use crate::runner::{run, run_capture, RunConfig};
-use elog_sim::SearchStats;
+use crate::runner::{build_model, run_capture, RunConfig, SimModel};
+use elog_core::{CertVerdict, ConsumptionCert};
+use elog_sim::{Engine, SearchStats};
 use elog_workload::WorkloadTrace;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -182,9 +184,51 @@ impl Memo {
     }
 }
 
+/// A mid-run simulator state captured at a last-generation fill depth, for
+/// resuming later probes of the same column past their shared prefix.
+struct Snapshot {
+    /// Blocks the last generation had allocated when the state was taken.
+    depth: u64,
+    engine: Engine<SimModel>,
+}
+
+/// Per-column probe state: the analytic rejection threshold for the
+/// column's prefix, plus the resume-snapshot ladder. Reset whenever the
+/// prober moves to a different prefix.
+struct ColumnState {
+    /// The column's fixed prefix (empty for single-generation searches).
+    prefix: Vec<u32>,
+    /// Largest last-generation capacity the analytic certificate rejects
+    /// under this prefix (0 when no certificate is available).
+    threshold: u32,
+    /// Snapshots at increasing fill depths, accumulated across the
+    /// column's probes. Any state below head-advance depth is identical
+    /// for every capacity in the column, so a probe at capacity `c`
+    /// resumes from the deepest rung with `depth + gap ≤ c`.
+    snaps: Vec<Snapshot>,
+    /// Consumption certificate extracted from the column's first
+    /// surviving full-horizon probe: answers smaller capacities exactly,
+    /// with zero simulation (see [`elog_core::ConsumptionCert`]).
+    cert: Option<ConsumptionCert>,
+}
+
 /// Runs geometry probes for one search: a reusable scratch configuration
 /// plus the capture/replay machinery (see module docs; the first
 /// kill-free probe captures the workload, every later probe replays it).
+///
+/// When analytic acceleration is on, two further engines cut probe work
+/// without changing any verdict:
+///
+/// * the [`AnalyticModel`] certificate rejects certainly-infeasible
+///   last-generation capacities with zero simulated events;
+/// * within one column, each replay probe arms a fill watch along a
+///   ladder of rung depths — the bisection's possible future capacities —
+///   snapshotting the simulator at each rung it passes; later probes of
+///   the column resume from the deepest valid snapshot instead of
+///   replaying from `t = 0`. A snapshot at depth `d` is
+///   capacity-independent for any last generation of `c ≥ d + gap`
+///   blocks: below that fill the ring has never advanced its head, so
+///   the simulation state is identical for every such `c`.
 pub(crate) struct Prober {
     cfg: RunConfig,
     pub(crate) trace: Option<Arc<WorkloadTrace>>,
@@ -193,6 +237,10 @@ pub(crate) struct Prober {
     pub(crate) stats: SearchStats,
     /// Memo-derived verdicts, recorded for soundness audits.
     pub(crate) memo_trail: Vec<MemoHit>,
+    /// Analytic pruning + snapshot-resume enabled for this search.
+    analytic_on: bool,
+    model: Option<Arc<AnalyticModel>>,
+    column: Option<ColumnState>,
 }
 
 impl Prober {
@@ -207,37 +255,260 @@ impl Prober {
             probes: 0,
             stats: SearchStats::default(),
             memo_trail: Vec::new(),
+            analytic_on: false,
+            model: None,
+            column: None,
+        }
+    }
+
+    /// Enables (or disables) analytic acceleration for this prober. The
+    /// certificate itself is built lazily once a trace exists (or shared
+    /// via [`Prober::share_model`]).
+    pub(crate) fn with_analytic(mut self, on: bool) -> Self {
+        self.analytic_on = on;
+        self
+    }
+
+    /// Adopts an already-built certificate (pool probers share the anchor
+    /// prober's instead of re-deriving it per worker).
+    pub(crate) fn share_model(mut self, model: Option<Arc<AnalyticModel>>) -> Self {
+        if self.analytic_on {
+            self.model = model;
+        }
+        self
+    }
+
+    /// The certificate, for sharing with pool probers.
+    pub(crate) fn model(&self) -> Option<Arc<AnalyticModel>> {
+        self.model.clone()
+    }
+
+    /// Builds the certificate from the captured trace if allowed and not
+    /// yet present.
+    pub(crate) fn ensure_model(&mut self) {
+        if self.analytic_on && self.model.is_none() {
+            if let Some(t) = &self.trace {
+                self.model = AnalyticModel::from_run(&self.cfg, t).map(Arc::new);
+            }
         }
     }
 
     /// True when `blocks` survives the whole horizon without kills.
+    /// No next-probe hint: never arms the resume watch.
     pub(crate) fn survives(&mut self, blocks: &[u32]) -> bool {
+        self.survives_at(blocks, None)
+    }
+
+    /// Probe verdict for `blocks`, with `next_lo` the smallest
+    /// last-generation capacity the column's next probe could use (arms
+    /// the snapshot watch; `None` for one-shot probes).
+    pub(crate) fn survives_at(&mut self, blocks: &[u32], next_lo: Option<u32>) -> bool {
         self.probes += 1;
         self.stats.sim_probes += 1;
+        let (prefix, last) = blocks.split_at(blocks.len() - 1);
+        let last = last[0];
+        if self.column.as_ref().is_none_or(|c| c.prefix != prefix) {
+            let threshold = match &self.model {
+                Some(m) => m.reject_threshold(prefix),
+                None => 0,
+            };
+            self.column = Some(ColumnState {
+                prefix: prefix.to_vec(),
+                threshold,
+                snaps: Vec::new(),
+                cert: None,
+            });
+        }
+        if self.trace.is_some() && self.model.is_some() {
+            let col = self.column.as_ref().expect("column set above");
+            if last <= col.threshold {
+                // Certain kill: the verdict a replay probe would return,
+                // with zero simulated events. Counted exactly as the
+                // replay probe would have been so every derived statistic
+                // matches the probe-only path.
+                self.stats.replay_probes += 1;
+                self.stats.analytic_rejections += 1;
+                return false;
+            }
+        }
         self.cfg.el.log.generation_blocks.clear();
         self.cfg.el.log.generation_blocks.extend_from_slice(blocks);
-        let result = match &self.trace {
+        match self.trace.clone() {
             Some(trace) => {
                 self.stats.replay_probes += 1;
-                self.cfg.trace = Some(trace.clone());
-                let r = run(&self.cfg);
-                self.cfg.trace = None;
-                r
+                self.replay_probe(&trace, last, next_lo)
             }
             None => {
                 // First probe(s) run live; the first kill-free one hands
                 // back the trace every later probe replays.
                 let (r, trace) = run_capture(&self.cfg);
                 self.trace = trace;
-                r
+                self.ensure_model();
+                if let (Some(m), Some(col)) = (&self.model, self.column.as_mut()) {
+                    // The certificate arrived mid-column (the capture
+                    // probe): backfill the column's threshold.
+                    col.threshold = m.reject_threshold(&col.prefix);
+                }
+                self.stats.probe_events += r.perf.events;
+                r.killed == 0
             }
-        };
-        self.stats.probe_events += result.perf.events;
-        result.killed == 0
+        }
+    }
+
+    /// One replay probe with snapshot-resume: resumes from the deepest
+    /// valid ladder snapshot, snapshots at each rung depth a future probe
+    /// of this column could resume from, and runs to the first kill or
+    /// the horizon.
+    fn replay_probe(
+        &mut self,
+        trace: &Arc<WorkloadTrace>,
+        last_cap: u32,
+        next_lo: Option<u32>,
+    ) -> bool {
+        let k = self.cfg.el.log.gap_blocks;
+        let horizon = self.cfg.runtime;
+        // Resume is sound whenever early simulation state is independent
+        // of the last generation's capacity; §6 lifetime hints break that
+        // (placement consults capacities at BEGIN time).
+        let resume_ok = self.analytic_on && !self.cfg.lifetime_hints;
+        // The consumption certificate additionally needs the last
+        // generation's consumption schedule to be the deterministic
+        // `alloc j ⇒ consume j − (cap − gap)` law, which recirculation
+        // (re-appends compete for the same tail) and a zero gap (desperate
+        // one-block allocations) both break.
+        let cert_ok = resume_ok && !self.cfg.el.log.recirculation && k >= 1;
+        let col = self.column.as_mut().expect("column set by survives_at");
+        if cert_ok {
+            if let Some(cert) = &col.cert {
+                match cert.verdict(last_cap) {
+                    CertVerdict::Survives => {
+                        self.stats.cert_verdicts += 1;
+                        return true;
+                    }
+                    CertVerdict::Kills => {
+                        self.stats.cert_verdicts += 1;
+                        return false;
+                    }
+                    CertVerdict::Unknown => {}
+                }
+            }
+        }
+        let own_max = u64::from(last_cap.saturating_sub(k));
+        let mut start_events = 0u64;
+        let mut resumed = None;
+        if resume_ok {
+            // Deepest rung still below this capacity's head-advance depth.
+            if let Some(snap) = col
+                .snaps
+                .iter()
+                .filter(|s| s.depth + u64::from(k) <= u64::from(last_cap))
+                .max_by_key(|s| s.depth)
+            {
+                let mut e = snap.engine.clone();
+                e.model_mut().lm.set_last_gen_capacity(last_cap);
+                start_events = e.events_processed();
+                self.stats.resume_probes += 1;
+                self.stats.resume_saved_events += start_events;
+                resumed = Some(e);
+            }
+        }
+        let mut engine = resumed.unwrap_or_else(|| {
+            self.cfg.trace = Some(trace.clone());
+            let mut e = build_model(&self.cfg);
+            self.cfg.trace = None;
+            if cert_ok {
+                // Record a consumption certificate so this run, if it
+                // survives, answers the column's smaller capacities
+                // without simulation. Resumed engines inherit recording
+                // from their snapshot (taken before any consumption).
+                e.model_mut().lm.start_cert_recording();
+            }
+            e
+        });
+        // Rung depths future probes of this column can resume from. While
+        // the bisection floor stays at `gap+1`, its surviving branch
+        // probes exactly the chain that halves `next_lo` toward the
+        // floor, so one full-depth run seeds every later resume point;
+        // the own-capacity rung serves later, larger capacities (after a
+        // kill raises the floor). A rung below one of these depths is
+        // never optimal, and a stale rung is merely unused — never
+        // unsound — because validity is re-checked against each resuming
+        // capacity.
+        let mut rungs: Vec<u64> = Vec::new();
+        if resume_ok {
+            let floor = k + 1;
+            if let Some(mut nl) = next_lo {
+                loop {
+                    let d = u64::from(nl.saturating_sub(k));
+                    if d > 0 {
+                        rungs.push(d);
+                    }
+                    if nl <= floor {
+                        break;
+                    }
+                    nl = floor + (nl - floor) / 2;
+                }
+            }
+            if own_max > 0 {
+                rungs.push(own_max);
+            }
+            let fill = engine.model().lm.last_gen_allocated();
+            rungs.retain(|&d| d <= own_max && d > fill);
+            rungs.sort_unstable();
+            rungs.dedup();
+        }
+        let mut next_rung = 0usize;
+        engine
+            .model_mut()
+            .set_last_gen_watch(rungs.first().copied());
+        loop {
+            engine.run_until(horizon);
+            let m = engine.model();
+            if m.kills() > 0 {
+                self.stats.probe_events += engine.events_processed() - start_events;
+                return false;
+            }
+            let fired = m
+                .last_gen_watch()
+                .is_some_and(|w| m.lm.last_gen_allocated() >= w);
+            if fired {
+                // Snapshot for the column's later probes, then keep going.
+                let depth = engine.model().lm.last_gen_allocated();
+                // A single event can open several blocks, overshooting the
+                // watch past later rungs; skip every rung the fill already
+                // covered.
+                while next_rung < rungs.len() && rungs[next_rung] <= depth {
+                    next_rung += 1;
+                }
+                engine
+                    .model_mut()
+                    .set_last_gen_watch(rungs.get(next_rung).copied());
+                // Keep the state only while it is still
+                // capacity-independent for this run's own capacity.
+                if depth + u64::from(k) <= u64::from(last_cap) {
+                    col.snaps.retain(|s| s.depth != depth);
+                    col.snaps.push(Snapshot {
+                        depth,
+                        engine: engine.clone(),
+                    });
+                }
+                continue;
+            }
+            self.stats.probe_events += engine.events_processed() - start_events;
+            if cert_ok {
+                // A surviving run's certificate is complete; later probes
+                // of this column are strictly smaller capacities (the
+                // bisection only descends), for which it stays valid.
+                if let Some(c) = engine.model_mut().lm.take_consumption_cert() {
+                    col.cert = Some(c);
+                }
+            }
+            return true;
+        }
     }
 
     /// Memo-aware probe: consults `memo` first, simulating only on a miss.
-    pub(crate) fn survives_memo(&mut self, memo: &Memo, g: Geometry) -> bool {
+    pub(crate) fn survives_memo(&mut self, memo: &Memo, g: Geometry, next_lo: u32) -> bool {
         match memo.lookup(&g) {
             Some(verdict) => {
                 self.probes += 1;
@@ -248,7 +519,7 @@ impl Prober {
                 });
                 verdict
             }
-            None => self.survives(g.as_slice()),
+            None => self.survives_at(g.as_slice(), Some(next_lo)),
         }
     }
 
@@ -298,9 +569,12 @@ impl LatticeLimits {
 
 /// For a fixed prefix, the smallest last generation with no kills, or
 /// `None` if even `hi_limit` kills. `probe` answers "does this geometry
-/// survive?".
+/// survive?"; its second argument is the smallest last-generation
+/// capacity any *later* probe of this column could use (the bisection's
+/// next midpoint on the surviving branch) — the resume machinery arms its
+/// snapshot watch at that depth.
 pub(crate) fn min_last_for(
-    probe: &mut impl FnMut(&Geometry) -> bool,
+    probe: &mut impl FnMut(&Geometry, u32) -> bool,
     gap_blocks: u32,
     prefix: &[u32],
     hi_limit: u32,
@@ -308,12 +582,12 @@ pub(crate) fn min_last_for(
     let base = Geometry::from_slice(prefix);
     let mut lo = gap_blocks + 1;
     let mut hi = hi_limit;
-    if !probe(&base.with_last(hi)) {
+    if !probe(&base.with_last(hi), lo + (hi - lo) / 2) {
         return None;
     }
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if probe(&base.with_last(mid)) {
+        if probe(&base.with_last(mid), lo + (mid - lo) / 2) {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -395,6 +669,26 @@ pub fn lattice_min_space_traced(
     jobs: usize,
     use_memo: bool,
 ) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
+    run_lattice(
+        base,
+        limits,
+        jobs,
+        use_memo,
+        crate::analytic::enabled(),
+        None,
+    )
+}
+
+/// The lattice search proper, with the analytic toggle resolved and an
+/// optional pre-captured trace to seed the anchor pass with.
+fn run_lattice(
+    base: &RunConfig,
+    limits: &LatticeLimits,
+    jobs: usize,
+    use_memo: bool,
+    analytic_on: bool,
+    seed_trace: Option<Arc<WorkloadTrace>>,
+) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
     let k = base.el.log.gap_blocks;
     assert!(
         !limits.prefix_max.is_empty(),
@@ -410,15 +704,16 @@ pub fn lattice_min_space_traced(
         limits.prefix_max.iter().all(|&m| m > k) && limits.last_limit > k,
         "every ceiling must exceed the gap threshold ({k})"
     );
-    let mut anchor_prober = Prober::new(base, None);
+    let mut anchor_prober = Prober::new(base, seed_trace).with_analytic(analytic_on);
+    anchor_prober.ensure_model();
     let mut memo = Memo::default();
     let anchor_prefix = Geometry::from_slice(&limits.prefix_max);
     let anchor = {
         let p = &mut anchor_prober;
         let m = &mut memo;
         min_last_for(
-            &mut |g| {
-                let v = p.survives(g.as_slice());
+            &mut |g, next_lo| {
+                let v = p.survives_at(g.as_slice(), Some(next_lo));
                 m.record(*g, v);
                 v
             },
@@ -441,18 +736,19 @@ pub fn lattice_min_space_traced(
     // of `jobs`.
     let memo = memo;
     let trace = anchor_prober.trace.clone();
+    let model = anchor_prober.model();
     let bound = anchor_prefix.total() + anchor_last;
     let prefixes = enumerate_prefixes(k, &limits.prefix_max);
     // Workers draw scratch probers from a pool instead of cloning the
     // configuration per prefix; every prober already replays the anchor's
-    // trace.
+    // trace and shares the anchor's analytic certificate.
     let pool: Mutex<Vec<Prober>> = Mutex::new(Vec::new());
     let results = crate::sweep::parallel_map(&prefixes, jobs, |_, prefix| {
-        let mut p = pool
-            .lock()
-            .expect("prober pool")
-            .pop()
-            .unwrap_or_else(|| Prober::new(base, trace.clone()));
+        let mut p = pool.lock().expect("prober pool").pop().unwrap_or_else(|| {
+            Prober::new(base, trace.clone())
+                .with_analytic(analytic_on)
+                .share_model(model.clone())
+        });
         let cap = bound
             .saturating_sub(prefix.total())
             .saturating_sub(1)
@@ -465,11 +761,11 @@ pub fn lattice_min_space_traced(
         } else {
             p.stats.pruned_volume += u64::from(limits.last_limit - cap);
             min_last_for(
-                &mut |g| {
+                &mut |g, next_lo| {
                     if use_memo {
-                        p.survives_memo(&memo, *g)
+                        p.survives_memo(&memo, *g, next_lo)
                     } else {
-                        p.survives(g.as_slice())
+                        p.survives_at(g.as_slice(), Some(next_lo))
                     }
                 },
                 k,
@@ -515,16 +811,18 @@ fn lattice_scan(
 ) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
     let k = base.el.log.gap_blocks;
     let trace = acc.trace.clone();
+    let analytic_on = acc.analytic_on;
+    let model = acc.model();
     let prefixes = enumerate_prefixes(k, &limits.prefix_max);
     let pool: Mutex<Vec<Prober>> = Mutex::new(Vec::new());
     let results = crate::sweep::parallel_map(&prefixes, jobs, |_, prefix| {
-        let mut p = pool
-            .lock()
-            .expect("prober pool")
-            .pop()
-            .unwrap_or_else(|| Prober::new(base, trace.clone()));
+        let mut p = pool.lock().expect("prober pool").pop().unwrap_or_else(|| {
+            Prober::new(base, trace.clone())
+                .with_analytic(analytic_on)
+                .share_model(model.clone())
+        });
         let last = min_last_for(
-            &mut |g| p.survives(g.as_slice()),
+            &mut |g, next_lo| p.survives_at(g.as_slice(), Some(next_lo)),
             k,
             prefix.as_slice(),
             limits.last_limit,
@@ -558,6 +856,240 @@ fn lattice_scan(
     let trace = acc.trace.clone();
     let trail = std::mem::take(&mut acc.memo_trail);
     (acc.into_result(best.to_vec()), trace, trail)
+}
+
+/// Smallest single-generation log: doubling to bracket, then bisection.
+/// `feasible = false` means even `hi_limit` killed (result clamps there).
+fn run_firewall(
+    base: &RunConfig,
+    hi_limit: u32,
+    analytic_on: bool,
+    seed_trace: Option<Arc<WorkloadTrace>>,
+) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, bool) {
+    let mut p = Prober::new(base, seed_trace).with_analytic(analytic_on);
+    p.ensure_model();
+    let k = base.el.log.gap_blocks;
+    let mut lo = k + 1; // smallest valid geometry
+    let mut hi = hi_limit;
+    // Establish a surviving upper bound by doubling.
+    let mut upper = (lo * 2).min(hi);
+    loop {
+        if p.survives_at(&[upper], Some(lo + (upper - lo) / 2)) {
+            hi = upper;
+            break;
+        }
+        if upper >= hi_limit {
+            let trace = p.trace.clone();
+            return (p.into_result(vec![hi_limit]), trace, false);
+        }
+        lo = upper + 1;
+        upper = (upper * 2).min(hi_limit);
+    }
+    // Binary search smallest surviving size in [lo, hi].
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if p.survives_at(&[mid], Some(lo + (mid - lo) / 2)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let trace = p.trace.clone();
+    (p.into_result(vec![hi]), trace, true)
+}
+
+/// Smallest last generation under a fixed prefix. `feasible = false`
+/// means even `last_limit` killed (result clamps the last axis there).
+fn run_fixed_prefix(
+    base: &RunConfig,
+    prefix: &[u32],
+    last_limit: u32,
+    analytic_on: bool,
+    seed_trace: Option<Arc<WorkloadTrace>>,
+) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, bool) {
+    let mut p = Prober::new(base, seed_trace).with_analytic(analytic_on);
+    p.ensure_model();
+    let k = base.el.log.gap_blocks;
+    let last = min_last_for(
+        &mut |g, next_lo| p.survives_at(g.as_slice(), Some(next_lo)),
+        k,
+        prefix,
+        last_limit,
+    );
+    let trace = p.trace.clone();
+    let mut blocks = prefix.to_vec();
+    blocks.push(last.unwrap_or(last_limit));
+    (p.into_result(blocks), trace, last.is_some())
+}
+
+/// What a [`SearchRequest`] searches over.
+#[derive(Clone, Debug)]
+pub enum SearchMode {
+    /// Single-generation (FW baseline) minimum: doubling + bisection,
+    /// capped at `limit`.
+    Firewall {
+        /// Search ceiling; the result clamps here when nothing survives.
+        limit: u32,
+    },
+    /// Full N-generation lattice minimum (anchor pass, memoised prefix
+    /// scan, anchor-bound pruning).
+    Lattice {
+        /// Per-axis ceilings; their shape fixes the dimensionality.
+        limits: LatticeLimits,
+    },
+    /// Fixed prefix, bisect only the last generation (Figure 7's
+    /// "progressively decreased its size" protocol).
+    FixedPrefix {
+        /// The frozen sizes of every generation but the last.
+        prefix: Vec<u32>,
+        /// Bisection ceiling for the last generation.
+        last_limit: u32,
+    },
+}
+
+/// One minimum-space search, any shape: the unified entry point behind
+/// the previous per-shape free functions (`fw_min_space`, `el_min_space`,
+/// `el_min_last_gen`, `lattice_min_space`), which are now thin shims over
+/// this builder.
+///
+/// ```no_run
+/// # use elog_harness::{SearchRequest, LatticeLimits, minspace::paper_base};
+/// let base = paper_base(0.05, false, 500);
+/// let out = SearchRequest::lattice(&base, LatticeLimits::uniform(3, 12, 256))
+///     .jobs(4)
+///     .run();
+/// assert!(out.feasible);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SearchRequest {
+    base: RunConfig,
+    mode: SearchMode,
+    jobs: usize,
+    memo: bool,
+    analytic: Option<bool>,
+    seed_trace: Option<Arc<WorkloadTrace>>,
+}
+
+/// What a [`SearchRequest`] found.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The minimum geometry and the probe-engine counters.
+    pub min: MinSpaceResult,
+    /// The workload trace the probes captured (or were seeded with), for
+    /// the caller's measured run.
+    pub trace: Option<Arc<WorkloadTrace>>,
+    /// Memo-derived verdicts, for soundness audits (lattice mode only).
+    pub memo_trail: Vec<MemoHit>,
+    /// `false` when nothing survived within the ceilings; `min` then
+    /// holds the clamped upper bound probed last. Lattice mode panics
+    /// instead (its callers treat an infeasible lattice as a setup bug).
+    pub feasible: bool,
+}
+
+impl SearchRequest {
+    fn with_mode(base: &RunConfig, mode: SearchMode) -> Self {
+        SearchRequest {
+            base: base.clone(),
+            mode,
+            jobs: 1,
+            memo: true,
+            analytic: None,
+            seed_trace: None,
+        }
+    }
+
+    /// Single-generation (FW) minimum-space search capped at `limit`.
+    pub fn firewall(base: &RunConfig, limit: u32) -> Self {
+        Self::with_mode(base, SearchMode::Firewall { limit })
+    }
+
+    /// N-generation lattice search over `limits` (the 2-generation search
+    /// is the one-prefix-axis case).
+    pub fn lattice(base: &RunConfig, limits: LatticeLimits) -> Self {
+        Self::with_mode(base, SearchMode::Lattice { limits })
+    }
+
+    /// Fixed-prefix search: bisect only the last generation.
+    pub fn fixed_prefix(base: &RunConfig, prefix: Vec<u32>, last_limit: u32) -> Self {
+        assert!(!prefix.is_empty(), "use firewall() for one generation");
+        Self::with_mode(base, SearchMode::FixedPrefix { prefix, last_limit })
+    }
+
+    /// Worker threads for the lattice prefix scan (default 1; results are
+    /// invariant in this).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enables/disables the dominance memo (lattice mode; default on).
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
+        self
+    }
+
+    /// Overrides the process-wide analytic toggle for this search
+    /// ([`crate::analytic::set_enabled`]); unset inherits it.
+    pub fn analytic(mut self, on: bool) -> Self {
+        self.analytic = Some(on);
+        self
+    }
+
+    /// Seeds the probes with an already-captured workload trace (must
+    /// match the base's seed, mix, arrivals and horizon); without one the
+    /// first kill-free probe captures its own.
+    pub fn seed_trace(mut self, trace: Option<Arc<WorkloadTrace>>) -> Self {
+        self.seed_trace = trace;
+        self
+    }
+
+    /// Runs the search.
+    pub fn run(self) -> SearchOutcome {
+        let analytic_on = self.analytic.unwrap_or_else(crate::analytic::enabled);
+        match self.mode {
+            SearchMode::Firewall { limit } => {
+                let (min, trace, feasible) =
+                    run_firewall(&self.base, limit, analytic_on, self.seed_trace);
+                SearchOutcome {
+                    min,
+                    trace,
+                    memo_trail: Vec::new(),
+                    feasible,
+                }
+            }
+            SearchMode::Lattice { limits } => {
+                let (min, trace, memo_trail) = run_lattice(
+                    &self.base,
+                    &limits,
+                    self.jobs,
+                    self.memo,
+                    analytic_on,
+                    self.seed_trace,
+                );
+                SearchOutcome {
+                    min,
+                    trace,
+                    memo_trail,
+                    feasible: true,
+                }
+            }
+            SearchMode::FixedPrefix { prefix, last_limit } => {
+                let (min, trace, feasible) = run_fixed_prefix(
+                    &self.base,
+                    &prefix,
+                    last_limit,
+                    analytic_on,
+                    self.seed_trace,
+                );
+                SearchOutcome {
+                    min,
+                    trace,
+                    memo_trail: Vec::new(),
+                    feasible,
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -672,13 +1204,115 @@ mod tests {
             prefix_max: vec![8, 8],
             last_limit: 48,
         };
-        let (serial, _, _) = lattice_min_space_traced(&base, &limits, 1, true);
-        let (parallel, _, _) = lattice_min_space_traced(&base, &limits, 4, true);
+        let (serial, _, _) = run_lattice(&base, &limits, 1, true, true, None);
+        let (parallel, _, _) = run_lattice(&base, &limits, 4, true, true, None);
         assert_eq!(serial.generation_blocks, parallel.generation_blocks);
         assert_eq!(serial.probes, parallel.probes);
         assert_eq!(serial.search.sim_probes, parallel.search.sim_probes);
         assert_eq!(serial.search.memo_hits, parallel.search.memo_hits);
         assert_eq!(serial.search.pruned_volume, parallel.search.pruned_volume);
+        // The analytic engines are column-local, so their counters are
+        // jobs-invariant too — event volume included.
+        assert_eq!(
+            serial.search.analytic_rejections,
+            parallel.search.analytic_rejections
+        );
+        assert_eq!(serial.search.resume_probes, parallel.search.resume_probes);
+        assert_eq!(
+            serial.search.resume_saved_events,
+            parallel.search.resume_saved_events
+        );
+        assert_eq!(serial.search.probe_events, parallel.search.probe_events);
+    }
+
+    #[test]
+    fn analytic_path_matches_probe_only_path() {
+        // The tentpole's soundness contract: with the analytic pre-filter
+        // and prefix resume on, every probe verdict — and therefore the
+        // chosen geometry, the probe counts, and the memo trail — is
+        // identical to the exhaustive probe path; only the event volume
+        // may shrink.
+        let base = paper_base(0.05, false, 20);
+        let limits = LatticeLimits {
+            prefix_max: vec![10, 8],
+            last_limit: 64,
+        };
+        let (on, _, on_trail) = run_lattice(&base, &limits, 2, true, true, None);
+        let (off, _, off_trail) = run_lattice(&base, &limits, 2, true, false, None);
+        assert_eq!(on.generation_blocks, off.generation_blocks);
+        assert_eq!(on.probes, off.probes);
+        assert_eq!(on.search.sim_probes, off.search.sim_probes);
+        assert_eq!(on.search.replay_probes, off.search.replay_probes);
+        assert_eq!(on.search.memo_hits, off.search.memo_hits);
+        assert_eq!(on.search.pruned_volume, off.search.pruned_volume);
+        assert_eq!(on_trail, off_trail);
+        assert_eq!(off.search.analytic_rejections, 0);
+        assert_eq!(off.search.resume_probes, 0);
+        assert!(
+            on.search.probe_events <= off.search.probe_events,
+            "the pre-filter must not add events: {} vs {}",
+            on.search.probe_events,
+            off.search.probe_events
+        );
+    }
+
+    #[test]
+    fn cert_answers_fixed_prefix_bisection() {
+        // Fixed-prefix bisection: once a replay probe survives the whole
+        // horizon, its consumption certificate answers every smaller
+        // capacity in the column probe-free — changing nothing but the
+        // event count.
+        let base = paper_base(0.05, false, 30);
+        let (on, _, feasible_on) = run_fixed_prefix(&base, &[14], 96, true, None);
+        let (off, _, feasible_off) = run_fixed_prefix(&base, &[14], 96, false, None);
+        assert!(feasible_on && feasible_off);
+        assert_eq!(on.generation_blocks, off.generation_blocks);
+        assert_eq!(on.probes, off.probes);
+        assert_eq!(on.search.replay_probes, off.search.replay_probes);
+        assert!(
+            on.search.cert_verdicts > 0,
+            "bisection under one prefix must use the certificate"
+        );
+        assert_eq!(off.search.cert_verdicts, 0);
+        assert!(
+            on.search.probe_events + on.search.resume_saved_events <= off.search.probe_events,
+            "certified probes must actually skip the events they claim: \
+             {} + {} saved vs {}",
+            on.search.probe_events,
+            on.search.resume_saved_events,
+            off.search.probe_events
+        );
+    }
+
+    #[test]
+    fn resume_probes_match_fresh_replays() {
+        // Recirculation breaks the certificate's consumption law (§4
+        // re-appends compete for the last generation's tail) but not the
+        // prefix-independence snapshots rely on, so bisection under one
+        // prefix falls back to snapshot-resume: it must fire — and change
+        // nothing but the event count.
+        let mut base = paper_base(0.05, false, 30);
+        base.el.log.recirculation = true;
+        let (on, _, feasible_on) = run_fixed_prefix(&base, &[14], 96, true, None);
+        let (off, _, feasible_off) = run_fixed_prefix(&base, &[14], 96, false, None);
+        assert!(feasible_on && feasible_off);
+        assert_eq!(on.generation_blocks, off.generation_blocks);
+        assert_eq!(on.probes, off.probes);
+        assert_eq!(on.search.replay_probes, off.search.replay_probes);
+        assert_eq!(on.search.cert_verdicts, 0);
+        assert!(
+            on.search.resume_probes > 0,
+            "bisection under one prefix must resume at least once"
+        );
+        assert_eq!(off.search.resume_probes, 0);
+        assert!(
+            on.search.probe_events + on.search.resume_saved_events <= off.search.probe_events,
+            "resumed probes must actually skip the events they claim: \
+             {} + {} saved vs {}",
+            on.search.probe_events,
+            on.search.resume_saved_events,
+            off.search.probe_events
+        );
     }
 
     #[test]

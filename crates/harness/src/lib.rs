@@ -22,6 +22,7 @@
 //! | Design-choice ablations (ours) | [`experiments::ablations`] |
 //! | §5 N-generation extension | [`experiments::fig_ngen`] |
 
+pub mod analytic;
 pub mod autotune;
 pub mod benchgate;
 pub mod crashpoint;
@@ -32,14 +33,17 @@ pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use analytic::AnalyticModel;
 pub use autotune::{autotune, TuneResult};
 pub use crashpoint::{
     bench_recovery, bench_snapshot, snapshot_run, CrashPoint, CrashSnapshot, RecoveryBenchPoint,
 };
-pub use latsearch::{lattice_min_space, Geometry, LatticeLimits, MemoHit};
-pub use minspace::{
-    el_min_last_gen, el_min_space, el_min_space_jobs, fw_min_space, MinSpaceResult,
+pub use latsearch::{
+    lattice_min_space, Geometry, LatticeLimits, MemoHit, SearchMode, SearchOutcome, SearchRequest,
 };
+#[allow(deprecated)] // the shim stays importable from the crate root
+pub use minspace::el_min_space;
+pub use minspace::{el_min_last_gen, el_min_space_jobs, fw_min_space, MinSpaceResult};
 pub use runner::{RunConfig, RunResult, SimModel};
 pub use sweep::{
     derive_seed, run_experiments, run_scenarios, ExecOptions, Experiment, ExperimentReport, Job,

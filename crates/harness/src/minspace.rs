@@ -21,7 +21,7 @@
 //! paper-facing entry points (FW binary search, fixed-gen0 searches, the
 //! base configurations).
 
-use crate::latsearch::{lattice_min_space_traced, min_last_for, Geometry, LatticeLimits, Prober};
+use crate::latsearch::{lattice_min_space_traced, LatticeLimits, Prober, SearchRequest};
 use crate::runner::RunConfig;
 use elog_core::ElConfig;
 use elog_sim::{SearchStats, SimTime};
@@ -64,40 +64,14 @@ pub fn fw_min_space_traced(
     base: &RunConfig,
     hi_limit: u32,
 ) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>) {
-    let mut p = Prober::new(base, None);
-    let k = base.el.log.gap_blocks;
-    let mut lo = k + 1; // smallest valid geometry
-    let mut hi = hi_limit;
-    // Establish a surviving upper bound by doubling.
-    let mut upper = (lo * 2).min(hi);
-    loop {
-        if p.survives(&[upper]) {
-            hi = upper;
-            break;
-        }
-        if upper >= hi_limit {
-            let trace = p.trace.clone();
-            return (p.into_result(vec![hi_limit]), trace);
-        }
-        lo = upper + 1;
-        upper = (upper * 2).min(hi_limit);
-    }
-    // Binary search smallest surviving size in [lo, hi].
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if p.survives(&[mid]) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    let trace = p.trace.clone();
-    (p.into_result(vec![hi]), trace)
+    let out = SearchRequest::firewall(base, hi_limit).run();
+    (out.min, out.trace)
 }
 
 /// Minimum-total two-generation EL geometry on the default thread count.
 ///
 /// See [`el_min_space_jobs`].
+#[deprecated(note = "build a SearchRequest::lattice with a one-axis prefix instead")]
 pub fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceResult {
     el_min_space_jobs(base, g0_max, g1_limit, crate::sweep::default_jobs())
 }
@@ -155,16 +129,10 @@ pub fn el_min_last_gen_traced(
     g1_limit: u32,
     trace: Option<Arc<WorkloadTrace>>,
 ) -> Option<(MinSpaceResult, Option<Arc<WorkloadTrace>>)> {
-    let mut p = Prober::new(base, trace);
-    let k = base.el.log.gap_blocks;
-    let g1 = min_last_for(
-        &mut |g: &Geometry| p.survives(g.as_slice()),
-        k,
-        &[g0],
-        g1_limit,
-    )?;
-    let trace = p.trace.clone();
-    Some((p.into_result(vec![g0, g1]), trace))
+    let out = SearchRequest::fixed_prefix(base, vec![g0], g1_limit)
+        .seed_trace(trace)
+        .run();
+    out.feasible.then_some((out.min, out.trace))
 }
 
 /// Convenience: the paper's base run (5 % long transactions, default flush
@@ -203,6 +171,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep working until it is removed
     fn el_search_finds_feasible_minimum() {
         let base = paper_base(0.05, false, 20);
         let r = el_min_space(&base, 24, 128);
@@ -232,16 +201,10 @@ mod tests {
         // 40% long transactions cannot fit a 4-block last generation with
         // a 3-block gen0.
         let base = paper_base(0.4, false, 20);
-        let mut p = Prober::new(&base, None);
-        assert_eq!(
-            min_last_for(
-                &mut |g: &Geometry| p.survives(g.as_slice()),
-                base.el.log.gap_blocks,
-                &[3],
-                4
-            ),
-            None
-        );
+        let out = SearchRequest::fixed_prefix(&base, vec![3], 4).run();
+        assert!(!out.feasible);
+        assert_eq!(out.min.generation_blocks, vec![3, 4], "clamped at limit");
+        assert_eq!(el_min_last_gen(&base, 3, 4), None);
     }
 
     #[test]

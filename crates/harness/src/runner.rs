@@ -164,6 +164,33 @@ pub struct SimModel<L: LogManager = ElManager> {
     lifetime_hints: bool,
     kills: u64,
     acks: u64,
+    /// Halt the engine once the last generation has allocated this many
+    /// blocks (see [`SimModel::set_last_gen_watch`]). `None` never fires.
+    watch_last_gen: Option<u64>,
+}
+
+/// Cloning a model mid-run snapshots the entire simulation state — the
+/// prefix-resume probes clone an [`Engine`] at a fill depth and later
+/// resume the copy under a different last-generation capacity.
+impl<L: LogManager + Clone> Clone for SimModel<L> {
+    fn clone(&self) -> Self {
+        SimModel {
+            driver: self.driver.clone(),
+            lm: self.lm.clone(),
+            oracle: self.oracle.clone(),
+            pool: self.pool.clone(),
+            tokens: self.tokens.clone(),
+            token_pool: self.token_pool.clone(),
+            wl_events: self.wl_events.clone(),
+            track_tokens: self.track_tokens,
+            stop_on_kill: self.stop_on_kill,
+            track_oracle: self.track_oracle,
+            lifetime_hints: self.lifetime_hints,
+            kills: self.kills,
+            acks: self.acks,
+            watch_last_gen: self.watch_last_gen,
+        }
+    }
 }
 
 impl<L: LogManager> SimModel<L> {
@@ -225,6 +252,19 @@ impl<L: LogManager> SimModel<L> {
     /// Acks observed so far.
     pub fn acks(&self) -> u64 {
         self.acks
+    }
+
+    /// Arms (or clears) the last-generation fill watch: when set, the
+    /// engine stops as soon as [`LogManager::last_gen_allocated`] reaches
+    /// `blocks`. The prefix-resume probes arm it to snapshot the model at a
+    /// capacity-independent depth, then clear it and continue the run.
+    pub fn set_last_gen_watch(&mut self, blocks: Option<u64>) {
+        self.watch_last_gen = blocks;
+    }
+
+    /// The armed watch, if any.
+    pub fn last_gen_watch(&self) -> Option<u64> {
+        self.watch_last_gen
     }
 }
 
@@ -294,7 +334,10 @@ impl<L: LogManager> Simulate for SimModel<L> {
     }
 
     fn should_stop(&self, _now: SimTime) -> bool {
-        self.stop_on_kill && self.kills > 0
+        (self.stop_on_kill && self.kills > 0)
+            || self
+                .watch_last_gen
+                .is_some_and(|w| self.lm.last_gen_allocated() >= w)
     }
 }
 
@@ -362,6 +405,7 @@ pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimMode
         lifetime_hints: cfg.lifetime_hints,
         kills: 0,
         acks: 0,
+        watch_last_gen: None,
     };
     let mut engine = Engine::new(model);
     let boot = engine.model().driver.bootstrap(SimTime::ZERO);

@@ -24,7 +24,8 @@
 //! produced it; aggregation reads the slots in order. Progress lines go
 //! to stderr only.
 
-use crate::minspace::{self, MinSpaceResult};
+use crate::latsearch::SearchRequest;
+use crate::minspace::MinSpaceResult;
 use crate::report::Table;
 use crate::runner::{build_model, build_model_with, run, RunConfig, RunResult};
 use elog_core::{HybridManager, LogManager};
@@ -325,6 +326,23 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Re-runs the search's minimal geometry without `stop_on_kill`, reusing
+/// the search's captured trace, and folds the search counters into the
+/// measured run's perf stats.
+fn measure_minimum(
+    base: &RunConfig,
+    min: MinSpaceResult,
+    trace: Option<std::sync::Arc<elog_workload::WorkloadTrace>>,
+) -> Output {
+    let mut measured = run(&base
+        .clone()
+        .geometry(min.generation_blocks.clone())
+        .stop_on_kill(false)
+        .with_trace(trace));
+    measured.perf.search = min.search;
+    Output::MinSpace { min, measured }
+}
+
 /// Runs one scenario's job with its derived seed.
 fn run_job(scenario: &Scenario) -> Output {
     let seeded = |cfg: &RunConfig| cfg.clone().seed(derive_seed(cfg.seed, scenario.seed_index));
@@ -332,14 +350,8 @@ fn run_job(scenario: &Scenario) -> Output {
         Job::Measure(cfg) => Output::Measured(run(&seeded(cfg))),
         Job::FwMin { base, limit } => {
             let base = seeded(base);
-            let (min, trace) = minspace::fw_min_space_traced(&base, *limit);
-            let mut measured = run(&base
-                .clone()
-                .geometry(min.generation_blocks.clone())
-                .stop_on_kill(false)
-                .with_trace(trace));
-            measured.perf.search = min.search;
-            Output::MinSpace { min, measured }
+            let out = SearchRequest::firewall(&base, *limit).run();
+            measure_minimum(&base, out.min, out.trace)
         }
         Job::ElMin {
             base,
@@ -347,16 +359,14 @@ fn run_job(scenario: &Scenario) -> Output {
             g1_limit,
         } => {
             let base = seeded(base);
-            // Serial inner search: parallelism belongs to the scenario
-            // level here, not nested inside one scenario.
-            let (min, trace, _) = minspace::el_min_space_traced(&base, *g0_max, *g1_limit, 1, true);
-            let mut measured = run(&base
-                .clone()
-                .geometry(min.generation_blocks.clone())
-                .stop_on_kill(false)
-                .with_trace(trace));
-            measured.perf.search = min.search;
-            Output::MinSpace { min, measured }
+            // Serial inner search (jobs = 1 default): parallelism belongs
+            // to the scenario level here, not nested inside one scenario.
+            let limits = crate::latsearch::LatticeLimits {
+                prefix_max: vec![*g0_max],
+                last_limit: *g1_limit,
+            };
+            let out = SearchRequest::lattice(&base, limits).run();
+            measure_minimum(&base, out.min, out.trace)
         }
         Job::ElLatticeMin {
             base,
@@ -370,15 +380,8 @@ fn run_job(scenario: &Scenario) -> Output {
             };
             // Serial inner search, like ElMin: parallelism belongs to the
             // scenario level.
-            let (min, trace, _) =
-                crate::latsearch::lattice_min_space_traced(&base, &limits, 1, true);
-            let mut measured = run(&base
-                .clone()
-                .geometry(min.generation_blocks.clone())
-                .stop_on_kill(false)
-                .with_trace(trace));
-            measured.perf.search = min.search;
-            Output::MinSpace { min, measured }
+            let out = SearchRequest::lattice(&base, limits).run();
+            measure_minimum(&base, out.min, out.trace)
         }
         Job::ElRecircMin {
             base,
@@ -399,19 +402,22 @@ fn run_job(scenario: &Scenario) -> Output {
             // so one capture serves both searches and the measured run.
             let mut norec = base.clone();
             norec.el.log.recirculation = false;
-            let (norec_min, trace, _) =
-                minspace::el_min_space_traced(&norec, *g0_max, *g1_limit, 1, true);
-            let g0 = norec_min.generation_blocks[0];
-            let (mut min, trace) = minspace::el_min_last_gen_traced(&base, g0, *g1_limit, trace)
-                .expect("no-recirculation gen0 must stay feasible with recirculation");
-            min.search.merge(&norec_min.search);
-            let mut measured = run(&base
-                .clone()
-                .geometry(min.generation_blocks.clone())
-                .stop_on_kill(false)
-                .with_trace(trace));
-            measured.perf.search = min.search;
-            Output::MinSpace { min, measured }
+            let limits = crate::latsearch::LatticeLimits {
+                prefix_max: vec![*g0_max],
+                last_limit: *g1_limit,
+            };
+            let norec_out = SearchRequest::lattice(&norec, limits).run();
+            let g0 = norec_out.min.generation_blocks[0];
+            let recirc_out = SearchRequest::fixed_prefix(&base, vec![g0], *g1_limit)
+                .seed_trace(norec_out.trace)
+                .run();
+            assert!(
+                recirc_out.feasible,
+                "no-recirculation gen0 must stay feasible with recirculation"
+            );
+            let mut min = recirc_out.min;
+            min.search.merge(&norec_out.min.search);
+            measure_minimum(&base, min, recirc_out.trace)
         }
         Job::CrashRecover(cfg) => {
             let cfg = seeded(cfg).track_oracle(true);

@@ -1,0 +1,108 @@
+//! Resume-equivalence suite: the probe accelerators behind the unified
+//! search API — the analytic pre-filter, prefix-resume snapshots and the
+//! per-column consumption certificate — must be pure accelerators. Every
+//! search run with them enabled must choose the same geometry, consume
+//! the same number of verdicts in the same order, and report the same
+//! derived statistics as the exhaustive probe-only path; only the
+//! simulated event volume may shrink.
+
+use elog_harness::minspace::paper_base;
+use elog_harness::{LatticeLimits, MinSpaceResult, SearchRequest};
+
+fn assert_equivalent(on: &MinSpaceResult, off: &MinSpaceResult) {
+    assert_eq!(
+        on.generation_blocks, off.generation_blocks,
+        "accelerators changed the selected geometry"
+    );
+    assert_eq!(on.total_blocks, off.total_blocks);
+    assert_eq!(
+        on.probes, off.probes,
+        "accelerators changed how many verdicts the search consumed"
+    );
+    assert_eq!(on.search.sim_probes, off.search.sim_probes);
+    assert_eq!(on.search.replay_probes, off.search.replay_probes);
+    assert_eq!(on.search.memo_hits, off.search.memo_hits);
+    assert_eq!(off.search.analytic_rejections, 0);
+    assert_eq!(off.search.resume_probes, 0);
+    assert_eq!(off.search.cert_verdicts, 0);
+    assert!(
+        on.search.probe_events <= off.search.probe_events,
+        "accelerators must not add events: {} vs {}",
+        on.search.probe_events,
+        off.search.probe_events
+    );
+}
+
+#[test]
+fn fixed_prefix_search_certifies_and_matches_probe_only_path() {
+    // Figure-7-style protocol: a fixed prefix, bisect the last axis. The
+    // first surviving replay's consumption certificate answers the rest
+    // of the bisection probe-free, without changing the outcome.
+    let base = paper_base(0.05, false, 30);
+    let on = SearchRequest::fixed_prefix(&base, vec![14], 96).run();
+    let off = SearchRequest::fixed_prefix(&base, vec![14], 96)
+        .analytic(false)
+        .run();
+    assert!(on.feasible && off.feasible);
+    assert_equivalent(&on.min, &off.min);
+    assert!(
+        on.min.search.cert_verdicts > 0,
+        "bisection under one prefix must use the certificate"
+    );
+}
+
+#[test]
+fn recirculation_falls_back_to_snapshot_resume() {
+    // Recirculation breaks the certificate's deterministic consumption
+    // law, so the same search shape must fall back to snapshot-resume —
+    // still changing nothing but the event count.
+    let base = paper_base(0.05, true, 30);
+    let on = SearchRequest::fixed_prefix(&base, vec![14], 96).run();
+    let off = SearchRequest::fixed_prefix(&base, vec![14], 96)
+        .analytic(false)
+        .run();
+    assert!(on.feasible && off.feasible);
+    assert_equivalent(&on.min, &off.min);
+    assert_eq!(on.min.search.cert_verdicts, 0);
+    assert!(
+        on.min.search.resume_probes > 0,
+        "bisection under one prefix must resume at least once"
+    );
+    assert!(
+        on.min.search.probe_events + on.min.search.resume_saved_events
+            <= off.min.search.probe_events,
+        "resumed probes must actually skip the events they claim"
+    );
+}
+
+#[test]
+fn lattice_search_is_equivalent_and_jobs_invariant() {
+    // The full lattice walk, accelerators on vs off and serial vs
+    // parallel: one verdict sequence, four ways of computing it.
+    let base = paper_base(0.2, false, 20);
+    let limits = LatticeLimits {
+        prefix_max: vec![10, 8],
+        last_limit: 64,
+    };
+    let on = SearchRequest::lattice(&base, limits.clone()).run();
+    let off = SearchRequest::lattice(&base, limits.clone())
+        .analytic(false)
+        .run();
+    assert_equivalent(&on.min, &off.min);
+    assert!(
+        on.min.search.analytic_rejections > 0 || on.min.search.cert_verdicts > 0,
+        "vacuous equivalence: no accelerator ever fired"
+    );
+
+    let par_on = SearchRequest::lattice(&base, limits.clone()).jobs(4).run();
+    assert_eq!(on.min.generation_blocks, par_on.min.generation_blocks);
+    assert_eq!(on.min.probes, par_on.min.probes);
+    assert_eq!(on.min.search.sim_probes, par_on.min.search.sim_probes);
+    assert_eq!(
+        on.min.search.analytic_rejections,
+        par_on.min.search.analytic_rejections
+    );
+    assert_eq!(on.min.search.cert_verdicts, par_on.min.search.cert_verdicts);
+    assert_eq!(on.min.search.resume_probes, par_on.min.search.resume_probes);
+    assert_eq!(on.min.search.probe_events, par_on.min.search.probe_events);
+}

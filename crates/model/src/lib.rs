@@ -18,6 +18,7 @@
 pub mod bufferpool;
 pub mod config;
 pub mod ids;
+pub mod rates;
 pub mod record;
 pub mod stabledb;
 

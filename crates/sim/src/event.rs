@@ -32,6 +32,7 @@ pub struct EventToken {
     generation: u32,
 }
 
+#[derive(Clone)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -75,6 +76,11 @@ impl<E> PartialOrd for Entry<E> {
 const COMPACT_MIN_HEAP: usize = 64;
 
 /// Priority queue of future events.
+///
+/// `Clone` (for `E: Clone`) deep-copies the pending set, slot generations
+/// and counters; outstanding [`EventToken`]s remain valid against the copy,
+/// which is what lets a whole engine be snapshotted mid-run and resumed.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Current generation per slot. An entry is live iff its stamped

@@ -68,7 +68,30 @@ pub struct SearchStats {
     pub probe_events: u64,
     /// Lattice points excluded by the search's pruning bound without a
     /// probe (skipped last-axis range, summed over all scan columns).
+    /// Counts *anchor-bound* pruning only; verdicts answered by the
+    /// analytic feasibility model are in [`SearchStats::analytic_rejections`]
+    /// so the two mechanisms stay separately attributable.
     pub pruned_volume: u64,
+    /// Probe verdicts answered by the analytic feasibility model: the
+    /// geometry was certified hopeless from the trace's closed-form byte
+    /// balance, so no simulation ran. Each is still counted in
+    /// `sim_probes`/`replay_probes` (the verdict sequence — and hence every
+    /// printed probe count — is identical to the probe-only search); only
+    /// `probe_events` shrinks.
+    pub analytic_rejections: u64,
+    /// Executed probes that resumed from a mid-run snapshot instead of
+    /// replaying from t = 0.
+    pub resume_probes: u64,
+    /// Events those resumed probes did *not* re-execute (the snapshot's
+    /// already-delivered prefix, summed over all resumes).
+    pub resume_saved_events: u64,
+    /// Probe verdicts answered by a column's consumption certificate (one
+    /// instrumented surviving probe certifies every smaller capacity of
+    /// its column exactly). Counted in `sim_probes`/`replay_probes` like
+    /// analytic rejections, so the verdict sequence — and every printed
+    /// probe count — matches the probe-only search; only `probe_events`
+    /// shrinks.
+    pub cert_verdicts: u64,
 }
 
 impl SearchStats {
@@ -100,6 +123,16 @@ impl SearchStats {
         }
     }
 
+    /// Fraction of executed probes that resumed from a snapshot, in
+    /// `[0, 1]`.
+    pub fn resume_hit_rate(&self) -> f64 {
+        if self.sim_probes == 0 {
+            0.0
+        } else {
+            self.resume_probes as f64 / self.sim_probes as f64
+        }
+    }
+
     /// Accumulates another search's counters.
     pub fn merge(&mut self, other: &SearchStats) {
         self.sim_probes += other.sim_probes;
@@ -107,6 +140,10 @@ impl SearchStats {
         self.memo_hits += other.memo_hits;
         self.probe_events += other.probe_events;
         self.pruned_volume += other.pruned_volume;
+        self.analytic_rejections += other.analytic_rejections;
+        self.resume_probes += other.resume_probes;
+        self.cert_verdicts += other.cert_verdicts;
+        self.resume_saved_events += other.resume_saved_events;
     }
 }
 
@@ -359,6 +396,10 @@ mod tests {
                 memo_hits: 1,
                 probe_events: 900,
                 pruned_volume: 11,
+                analytic_rejections: 2,
+                cert_verdicts: 5,
+                resume_probes: 1,
+                resume_saved_events: 300,
             },
         };
         a.merge(&b);
@@ -369,9 +410,14 @@ mod tests {
         assert!((a.events_per_sec() - 2000.0).abs() < 1e-6);
         assert_eq!(a.search.sim_probes, 4);
         assert_eq!(a.search.pruned_volume, 11);
+        assert_eq!(a.search.analytic_rejections, 2);
+        assert_eq!(a.search.cert_verdicts, 5);
+        assert_eq!(a.search.resume_probes, 1);
+        assert_eq!(a.search.resume_saved_events, 300);
         assert!((a.search.replay_hit_rate() - 0.75).abs() < 1e-12);
         assert!((a.search.memo_hit_rate() - 0.2).abs() < 1e-12);
         assert!((a.search.events_per_probe() - 225.0).abs() < 1e-12);
+        assert!((a.search.resume_hit_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]

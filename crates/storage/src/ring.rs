@@ -80,6 +80,31 @@ impl BlockRing {
         self.capacity - self.used_blocks()
     }
 
+    /// Rebinds the ring to a new capacity, preserving its contents.
+    ///
+    /// Only legal while the head has never advanced and every allocated
+    /// sequence number fits the new capacity: then `seq % capacity` is the
+    /// identity for every live block under both the old and the new
+    /// capacity, so no slot remapping is needed. This is exactly the state
+    /// a snapshot-resume probe is in — the search clones a simulation
+    /// snapshotted before the last generation's first head advance and
+    /// re-runs it under a different candidate capacity.
+    ///
+    /// # Panics
+    /// Panics when the head has advanced, when allocated blocks would not
+    /// fit, or when `capacity` is zero.
+    pub fn set_capacity(&mut self, capacity: u64) {
+        assert!(capacity > 0, "ring capacity must be positive");
+        assert_eq!(self.head, 0, "cannot resize a ring whose head has advanced");
+        assert!(
+            self.tail <= capacity,
+            "cannot resize to {capacity} below {} allocated blocks",
+            self.tail
+        );
+        self.capacity = capacity;
+        self.slots.resize(capacity as usize, None);
+    }
+
     /// Allocates the next tail block, returning its address.
     ///
     /// Returns `None` when the ring is full — the caller must first advance
@@ -266,6 +291,45 @@ mod tests {
         let mut r = BlockRing::new(GenId(0), 2);
         r.allocate_tail().unwrap();
         let _ = r.install(blk(GenId(1), 0));
+    }
+
+    #[test]
+    fn set_capacity_preserves_live_blocks() {
+        let mut r = BlockRing::new(GenId(0), 8);
+        for seq in 0..3 {
+            let a = r.allocate_tail().unwrap();
+            assert_eq!(a.seq, seq);
+            let _ = r.install(blk(GenId(0), seq));
+        }
+        // Shrink (still above tail) and grow; contents survive both.
+        r.set_capacity(4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.free_blocks(), 1);
+        assert!(r.block(2).is_some());
+        r.set_capacity(16);
+        assert_eq!(r.free_blocks(), 13);
+        assert!((0..3).all(|s| r.block(s).is_some()));
+        let a = r.allocate_tail().unwrap();
+        assert_eq!(a.seq, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_capacity_below_tail_panics() {
+        let mut r = BlockRing::new(GenId(0), 8);
+        for _ in 0..3 {
+            r.allocate_tail().unwrap();
+        }
+        r.set_capacity(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_capacity_after_head_advance_panics() {
+        let mut r = BlockRing::new(GenId(0), 4);
+        r.allocate_tail().unwrap();
+        r.advance_head();
+        r.set_capacity(8);
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! ```
 
 use elog_harness::autotune::{autotune, observe};
-use elog_harness::minspace::{el_min_space, paper_base};
+use elog_harness::minspace::paper_base;
+use elog_harness::{LatticeLimits, SearchRequest};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -54,7 +55,16 @@ fn main() {
     );
 
     let t0 = std::time::Instant::now();
-    let grid = el_min_space(&base, 28, 256);
+    let grid = SearchRequest::lattice(
+        &base,
+        LatticeLimits {
+            prefix_max: vec![28],
+            last_limit: 256,
+        },
+    )
+    .jobs(elog_harness::sweep::default_jobs())
+    .run()
+    .min;
     let grid_time = t0.elapsed();
     println!(
         "grid search        -> {:?} = {} blocks in {} probes ({grid_time:?})",

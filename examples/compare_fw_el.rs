@@ -9,8 +9,9 @@
 //! ```
 
 use elog_core::MemoryModel;
-use elog_harness::minspace::{el_min_space, fw_min_space, paper_base};
+use elog_harness::minspace::{fw_min_space, paper_base};
 use elog_harness::runner::run;
+use elog_harness::{LatticeLimits, SearchRequest};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -31,7 +32,16 @@ fn main() {
 
     // Ephemeral logging: two generations, no recirculation (Figure 4 setup).
     let el_base = paper_base(frac_long, false, runtime);
-    let el_min = el_min_space(&el_base, 32, 512);
+    let el_min = SearchRequest::lattice(
+        &el_base,
+        LatticeLimits {
+            prefix_max: vec![32],
+            last_limit: 512,
+        },
+    )
+    .jobs(elog_harness::sweep::default_jobs())
+    .run()
+    .min;
     let mut cfg = el_base.clone();
     cfg.el.log.generation_blocks = el_min.generation_blocks.clone();
     let el = run(&cfg);

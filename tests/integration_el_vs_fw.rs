@@ -3,8 +3,24 @@
 //! modest bandwidth and memory premium.
 
 use elog_core::MemoryModel;
-use elog_harness::minspace::{el_min_space, fw_min_space, paper_base};
+use elog_harness::minspace::{fw_min_space, paper_base};
 use elog_harness::runner::run;
+use elog_harness::{LatticeLimits, MinSpaceResult, SearchRequest};
+
+/// Two-generation minimum through the unified search API, on the default
+/// thread count (what the deprecated `el_min_space` shim used to do).
+fn el_min_space(base: &elog_harness::RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceResult {
+    SearchRequest::lattice(
+        base,
+        LatticeLimits {
+            prefix_max: vec![g0_max],
+            last_limit: g1_limit,
+        },
+    )
+    .jobs(elog_harness::sweep::default_jobs())
+    .run()
+    .min
+}
 
 #[test]
 fn el_beats_fw_on_space_at_5_percent() {

@@ -2,7 +2,23 @@
 //! bounds derived from the workload arithmetic.
 
 use elog_core::MemoryModel;
-use elog_harness::minspace::{el_min_space, fw_min_space, paper_base};
+use elog_harness::minspace::{fw_min_space, paper_base};
+use elog_harness::{LatticeLimits, MinSpaceResult, RunConfig, SearchRequest};
+
+/// Two-generation minimum through the unified search API (what the
+/// deprecated `el_min_space` shim wraps).
+fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceResult {
+    SearchRequest::lattice(
+        base,
+        LatticeLimits {
+            prefix_max: vec![g0_max],
+            last_limit: g1_limit,
+        },
+    )
+    .jobs(elog_harness::sweep::default_jobs())
+    .run()
+    .min
+}
 
 /// Log payload rate at 100 TPS for the paper mix (bytes/s):
 /// data `100·(2(1−p)+4p)·100` + tx `100·2·8`.
