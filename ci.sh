@@ -38,6 +38,19 @@ if [ "$ANA_ON" != "$ANA_OFF" ]; then
     exit 1
 fi
 
+echo "== sharded equivalence smoke =="
+# Intra-run drive sharding (DESIGN.md §5h) must be pure: the same
+# min-space search run with the flush completions split across two
+# conservatively clocked shards has to print exactly the same geometry
+# and probe counts as the monolithic heap.
+SH1=$(./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2)
+SH2=$(./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2 --shards 2)
+if [ "$SH1" != "$SH2" ]; then
+    echo "sharded and monolithic searches disagree:" >&2
+    diff <(echo "$SH1") <(echo "$SH2") >&2 || true
+    exit 1
+fi
+
 echo "== bench --quick (perf regression gate) =="
 # One quick pass over the whole experiment basket — including the
 # crash-recovery bench (crash-point snapshots scanned + redone) — gated

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use elog_core::MemoryModel;
 use elog_harness::experiments::fig4_6;
-use elog_harness::minspace::{el_min_space, fw_min_space, paper_base};
+use elog_harness::minspace::{el_min_space_jobs, fw_min_space, paper_base};
 use std::hint::black_box;
 use std::sync::Once;
 
@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("el_5pct_30s", |b| {
         let base = paper_base(0.05, false, 30);
-        b.iter(|| black_box(el_min_space(&base, 24, 192)))
+        b.iter(|| black_box(el_min_space_jobs(&base, 24, 192, 1)))
     });
     g.finish();
 }

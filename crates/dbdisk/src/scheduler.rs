@@ -3,20 +3,30 @@
 //! Each drive owns a contiguous range of the oid space and picks its next
 //! flush to minimise the wraparound distance from the last oid it served —
 //! the paper's stand-in for a seek-minimising disk scheduler. [`NearestOid`]
-//! is the ordered set underneath: a vector sorted by the oid's offset
-//! within the drive's range, with binary-search nearest-neighbour queries
-//! using the two straight-line candidates plus the two wrap candidates.
-//! A sorted vector beats a tree here because the submit/complete cycle
-//! runs once per flushed update: insertion memmoves are cheap at realistic
-//! queue depths, and the structure never allocates once warmed up.
+//! is the ordered set underneath: a B-tree keyed on the oid's offset
+//! within the drive's range, with nearest-neighbour queries using the two
+//! straight-line candidates (predecessor and successor of the seek origin)
+//! plus the two cyclic extremes which cover the wrap paths. Every
+//! operation is O(log n): the scarce-flush-bandwidth regime (§4) drives
+//! per-drive backlogs into the tens of thousands, where the sorted-vector
+//! predecessor of this structure spent microseconds per submit/complete
+//! memmoving half the queue.
+//!
+//! The set is *shard-local* by construction: every entry's oid falls in
+//! its drive's range, the seek origin is the drive's own last-served
+//! offset, and no query ever consults another drive's state. That isolation
+//! is what lets the intra-run sharding layer clock a drive shard's
+//! completions independently — moving a drive between shards cannot change
+//! which request it picks next.
 
 use elog_model::{ObjectVersion, Oid};
+use std::collections::BTreeMap;
 
 /// Ordered pending set for one drive.
 #[derive(Clone, Debug, Default)]
 pub struct NearestOid {
-    /// Sorted by local offset (oid − range start).
-    entries: Vec<(u64, Oid, ObjectVersion)>,
+    /// Keyed by local offset (oid − range start).
+    entries: BTreeMap<u64, (Oid, ObjectVersion)>,
     /// Size of the drive's cyclic range.
     range: u64,
 }
@@ -26,7 +36,7 @@ impl NearestOid {
     pub fn new(range: u64) -> Self {
         assert!(range > 0);
         NearestOid {
-            entries: Vec::new(),
+            entries: BTreeMap::new(),
             range,
         }
     }
@@ -41,10 +51,6 @@ impl NearestOid {
         self.entries.is_empty()
     }
 
-    fn position(&self, local: u64) -> Result<usize, usize> {
-        self.entries.binary_search_by_key(&local, |e| e.0)
-    }
-
     /// Inserts (or replaces) the pending version for a local offset.
     /// Returns the previous version when replacing.
     pub fn insert(
@@ -54,33 +60,17 @@ impl NearestOid {
         version: ObjectVersion,
     ) -> Option<ObjectVersion> {
         debug_assert!(local < self.range);
-        match self.position(local) {
-            Ok(i) => {
-                let prev = self.entries[i].2;
-                self.entries[i] = (local, oid, version);
-                Some(prev)
-            }
-            Err(i) => {
-                self.entries.insert(i, (local, oid, version));
-                None
-            }
-        }
+        self.entries.insert(local, (oid, version)).map(|(_, v)| v)
     }
 
     /// Removes the entry at a local offset.
     pub fn remove(&mut self, local: u64) -> Option<(Oid, ObjectVersion)> {
-        match self.position(local) {
-            Ok(i) => {
-                let (_, oid, v) = self.entries.remove(i);
-                Some((oid, v))
-            }
-            Err(_) => None,
-        }
+        self.entries.remove(&local)
     }
 
     /// True when an entry exists at the offset.
     pub fn contains(&self, local: u64) -> bool {
-        self.position(local).is_ok()
+        self.entries.contains_key(&local)
     }
 
     /// Removes and returns the entry nearest to `pos` by wraparound
@@ -95,10 +85,7 @@ impl NearestOid {
     ) -> Option<(u64, Oid, ObjectVersion, Option<u64>)> {
         let pos = match pos {
             None => {
-                if self.entries.is_empty() {
-                    return None;
-                }
-                let (k, oid, v) = self.entries.remove(0);
+                let (k, (oid, v)) = self.entries.pop_first()?;
                 return Some((k, oid, v, None));
             }
             Some(p) => p,
@@ -111,28 +98,26 @@ impl NearestOid {
             d.min(self.range - d)
         };
         // Straight-line candidates on both sides of pos, plus the cyclic
-        // extremes which cover the wrap paths.
-        let split = self.entries.partition_point(|e| e.0 < pos);
-        let mut best: Option<(usize, u64, u64)> = None; // (index, key, distance)
-        let candidates = [
-            (split < self.entries.len()).then_some(split),
-            split.checked_sub(1),
-            Some(0),
-            Some(self.entries.len() - 1),
-        ];
-        for i in candidates.into_iter().flatten() {
-            let k = self.entries[i].0;
+        // extremes which cover the wrap paths. Candidate order and the
+        // forward-on-tie rule must match the sorted-vector predecessor
+        // exactly: the pick decides simulated flush order.
+        let successor = self.entries.range(pos..).next().map(|(&k, _)| k);
+        let predecessor = self.entries.range(..pos).next_back().map(|(&k, _)| k);
+        let first = self.entries.first_key_value().map(|(&k, _)| k);
+        let last = self.entries.last_key_value().map(|(&k, _)| k);
+        let mut best: Option<(u64, u64)> = None; // (key, distance)
+        for k in [successor, predecessor, first, last].into_iter().flatten() {
             let d = dist(k);
             let better = match best {
                 None => true,
-                Some((_, bk, bd)) => d < bd || (d == bd && k >= pos && bk < pos),
+                Some((bk, bd)) => d < bd || (d == bd && k >= pos && bk < pos),
             };
             if better {
-                best = Some((i, k, d));
+                best = Some((k, d));
             }
         }
-        let (i, k, d) = best.expect("non-empty set yields a candidate");
-        let (_, oid, v) = self.entries.remove(i);
+        let (k, d) = best.expect("non-empty set yields a candidate");
+        let (oid, v) = self.entries.remove(&k).expect("candidate key is present");
         Some((k, oid, v, Some(d)))
     }
 }

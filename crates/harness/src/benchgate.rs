@@ -9,10 +9,11 @@
 //! record rates (measured on the same machine as the baseline, so the
 //! ratios are meaningful even though the absolute figures are not). The
 //! `lattice` section (min-space search probe counts, memo hit rate,
-//! pruned volume) and the `analytic` section (model rejections, prefix
-//! resumes and their saved events) are parsed and echoed for context but
-//! never rate-gated: their numbers are workload properties, not host
-//! throughput.
+//! pruned volume), the `analytic` section (model rejections, prefix
+//! resumes and their saved events) and the `sharding` section (intra-run
+//! drive-shard counters and measured speedup) are parsed and echoed for
+//! context but never rate-gated: their numbers are workload properties,
+//! not host throughput.
 //!
 //! The reports are written by `bench` itself with a fixed field order, so
 //! a full JSON parser would be dead weight: the extractor scans for the
@@ -187,6 +188,43 @@ impl ReportSection for AnalyticSummary {
     }
 }
 
+/// The intra-run drive-sharding aggregates (report-only: shard count,
+/// sync rounds and exchanged effects are workload properties, and the
+/// measured speedup is expected to cross below 1.0 on small runs — see
+/// DESIGN.md §5h — so none of them is a gateable throughput).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardingSummary {
+    /// Completion shards the timed run used.
+    pub shards: f64,
+    /// Spine↔lane alternations the sharded merge performed.
+    pub sync_rounds: f64,
+    /// Flush-completion effects delivered through shard lanes.
+    pub effects_exchanged: f64,
+    /// Wall-clock ratio of the monolithic run to the sharded run.
+    pub speedup_vs_serial: f64,
+}
+
+impl ReportSection for ShardingSummary {
+    const KEY: &'static str = "sharding";
+
+    fn parse_at(json: &str, at: usize) -> Option<Self> {
+        Some(ShardingSummary {
+            shards: scan_number_from(json, at, "shards")?,
+            sync_rounds: scan_number_from(json, at, "sync_rounds")?,
+            effects_exchanged: scan_number_from(json, at, "effects_exchanged")?,
+            speedup_vs_serial: scan_number_from(json, at, "speedup_vs_serial")?,
+        })
+    }
+
+    fn describe(&self, parts: &mut Vec<String>) {
+        parts.push(format!(
+            "sharding {:.0} shards ({:.0} sync rounds, {:.0} effects, \
+             {:.2}x vs serial)",
+            self.shards, self.sync_rounds, self.effects_exchanged, self.speedup_vs_serial
+        ));
+    }
+}
+
 /// The fields the gate compares.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BenchSummary {
@@ -206,6 +244,9 @@ pub struct BenchSummary {
     /// The analytic section's aggregates; `None` when the report predates
     /// the analytic pre-filter.
     pub analytic: Option<AnalyticSummary>,
+    /// The sharding section's aggregates; `None` when the report predates
+    /// intra-run drive sharding.
+    pub sharding: Option<ShardingSummary>,
 }
 
 /// Extracts the number following `"key": ` at its first occurrence at or
@@ -240,6 +281,7 @@ impl BenchSummary {
             recovery: RecoverySummary::parse(json),
             lattice: LatticeSummary::parse(json),
             analytic: AnalyticSummary::parse(json),
+            sharding: ShardingSummary::parse(json),
         })
     }
 }
@@ -331,6 +373,12 @@ pub fn check_regression(
         &mut parts,
     )?;
     gate_section(
+        &baseline.sharding,
+        &current.sharding,
+        max_regress_pct,
+        &mut parts,
+    )?;
+    gate_section(
         &baseline.recovery,
         &current.recovery,
         max_regress_pct,
@@ -388,9 +436,10 @@ mod tests {
         recovery: Option<(f64, f64)>,
         lattice: Option<(f64, f64, f64)>,
         analytic: Option<(f64, f64, f64)>,
+        sharding: Option<(f64, f64)>,
     ) -> String {
         // Same field order as the bench binary's writer: experiments,
-        // then lattice, then analytic, then recovery.
+        // then lattice, then analytic, then sharding, then recovery.
         let lattice_section = match lattice {
             Some((probes, rate, pruned)) => format!(
                 ",\n  \"lattice\": {{\n    \"probes\": {probes},\n    \"memo_hits\": 40,\n    \
@@ -403,6 +452,16 @@ mod tests {
                 ",\n  \"analytic\": {{\n    \"rejections\": {rejections},\n    \
                  \"resume_probes\": {resumes},\n    \"resume_saved_events\": {saved},\n    \
                  \"resume_hit_rate\": 0.1\n  }}"
+            ),
+            None => String::new(),
+        };
+        let sharding_section = match sharding {
+            Some((shards, speedup)) => format!(
+                ",\n  \"sharding\": {{\n    \"shards\": {shards},\n    \
+                 \"sync_rounds\": 9000,\n    \"effects_exchanged\": 180000,\n    \
+                 \"serial_wall_secs\": 1.0,\n    \"sharded_wall_secs\": 0.9,\n    \
+                 \"speedup_vs_serial\": {speedup},\n    \
+                 \"per_shard_busy\": [0.5, 0.5, 0.5, 0.5]\n  }}"
             ),
             None => String::new(),
         };
@@ -424,7 +483,7 @@ mod tests {
              \"replay_hit_rate\": 0.9,\n  \"memo_hit_rate\": 0.2,\n  \
              \"experiments\": [\n    {{\"name\": \"x\", \"probes\": 7, \
              \"events_per_sec\": 99, \"allocations_per_event\": 99.0}}\n  \
-             ]{lattice_section}{analytic_section}{recovery_section}\n}}"
+             ]{lattice_section}{analytic_section}{sharding_section}{recovery_section}\n}}"
         )
     }
 
@@ -441,6 +500,7 @@ mod tests {
             recovery,
             Some((200.0, 0.35, 5000.0)),
             Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
         )
     }
 
@@ -457,6 +517,7 @@ mod tests {
             Some((4e6, 8e6)),
             None,
             Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
         )
     }
 
@@ -468,6 +529,20 @@ mod tests {
             true,
             Some((4e6, 8e6)),
             Some((200.0, 0.35, 5000.0)),
+            None,
+            Some((4.0, 1.05)),
+        )
+    }
+
+    /// A report missing only the sharding section.
+    fn no_sharding(events_per_sec: f64) -> String {
+        report_full(
+            events_per_sec,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
             None,
         )
     }
@@ -535,6 +610,7 @@ mod tests {
             Some((4e6, 8e6)),
             Some((9_000.0, 0.01, 2.0)),
             Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -580,10 +656,70 @@ mod tests {
             Some((4e6, 8e6)),
             Some((200.0, 0.35, 5000.0)),
             Some((0.0, 0.0, 0.0)),
+            Some((4.0, 1.05)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
         assert!(verdict.contains("analytic 0 rejections"), "{verdict}");
+    }
+
+    #[test]
+    fn parse_reads_sharding_aggregates() {
+        let s = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let sh = s.sharding.expect("sharding section present");
+        assert_eq!(sh.shards, 4.0);
+        assert_eq!(sh.sync_rounds, 9000.0);
+        assert_eq!(sh.effects_exchanged, 180000.0);
+        assert_eq!(sh.speedup_vs_serial, 1.05);
+    }
+
+    #[test]
+    fn sharding_baseline_missing_warns_and_passes() {
+        let base = BenchSummary::parse(&no_sharding(400_000.0)).unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(
+            verdict.contains("predates the sharding section"),
+            "{verdict}"
+        );
+    }
+
+    #[test]
+    fn sharding_lost_from_current_fails() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&no_sharding(400_000.0)).unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("no sharding section"), "{err}");
+    }
+
+    #[test]
+    fn sharding_stats_are_reported_but_never_gated() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        // A speedup below 1.0 (barrier overhead lost) is still a pass:
+        // the section is context, not a gated throughput.
+        let cur = BenchSummary::parse(&report_full(
+            400_000.0,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 0.58)),
+        ))
+        .unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("0.58x vs serial"), "{verdict}");
+    }
+
+    #[test]
+    fn zero_allocation_ratio_is_reported_not_gated() {
+        // An experiment basket that delivered no events writes
+        // allocations_per_event: 0.0; the gate reports the figure
+        // verbatim and never divides by it.
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.0, true)).unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("allocs/event 0.000"), "{verdict}");
     }
 
     #[test]

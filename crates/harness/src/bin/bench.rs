@@ -28,6 +28,14 @@
 //! codec and priced through `scan_bytes` + `recover` — per-point scan
 //! and redo throughput, allocations per record, corrupt-block rate.
 //!
+//! A `sharding` section prices the intra-run drive shards
+//! (`RunConfig::shards`, DESIGN.md §5h): the paper's base run is timed
+//! once on the monolithic heap and once on 4 completion shards, and the
+//! report records the shard count, sync rounds, exchanged effects,
+//! per-shard busy fractions and the wall-clock speedup (below 1.0 when
+//! the merge overhead loses — expected on small cache-resident runs).
+//! Report-only, like the lattice and analytic sections.
+//!
 //! `--baseline PATH` turns the run into a regression gate: the fresh
 //! report's top-level throughput *and* the recovery section's aggregate
 //! scan/redo rates are compared against the committed snapshot at PATH
@@ -37,6 +45,8 @@
 use elog_harness::benchgate::{check_regression, BenchSummary};
 use elog_harness::crashpoint::bench_recovery;
 use elog_harness::experiments::registry;
+use elog_harness::minspace::paper_base;
+use elog_harness::runner::run;
 use elog_harness::sweep::{run_scenarios, ExecOptions};
 use elog_sim::perfstats::{allocations, CountingAlloc};
 use elog_sim::{PerfStats, RecoveryStats};
@@ -147,6 +157,19 @@ fn utc_date() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// Allocations per delivered event (measured + probe). A basket that
+/// delivered no events — e.g. "recovery time FW vs EL", whose cost lives
+/// entirely in the recovery section — has no meaningful ratio: emit 0.0
+/// rather than dividing the raw allocation count by a clamped 1 and
+/// publishing it as a per-event figure.
+fn alloc_ratio(allocs: u64, events: u64) -> f64 {
+    if events == 0 {
+        0.0
+    } else {
+        allocs as f64 / events as f64
+    }
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -162,6 +185,75 @@ fn json_str(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Times the sharding subject run on the monolithic heap and on 4 drive
+/// shards and returns the `sharding` report section. The subject is the
+/// flush-heavy overload regime (4× the paper's arrival rate into a
+/// [60, 50] geometry) where the drive lanes carry real backlog — the
+/// paper-scale base run finishes in single-digit milliseconds, which
+/// times as noise. The sharded run's queue counters (shard count, sync
+/// rounds, exchanged effects) and the drives' busy fractions grouped by
+/// the lane→shard mapping (contiguous, `drive * shards / drives` — the
+/// same grouping `configure_shards` uses) give the section its workload
+/// context; the two wall clocks give the speedup. Results are
+/// byte-identical by construction (the shard invariance suite proves
+/// it), so only the sharded run's counters are recorded.
+fn bench_sharding(quick: bool) -> String {
+    const SHARDS: u32 = 4;
+    let secs = if quick { 100 } else { 500 };
+    let mut cfg = paper_base(0.05, false, secs);
+    cfg.arrivals = elog_workload::ArrivalProcess::Deterministic { rate_tps: 400.0 };
+    cfg.el.log.generation_blocks = vec![60, 50];
+    cfg.shards = 1;
+    let t0 = Instant::now();
+    let serial = run(&cfg);
+    let serial_wall = t0.elapsed();
+    cfg.shards = SHARDS;
+    let t0 = Instant::now();
+    let sharded = run(&cfg);
+    let sharded_wall = t0.elapsed();
+    assert_eq!(
+        serial.perf.events, sharded.perf.events,
+        "sharded run diverged from the monolithic heap"
+    );
+    let drives = sharded.metrics.per_drive_busy.len().max(1);
+    let mut busy = vec![0.0f64; SHARDS as usize];
+    let mut width = vec![0u32; SHARDS as usize];
+    for (d, b) in sharded.metrics.per_drive_busy.iter().enumerate() {
+        let s = d * SHARDS as usize / drives;
+        busy[s] += b;
+        width[s] += 1;
+    }
+    let per_shard: Vec<String> = busy
+        .iter()
+        .zip(&width)
+        .map(|(b, w)| format!("{:.3}", b / f64::from((*w).max(1))))
+        .collect();
+    let speedup = serial_wall.as_secs_f64() / sharded_wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "[bench] sharding: {} shards, {} sync rounds, {} effects, {:.2}x vs serial \
+         ({:.2?} -> {:.2?})",
+        sharded.perf.queue.shards,
+        sharded.perf.queue.sync_rounds,
+        sharded.perf.queue.effects_exchanged,
+        speedup,
+        serial_wall,
+        sharded_wall,
+    );
+    format!(
+        "  \"sharding\": {{\n    \"shards\": {},\n    \"sync_rounds\": {},\n    \
+         \"effects_exchanged\": {},\n    \"serial_wall_secs\": {:.3},\n    \
+         \"sharded_wall_secs\": {:.3},\n    \"speedup_vs_serial\": {:.3},\n    \
+         \"per_shard_busy\": [{}]\n  }}",
+        sharded.perf.queue.shards,
+        sharded.perf.queue.sync_rounds,
+        sharded.perf.queue.effects_exchanged,
+        serial_wall.as_secs_f64(),
+        sharded_wall.as_secs_f64(),
+        speedup,
+        per_shard.join(", "),
+    )
 }
 
 fn main() {
@@ -220,7 +312,7 @@ fn main() {
             perf.events,
             perf.events as f64 / wall.as_secs_f64().max(1e-9),
             allocs,
-            allocs as f64 / (perf.events + perf.search.probe_events).max(1) as f64,
+            alloc_ratio(allocs, perf.events + perf.search.probe_events),
             perf.queue.heap_peak,
             perf.queue.compactions,
             perf.search.sim_probes + perf.search.memo_hits,
@@ -289,6 +381,7 @@ fn main() {
         total.search.resume_saved_events,
         total.search.resume_hit_rate(),
     );
+    let sharding_json = bench_sharding(opts.quick);
     let all_verified = points.iter().all(|p| p.verified);
     let recovery_json = format!(
         "  \"recovery\": {{\n    \"scan_blocks_per_sec\": {:.0},\n    \
@@ -311,7 +404,7 @@ fn main() {
          \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
          \"allocations_per_event\": {:.3},\n  \"probe_events\": {},\n  \
          \"replay_hit_rate\": {:.3},\n  \"memo_hit_rate\": {:.3},\n  \
-         \"experiments\": [\n{}\n  ],\n{},\n{},\n{}\n}}",
+         \"experiments\": [\n{}\n  ],\n{},\n{},\n{},\n{}\n}}",
         json_str(&date),
         opts.quick,
         opts.jobs,
@@ -319,13 +412,14 @@ fn main() {
         total.events,
         total.events as f64 / total_wall.as_secs_f64().max(1e-9),
         total_allocs,
-        total_allocs as f64 / (total.events + total.search.probe_events).max(1) as f64,
+        alloc_ratio(total_allocs, total.events + total.search.probe_events),
         total.search.probe_events,
         total.search.replay_hit_rate(),
         total.search.memo_hit_rate(),
         per_experiment,
         lattice_json,
         analytic_json,
+        sharding_json,
         recovery_json,
     );
 

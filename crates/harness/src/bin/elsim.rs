@@ -22,6 +22,8 @@
 //!   --no-analytic           disable the analytic pre-filter and prefix
 //!                           resume: simulate every probe in full (the
 //!                           output must not change)
+//!   --shards N              drive shards inside each simulated run
+//!                           (default 1; the output must not change)
 //! ```
 
 use elog_core::{ElConfig, MemoryModel};
@@ -46,6 +48,7 @@ struct Args {
     seed: u64,
     min_space: bool,
     jobs: usize,
+    shards: u32,
 }
 
 impl Default for Args {
@@ -63,6 +66,7 @@ impl Default for Args {
             seed: 0x5EED_1993,
             min_space: false,
             jobs: elog_harness::sweep::default_jobs(),
+            shards: 1,
         }
     }
 }
@@ -137,6 +141,12 @@ fn parse() -> Args {
                     usage();
                 }
             }
+            "--shards" => {
+                a.shards = next(&mut it, "--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                a.shards = a.shards.max(1);
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -173,6 +183,7 @@ fn main() {
         track_oracle: false,
         lifetime_hints: false,
         trace: None,
+        shards: a.shards,
     };
 
     if a.min_space {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--gens N] [--only NAME] [--csv DIR] [--progress]
-//!       [--no-analytic]
+//!       [--no-analytic] [--shards N]
 //! ```
 //!
 //! `--quick` shrinks runtimes and sweeps for a fast smoke pass; the default
@@ -17,7 +17,10 @@
 //! file. `--progress` reports per-scenario completion on stderr.
 //! `--no-analytic` disables the analytic probe pre-filter and prefix
 //! resume ([`elog_harness::analytic`]); stdout is byte-identical either
-//! way — the flag exists to prove exactly that.
+//! way — the flag exists to prove exactly that. `--shards N` splits each
+//! simulated run's drive completions into N independently clocked shards
+//! ([`elog_harness::sharding`]); stdout is byte-identical for every value
+//! — only host-side wall clock changes.
 //!
 //! Every experiment is a [`elog_harness::sweep::Experiment`]; this binary
 //! just flattens the registry's scenarios through one executor pool and
@@ -51,6 +54,20 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--progress" => opts.exec.progress = true,
             "--no-analytic" => elog_harness::analytic::set_enabled(false),
+            "--shards" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards requires a positive integer");
+                        std::process::exit(2);
+                    });
+                if n == 0 {
+                    eprintln!("--shards requires a positive integer");
+                    std::process::exit(2);
+                }
+                elog_harness::sharding::set_shards(n);
+            }
             "--jobs" => {
                 let n = args
                     .next()
@@ -103,7 +120,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--jobs N] [--gens N] [--only NAME] \
-                     [--csv DIR] [--progress] [--no-analytic]"
+                     [--csv DIR] [--progress] [--no-analytic] [--shards N]"
                 );
                 std::process::exit(0);
             }

@@ -31,6 +31,7 @@ pub mod latsearch;
 pub mod minspace;
 pub mod report;
 pub mod runner;
+pub mod sharding;
 pub mod sweep;
 
 pub use analytic::AnalyticModel;
@@ -41,8 +42,6 @@ pub use crashpoint::{
 pub use latsearch::{
     lattice_min_space, Geometry, LatticeLimits, MemoHit, SearchMode, SearchOutcome, SearchRequest,
 };
-#[allow(deprecated)] // the shim stays importable from the crate root
-pub use minspace::el_min_space;
 pub use minspace::{el_min_last_gen, el_min_space_jobs, fw_min_space, MinSpaceResult};
 pub use runner::{RunConfig, RunResult, SimModel};
 pub use sweep::{

@@ -68,14 +68,6 @@ pub fn fw_min_space_traced(
     (out.min, out.trace)
 }
 
-/// Minimum-total two-generation EL geometry on the default thread count.
-///
-/// See [`el_min_space_jobs`].
-#[deprecated(note = "build a SearchRequest::lattice with a one-axis prefix instead")]
-pub fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceResult {
-    el_min_space_jobs(base, g0_max, g1_limit, crate::sweep::default_jobs())
-}
-
 /// Minimum-total two-generation EL geometry.
 ///
 /// Scans gen0 over `[gap+1, g0_max]`, binary-searching the minimal gen1
@@ -171,10 +163,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim must keep working until it is removed
     fn el_search_finds_feasible_minimum() {
         let base = paper_base(0.05, false, 20);
-        let r = el_min_space(&base, 24, 128);
+        let r = el_min_space_jobs(&base, 24, 128, 2);
         assert_eq!(r.generation_blocks.len(), 2);
         assert!(survives(&base, &r.generation_blocks));
         assert!(r.total_blocks >= 6);

@@ -44,6 +44,13 @@ pub struct RunConfig {
     /// runtime and oid-space size; only the log geometry may differ (see
     /// `elog_workload::trace`). `None` runs the live RNG-driven driver.
     pub trace: Option<Arc<WorkloadTrace>>,
+    /// Intra-run drive shards: partition the flush array's drives into
+    /// this many conservatively clocked completion shards inside one
+    /// simulated run (1 = the monolithic heap event queue). Results are
+    /// identical at every value — only host wall clock changes — so
+    /// searches and probes inherit it freely from their base config. The
+    /// default comes from [`crate::sharding::shards`] (`--shards`).
+    pub shards: u32,
 }
 
 impl RunConfig {
@@ -60,6 +67,7 @@ impl RunConfig {
             track_oracle: false,
             lifetime_hints: false,
             trace: None,
+            shards: crate::sharding::shards(),
         }
     }
 
@@ -134,6 +142,12 @@ impl RunConfig {
         self.trace = trace;
         self
     }
+
+    /// Sets the intra-run drive-shard count (clamped to ≥ 1).
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
 }
 
 /// The composite model driven by the event engine.
@@ -196,7 +210,19 @@ impl<L: LogManager + Clone> Clone for SimModel<L> {
 impl<L: LogManager> SimModel<L> {
     fn apply(&mut self, now: SimTime, mut fx: Effects, queue: &mut EventQueue<Ev>) {
         for (at, timer) in fx.timers.drain(..) {
-            queue.schedule(at, timer.into_ev());
+            // Flush completions are shard-routable (one in flight per
+            // drive, never cancelled): they go to the drive's lane, which
+            // on the sharded backend is a per-shard completion register
+            // rather than a central-queue residency. Spine timers — and
+            // every timer under `--shards 1` — take the plain path. Both
+            // draw from the same sequence counter at this single call
+            // site, so delivery order is identical either way.
+            match timer.shard_lane() {
+                Some(lane) => queue.schedule_lane(lane, at, timer.into_ev()),
+                None => {
+                    queue.schedule(at, timer.into_ev());
+                }
+            }
         }
         for tid in fx.acks.drain(..) {
             self.acks += 1;
@@ -408,6 +434,14 @@ pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimMode
         watch_last_gen: None,
     };
     let mut engine = Engine::new(model);
+    if cfg.shards > 1 {
+        // Select the sharded backend before the first event: drive lanes
+        // match the flush array (both managers index FlushDone by the
+        // array's drive numbers). Byte-identical results at any count.
+        engine
+            .queue_mut()
+            .configure_shards(cfg.shards, cfg.el.flush.drives as usize);
+    }
     let boot = engine.model().driver.bootstrap(SimTime::ZERO);
     for (at, ev) in boot {
         engine.queue_mut().schedule(at, Ev::Workload(ev));

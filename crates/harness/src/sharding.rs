@@ -1,0 +1,48 @@
+//! Process-wide default for intra-run drive sharding.
+//!
+//! `--shards S` on the binaries sets the default shard count here, exactly
+//! as `--no-analytic` toggles [`crate::analytic`]: every
+//! [`crate::runner::RunConfig`] built afterwards starts from this value, so
+//! experiment registries — which construct their configs deep inside
+//! [`crate::sweep::Experiment::scenarios`] — inherit it without threading a
+//! parameter through every call site. Individual configs can still override
+//! with [`crate::runner::RunConfig::shards`].
+//!
+//! Sharding never changes results: `--shards S` produces byte-identical
+//! stdout and identical `SearchStats` for every `S` at every `--jobs` (the
+//! sharded event-queue backend preserves the global `(time, sequence)`
+//! delivery order; see `elog_sim::EventQueue::configure_shards`). Only
+//! host-side wall clock and the occupancy counters in
+//! `elog_sim::perfstats::QueueStats` differ, which is what makes the flag
+//! safe to default globally.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static SHARDS: AtomicU32 = AtomicU32::new(1);
+
+/// Sets the process-wide default shard count (clamped to ≥ 1).
+pub fn set_shards(shards: u32) {
+    SHARDS.store(shards.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default shard count (1 = monolithic heap backend).
+pub fn shards() -> u32 {
+    SHARDS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_one_and_zero_clamps() {
+        // Note: process-global state — keep this the only test that writes
+        // it, and restore the default before returning.
+        assert_eq!(shards(), 1);
+        set_shards(4);
+        assert_eq!(shards(), 4);
+        set_shards(0);
+        assert_eq!(shards(), 1);
+        set_shards(1);
+    }
+}

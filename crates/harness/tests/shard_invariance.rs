@@ -1,0 +1,120 @@
+//! Shard-invariance suite: intra-run drive sharding (`RunConfig::shards`,
+//! DESIGN.md §5h) is a host-side execution strategy, so *every* observable
+//! of a run — report tables, notes, search verdicts, probe counts, event
+//! counts — must be byte-identical at every shard count, under every
+//! worker count. These tests are the API-level counterpart of ci.sh's
+//! sharded-equivalence smoke (which diffs `elsim` stdout).
+
+use elog_harness::experiments::registry_with;
+use elog_harness::minspace::paper_base;
+use elog_harness::runner::{run, RunConfig};
+use elog_harness::sweep::{run_experiments, ExecOptions};
+
+/// Renders the probe-heavy slice of the quick registry the way `repro`
+/// prints it: every table, then every note, in registry order.
+fn render(jobs: usize) -> String {
+    let experiments: Vec<_> = registry_with(2)
+        .into_iter()
+        .filter(|e| {
+            let n = e.name().to_lowercase();
+            n.contains("scarce") || n.contains("fig7")
+        })
+        .collect();
+    assert_eq!(experiments.len(), 2, "registry lost a target experiment");
+    let exec = ExecOptions {
+        jobs,
+        progress: false,
+    };
+    let reports = run_experiments(&experiments, true, &exec);
+    let mut out = String::new();
+    for report in &reports {
+        for (slug, table) in &report.tables {
+            out.push_str(slug);
+            out.push('\n');
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for note in &report.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The experiment reports (tables + notes, including each search's probe
+/// counts) do not change across shards {1, 2, 4} × jobs {1, 2}.
+///
+/// One test function rather than a matrix of `#[test]`s because the shard
+/// count defaults from a process-wide atomic
+/// ([`elog_harness::sharding::set_shards`]) and the test harness runs
+/// functions in parallel: mutating the global from several tests would
+/// race. Every other test in this file sets `cfg.shards` directly and
+/// never touches the global.
+#[test]
+fn experiment_reports_are_shard_and_jobs_invariant() {
+    elog_harness::sharding::set_shards(1);
+    let baseline = render(1);
+    assert!(!baseline.is_empty(), "experiments produced no report");
+    for shards in [1u32, 2, 4] {
+        for jobs in [1usize, 2] {
+            if shards == 1 && jobs == 1 {
+                continue;
+            }
+            elog_harness::sharding::set_shards(shards);
+            let got = render(jobs);
+            assert_eq!(
+                baseline, got,
+                "report drifted at shards={shards} jobs={jobs}"
+            );
+        }
+    }
+    elog_harness::sharding::set_shards(1);
+}
+
+/// splitmix64 (the workload crate's seeding discipline): deterministic,
+/// dependency-free randomness for the property test below.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Everything a minimum-space probe observes about a run: the kill
+/// verdict, the delivered event count, and the full metrics block.
+fn probe_digest(cfg: &RunConfig) -> String {
+    let r = run(cfg);
+    format!(
+        "killed={} events={} started={} committed={} metrics={:?}",
+        r.killed, r.perf.events, r.started, r.committed, r.metrics
+    )
+}
+
+/// Property: for random two-generation geometries and mixes, a probe's
+/// verdict and event count are shard-count-invariant — including shard
+/// counts that do not divide the drive count.
+#[test]
+fn random_geometry_probes_are_shard_invariant() {
+    let mut state = 0x5EED_1993_u64;
+    for case in 0..6 {
+        let g0 = 6 + (splitmix64(&mut state) % 20) as u32;
+        let g1 = 8 + (splitmix64(&mut state) % 96) as u32;
+        let frac = [0.05, 0.10, 0.20][(splitmix64(&mut state) % 3) as usize];
+        let mut cfg = paper_base(frac, false, 15);
+        cfg.el.log.generation_blocks = vec![g0, g1];
+        cfg.stop_on_kill = true;
+        cfg.shards = 1;
+        let want = probe_digest(&cfg);
+        for shards in [2u32, 3, 4] {
+            cfg.shards = shards;
+            assert_eq!(
+                want,
+                probe_digest(&cfg),
+                "case {case}: geometry [{g0}, {g1}] at {frac} long diverged \
+                 on {shards} shards"
+            );
+        }
+    }
+}

@@ -29,6 +29,17 @@ pub struct QueueStats {
     pub compactions: u64,
     /// Greatest physical heap length (live + tombstones).
     pub heap_peak: usize,
+    /// Drive-shard count of the queue backend (1 = monolithic heap, ≥ 2 =
+    /// the sharded spine/lane backend; see `EventQueue::configure_shards`).
+    pub shards: u32,
+    /// Cross-shard clock handoffs: times the delivery frontier moved from
+    /// one drive shard's completion bank to another's (each is one barrier
+    /// synchronisation between shard clocks). 0 on the heap backend.
+    pub sync_rounds: u64,
+    /// Shard-local completion events exchanged through the coordinator
+    /// spine (each lane pop hands one cross-shard effect — a flush
+    /// completion — back to the global order). 0 on the heap backend.
+    pub effects_exchanged: u64,
 }
 
 impl QueueStats {
@@ -41,13 +52,17 @@ impl QueueStats {
         }
     }
 
-    /// Accumulates another queue's counters (heap peak takes the max).
+    /// Accumulates another queue's counters (heap peak and shard count
+    /// take the max).
     pub fn merge(&mut self, other: &QueueStats) {
         self.scheduled += other.scheduled;
         self.cancelled += other.cancelled;
         self.tombstones_discarded += other.tombstones_discarded;
         self.compactions += other.compactions;
         self.heap_peak = self.heap_peak.max(other.heap_peak);
+        self.shards = self.shards.max(other.shards);
+        self.sync_rounds += other.sync_rounds;
+        self.effects_exchanged += other.effects_exchanged;
     }
 }
 

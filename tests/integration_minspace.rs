@@ -6,7 +6,7 @@ use elog_harness::minspace::{fw_min_space, paper_base};
 use elog_harness::{LatticeLimits, MinSpaceResult, RunConfig, SearchRequest};
 
 /// Two-generation minimum through the unified search API (what the
-/// deprecated `el_min_space` shim wraps).
+/// since-removed `el_min_space` shim used to wrap).
 fn el_min_space(base: &RunConfig, g0_max: u32, g1_limit: u32) -> MinSpaceResult {
     SearchRequest::lattice(
         base,
