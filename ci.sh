@@ -51,6 +51,44 @@ if [ "$SH1" != "$SH2" ]; then
     exit 1
 fi
 
+echo "== speculative bisection smoke =="
+# Speculative parallel bisection (DESIGN.md §5i) must be pure: running
+# the same min-space search with four speculative probes ahead of each
+# bisection step has to print byte-identical stdout to the serial path.
+SP1=$(./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2)
+SP4=$(./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2 --probe-jobs 4)
+if [ "$SP1" != "$SP4" ]; then
+    echo "speculative and serial searches disagree:" >&2
+    diff <(echo "$SP1") <(echo "$SP4") >&2 || true
+    exit 1
+fi
+
+echo "== probe-cache smoke =="
+# The persistent probe-verdict store (DESIGN.md §5i) must be pure and
+# complete: a cold run populates the store, a warm rerun answers every
+# probe from it — zero live probes, byte-identical stdout.
+CACHE_DIR=$(mktemp -d)
+COLD=$(./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2 \
+    --probe-cache "$CACHE_DIR" 2>/dev/null)
+WARM=$(./target/release/elsim --gens 10,8,8 --runtime 20 --min-space --jobs 2 \
+    --probe-cache "$CACHE_DIR" 2>"$CACHE_DIR/warm.stderr")
+if [ "$COLD" != "$WARM" ]; then
+    echo "cold and warm cached searches disagree:" >&2
+    diff <(echo "$COLD") <(echo "$WARM") >&2 || true
+    exit 1
+fi
+if [ "$SP1" != "$WARM" ]; then
+    echo "cached and uncached searches disagree:" >&2
+    diff <(echo "$SP1") <(echo "$WARM") >&2 || true
+    exit 1
+fi
+if ! grep -q "live probes: 0" "$CACHE_DIR/warm.stderr"; then
+    echo "warm cached rerun still executed live probes:" >&2
+    cat "$CACHE_DIR/warm.stderr" >&2
+    exit 1
+fi
+rm -rf "$CACHE_DIR"
+
 echo "== bench --quick (perf regression gate) =="
 # One quick pass over the whole experiment basket — including the
 # crash-recovery bench (crash-point snapshots scanned + redone) — gated

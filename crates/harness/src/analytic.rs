@@ -77,6 +77,19 @@
 //! stalls head consumption, and committed-record traffic the model cannot
 //! predict only *adds* to the forced byte counts.
 //!
+//! # Where it sits in the probe ladder
+//!
+//! The search consults its verdict sources cheapest-and-most-trusted
+//! first (`latsearch::Prober`): the frozen dominance **memo** (§5f),
+//! then this module's **threshold** rejection, then the column's
+//! **consumption certificate**, then any **speculative** verdict already
+//! harvested (§5i), then the persistent **probe cache**, and only then a
+//! live simulation (snapshot-resumed when possible). The order matters
+//! for accounting, not correctness — every layer is verified to return
+//! exactly the simulated verdict — but keeping the memo ahead of the
+//! model keeps `memo_hits` identical whether or not the model is on,
+//! which is what the `--no-analytic` byte-identity diff pins.
+//!
 //! The `--no-analytic` escape hatch ([`set_enabled`]) disables the
 //! certificate (and snapshot-resume probing) process-wide, forcing every
 //! verdict through a full simulation.

@@ -10,22 +10,25 @@
 //! ratios are meaningful even though the absolute figures are not). The
 //! `lattice` section (min-space search probe counts, memo hit rate,
 //! pruned volume), the `analytic` section (model rejections, prefix
-//! resumes and their saved events) and the `sharding` section (intra-run
-//! drive-shard counters and measured speedup) are parsed and echoed for
-//! context but never rate-gated: their numbers are workload properties,
-//! not host throughput.
+//! resumes and their saved events), the `sharding` section (intra-run
+//! drive-shard counters and measured speedup) and the `search` section
+//! (speculative-bisection speedup and probe-cache hit counts) are parsed
+//! and echoed for context but never rate-gated: their numbers are
+//! workload properties, not host throughput.
 //!
 //! The reports are written by `bench` itself with a fixed field order, so
 //! a full JSON parser would be dead weight: the extractor scans for the
 //! first occurrence of a key, which in the bench schema is always the
 //! top-level one (per-experiment and per-crash-point rows live inside
 //! arrays that every aggregate field precedes). Every section goes
-//! through the one [`ReportSection`] trait — locate + parse, describe,
-//! optionally gate — so schema drift between a baseline and a current
-//! report (a baseline that predates a section, a report whose throughput
-//! is zero because a run produced no work, a section lost from the
-//! current report) is diagnosed by a single shared path rather than three
-//! hand-rolled ones.
+//! through the one [`ReportSection`] trait — a [`FIELDS`] table drives
+//! one shared extractor, and one shared drift policy diagnoses a
+//! baseline that predates a section, a report whose throughput is zero
+//! because a run produced no work, or a section lost from the current
+//! report — rather than each section hand-rolling its own parse and
+//! policy.
+//!
+//! [`FIELDS`]: ReportSection::FIELDS
 
 /// One named section of the bench report, seen through the gate's eyes:
 /// how to locate and parse its aggregates, how to describe them in the
@@ -41,11 +44,37 @@ pub trait ReportSection: Sized {
     /// The JSON key labelling the section object (`"lattice"`, …).
     const KEY: &'static str;
 
+    /// The aggregate fields, in any order: each entry is the field's JSON
+    /// key plus its fallback. `None` means required — a section missing
+    /// the field fails to parse (schema drift the caller diagnoses);
+    /// `Some(default)` means the field was added after the section first
+    /// shipped, so older reports fall back to the default instead of
+    /// being rejected wholesale.
+    const FIELDS: &'static [(&'static str, Option<f64>)];
+
+    /// Builds the summary from the extracted field values, in
+    /// [`FIELDS`] order.
+    ///
+    /// [`FIELDS`]: ReportSection::FIELDS
+    fn from_fields(vals: &[f64]) -> Self;
+
     /// Parses the section's aggregate fields scanning forward from the
     /// byte offset of its key marker. The bench writer puts every
     /// aggregate field ahead of any nested per-row array, so the first
     /// occurrence of each field key after the marker is the aggregate.
-    fn parse_at(json: &str, at: usize) -> Option<Self>;
+    /// Implemented once over [`FIELDS`]; sections never hand-roll it.
+    ///
+    /// [`FIELDS`]: ReportSection::FIELDS
+    fn parse_at(json: &str, at: usize) -> Option<Self> {
+        let mut vals = Vec::with_capacity(Self::FIELDS.len());
+        for (key, fallback) in Self::FIELDS {
+            match scan_number_from(json, at, key).or(*fallback) {
+                Some(v) => vals.push(v),
+                None => return None,
+            }
+        }
+        Some(Self::from_fields(&vals))
+    }
 
     /// Pushes the human-readable context fragment(s) for the verdict.
     /// Gated sections may leave this empty — their [`gate`] fragments
@@ -85,12 +114,16 @@ pub struct RecoverySummary {
 
 impl ReportSection for RecoverySummary {
     const KEY: &'static str = "recovery";
+    const FIELDS: &'static [(&'static str, Option<f64>)] = &[
+        ("scan_records_per_sec", None),
+        ("redo_records_per_sec", None),
+    ];
 
-    fn parse_at(json: &str, at: usize) -> Option<Self> {
-        Some(RecoverySummary {
-            scan_records_per_sec: scan_number_from(json, at, "scan_records_per_sec")?,
-            redo_records_per_sec: scan_number_from(json, at, "redo_records_per_sec")?,
-        })
+    fn from_fields(vals: &[f64]) -> Self {
+        RecoverySummary {
+            scan_records_per_sec: vals[0],
+            redo_records_per_sec: vals[1],
+        }
     }
 
     // The gate fragments below already carry the rates.
@@ -133,13 +166,18 @@ pub struct LatticeSummary {
 
 impl ReportSection for LatticeSummary {
     const KEY: &'static str = "lattice";
+    const FIELDS: &'static [(&'static str, Option<f64>)] = &[
+        ("probes", None),
+        ("memo_hit_rate", None),
+        ("pruned_volume", None),
+    ];
 
-    fn parse_at(json: &str, at: usize) -> Option<Self> {
-        Some(LatticeSummary {
-            probes: scan_number_from(json, at, "probes")?,
-            memo_hit_rate: scan_number_from(json, at, "memo_hit_rate")?,
-            pruned_volume: scan_number_from(json, at, "pruned_volume")?,
-        })
+    fn from_fields(vals: &[f64]) -> Self {
+        LatticeSummary {
+            probes: vals[0],
+            memo_hit_rate: vals[1],
+            pruned_volume: vals[2],
+        }
     }
 
     fn describe(&self, parts: &mut Vec<String>) {
@@ -169,14 +207,21 @@ pub struct AnalyticSummary {
 
 impl ReportSection for AnalyticSummary {
     const KEY: &'static str = "analytic";
+    const FIELDS: &'static [(&'static str, Option<f64>)] = &[
+        ("rejections", None),
+        // Added after the section shipped: older reports default to 0.
+        ("cert_verdicts", Some(0.0)),
+        ("resume_probes", None),
+        ("resume_saved_events", None),
+    ];
 
-    fn parse_at(json: &str, at: usize) -> Option<Self> {
-        Some(AnalyticSummary {
-            rejections: scan_number_from(json, at, "rejections")?,
-            cert_verdicts: scan_number_from(json, at, "cert_verdicts").unwrap_or(0.0),
-            resume_probes: scan_number_from(json, at, "resume_probes")?,
-            resume_saved_events: scan_number_from(json, at, "resume_saved_events")?,
-        })
+    fn from_fields(vals: &[f64]) -> Self {
+        AnalyticSummary {
+            rejections: vals[0],
+            cert_verdicts: vals[1],
+            resume_probes: vals[2],
+            resume_saved_events: vals[3],
+        }
     }
 
     fn describe(&self, parts: &mut Vec<String>) {
@@ -206,14 +251,20 @@ pub struct ShardingSummary {
 
 impl ReportSection for ShardingSummary {
     const KEY: &'static str = "sharding";
+    const FIELDS: &'static [(&'static str, Option<f64>)] = &[
+        ("shards", None),
+        ("sync_rounds", None),
+        ("effects_exchanged", None),
+        ("speedup_vs_serial", None),
+    ];
 
-    fn parse_at(json: &str, at: usize) -> Option<Self> {
-        Some(ShardingSummary {
-            shards: scan_number_from(json, at, "shards")?,
-            sync_rounds: scan_number_from(json, at, "sync_rounds")?,
-            effects_exchanged: scan_number_from(json, at, "effects_exchanged")?,
-            speedup_vs_serial: scan_number_from(json, at, "speedup_vs_serial")?,
-        })
+    fn from_fields(vals: &[f64]) -> Self {
+        ShardingSummary {
+            shards: vals[0],
+            sync_rounds: vals[1],
+            effects_exchanged: vals[2],
+            speedup_vs_serial: vals[3],
+        }
     }
 
     fn describe(&self, parts: &mut Vec<String>) {
@@ -221,6 +272,71 @@ impl ReportSection for ShardingSummary {
             "sharding {:.0} shards ({:.0} sync rounds, {:.0} effects, \
              {:.2}x vs serial)",
             self.shards, self.sync_rounds, self.effects_exchanged, self.speedup_vs_serial
+        ));
+    }
+}
+
+/// The speculative-search aggregates (report-only, like the sharding
+/// section: the measured speedup depends on host core count and the
+/// cache counters are workload properties, so none of them is gated).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchSummary {
+    /// Speculative probe width (`--probe-jobs`) of the timed run.
+    pub probe_jobs: f64,
+    /// Wall-clock ratio of the serial search to the speculative run.
+    pub speculation_speedup: f64,
+    /// Probes launched ahead of the bisection's authoritative sequence.
+    pub speculative_probes: f64,
+    /// Speculative verdicts the search never consulted.
+    pub speculative_wasted: f64,
+    /// Wall-clock ratio of the cold cached run to the warm rerun.
+    pub cache_speedup: f64,
+    /// Verdicts the warm run's probe cache was seeded with.
+    pub cache_seeded: f64,
+    /// Warm-run probes answered straight from the cache.
+    pub cache_hits: f64,
+    /// Warm-run probes the cache could not answer (live simulations).
+    pub cache_misses: f64,
+}
+
+impl ReportSection for SearchSummary {
+    const KEY: &'static str = "search";
+    const FIELDS: &'static [(&'static str, Option<f64>)] = &[
+        ("probe_jobs", None),
+        ("speculation_speedup", None),
+        ("speculative_probes", None),
+        ("speculative_wasted", None),
+        ("cache_speedup", None),
+        ("cache_seeded", None),
+        ("cache_hits", None),
+        ("cache_misses", None),
+    ];
+
+    fn from_fields(vals: &[f64]) -> Self {
+        SearchSummary {
+            probe_jobs: vals[0],
+            speculation_speedup: vals[1],
+            speculative_probes: vals[2],
+            speculative_wasted: vals[3],
+            cache_speedup: vals[4],
+            cache_seeded: vals[5],
+            cache_hits: vals[6],
+            cache_misses: vals[7],
+        }
+    }
+
+    fn describe(&self, parts: &mut Vec<String>) {
+        parts.push(format!(
+            "search {:.2}x at probe-jobs {:.0} ({:.0} speculative, {:.0} wasted; \
+             warm cache {:.1}x, {:.0} seeded, {:.0} hits, {:.0} misses)",
+            self.speculation_speedup,
+            self.probe_jobs,
+            self.speculative_probes,
+            self.speculative_wasted,
+            self.cache_speedup,
+            self.cache_seeded,
+            self.cache_hits,
+            self.cache_misses
         ));
     }
 }
@@ -247,6 +363,9 @@ pub struct BenchSummary {
     /// The sharding section's aggregates; `None` when the report predates
     /// intra-run drive sharding.
     pub sharding: Option<ShardingSummary>,
+    /// The search section's aggregates; `None` when the report predates
+    /// speculative bisection and the probe cache.
+    pub search: Option<SearchSummary>,
 }
 
 /// Extracts the number following `"key": ` at its first occurrence at or
@@ -282,6 +401,7 @@ impl BenchSummary {
             lattice: LatticeSummary::parse(json),
             analytic: AnalyticSummary::parse(json),
             sharding: ShardingSummary::parse(json),
+            search: SearchSummary::parse(json),
         })
     }
 }
@@ -379,6 +499,12 @@ pub fn check_regression(
         &mut parts,
     )?;
     gate_section(
+        &baseline.search,
+        &current.search,
+        max_regress_pct,
+        &mut parts,
+    )?;
+    gate_section(
         &baseline.recovery,
         &current.recovery,
         max_regress_pct,
@@ -429,6 +555,7 @@ fn gate_section<S: ReportSection>(
 mod tests {
     use super::*;
 
+    #[allow(clippy::too_many_arguments)] // one knob per report section
     fn report_full(
         events_per_sec: f64,
         allocs: f64,
@@ -437,9 +564,11 @@ mod tests {
         lattice: Option<(f64, f64, f64)>,
         analytic: Option<(f64, f64, f64)>,
         sharding: Option<(f64, f64)>,
+        search: Option<(f64, f64)>,
     ) -> String {
         // Same field order as the bench binary's writer: experiments,
-        // then lattice, then analytic, then sharding, then recovery.
+        // then lattice, then analytic, then sharding, then search, then
+        // recovery.
         let lattice_section = match lattice {
             Some((probes, rate, pruned)) => format!(
                 ",\n  \"lattice\": {{\n    \"probes\": {probes},\n    \"memo_hits\": 40,\n    \
@@ -465,6 +594,19 @@ mod tests {
             ),
             None => String::new(),
         };
+        let search_section = match search {
+            Some((speedup, hits)) => format!(
+                ",\n  \"search\": {{\n    \"probe_jobs\": 4,\n    \
+                 \"serial_wall_secs\": 2.0,\n    \"spec_wall_secs\": 0.8,\n    \
+                 \"speculation_speedup\": {speedup},\n    \
+                 \"speculative_probes\": 30,\n    \"speculative_wasted\": 5,\n    \
+                 \"cold_wall_secs\": 2.1,\n    \"warm_wall_secs\": 0.05,\n    \
+                 \"cache_speedup\": 42.0,\n    \
+                 \"cache_seeded\": 120,\n    \"cache_hits\": {hits},\n    \
+                 \"cache_misses\": 0\n  }}"
+            ),
+            None => String::new(),
+        };
         let recovery_section = match recovery {
             Some((scan, redo)) => format!(
                 ",\n  \"recovery\": {{\n    \"scan_blocks_per_sec\": 120000,\n    \
@@ -483,7 +625,7 @@ mod tests {
              \"replay_hit_rate\": 0.9,\n  \"memo_hit_rate\": 0.2,\n  \
              \"experiments\": [\n    {{\"name\": \"x\", \"probes\": 7, \
              \"events_per_sec\": 99, \"allocations_per_event\": 99.0}}\n  \
-             ]{lattice_section}{analytic_section}{sharding_section}{recovery_section}\n}}"
+             ]{lattice_section}{analytic_section}{sharding_section}{search_section}{recovery_section}\n}}"
         )
     }
 
@@ -501,6 +643,7 @@ mod tests {
             Some((200.0, 0.35, 5000.0)),
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
         )
     }
 
@@ -518,6 +661,7 @@ mod tests {
             None,
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
         )
     }
 
@@ -531,6 +675,7 @@ mod tests {
             Some((200.0, 0.35, 5000.0)),
             None,
             Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
         )
     }
 
@@ -543,6 +688,21 @@ mod tests {
             Some((4e6, 8e6)),
             Some((200.0, 0.35, 5000.0)),
             Some((12.0, 30.0, 40000.0)),
+            None,
+            Some((2.5, 140.0)),
+        )
+    }
+
+    /// A report missing only the search section.
+    fn no_search(events_per_sec: f64) -> String {
+        report_full(
+            events_per_sec,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
             None,
         )
     }
@@ -611,6 +771,7 @@ mod tests {
             Some((9_000.0, 0.01, 2.0)),
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -657,6 +818,7 @@ mod tests {
             Some((200.0, 0.35, 5000.0)),
             Some((0.0, 0.0, 0.0)),
             Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -705,10 +867,77 @@ mod tests {
             Some((200.0, 0.35, 5000.0)),
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 0.58)),
+            Some((2.5, 140.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
         assert!(verdict.contains("0.58x vs serial"), "{verdict}");
+    }
+
+    #[test]
+    fn parse_reads_search_aggregates() {
+        let s = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let se = s.search.expect("search section present");
+        assert_eq!(se.probe_jobs, 4.0);
+        assert_eq!(se.speculation_speedup, 2.5);
+        assert_eq!(se.speculative_probes, 30.0);
+        assert_eq!(se.speculative_wasted, 5.0);
+        assert_eq!(se.cache_speedup, 42.0);
+        assert_eq!(se.cache_seeded, 120.0);
+        assert_eq!(se.cache_hits, 140.0);
+        assert_eq!(se.cache_misses, 0.0);
+    }
+
+    #[test]
+    fn search_baseline_missing_warns_and_passes() {
+        let base = BenchSummary::parse(&no_search(400_000.0)).unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("predates the search section"), "{verdict}");
+    }
+
+    #[test]
+    fn search_lost_from_current_fails() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&no_search(400_000.0)).unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("no search section"), "{err}");
+    }
+
+    #[test]
+    fn search_stats_are_reported_but_never_gated() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        // A speedup below 1.0 (speculation lost to overhead) still passes:
+        // the section is context, not a gated throughput.
+        let cur = BenchSummary::parse(&report_full(
+            400_000.0,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
+            Some((0.7, 0.0)),
+        ))
+        .unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("search 0.70x"), "{verdict}");
+    }
+
+    #[test]
+    fn required_field_missing_rejects_the_section() {
+        // A search section with a field torn out is schema drift: the
+        // FIELDS table marks every search field required, so the shared
+        // extractor rejects the section (→ None) rather than inventing a
+        // number. The gate then reports it exactly like a lost section.
+        let good = report(400_000.0, 0.05, true);
+        let torn = good.replace("\"speculation_speedup\": 2.5,\n    ", "");
+        let s = BenchSummary::parse(&torn).unwrap();
+        assert!(s.search.is_none(), "torn section must not parse");
+        // An *optional* field falls back instead of rejecting: the fixture
+        // analytic section predates cert_verdicts, and still parses.
+        let s = BenchSummary::parse(&good).unwrap();
+        assert_eq!(s.analytic.map(|a| a.cert_verdicts), Some(0.0));
     }
 
     #[test]

@@ -36,6 +36,14 @@
 //! the merge overhead loses — expected on small cache-resident runs).
 //! Report-only, like the lattice and analytic sections.
 //!
+//! A `search` section prices the speculative bisection and the
+//! persistent probe-verdict cache (DESIGN.md §5i): the fig4-6 workhorse
+//! search is timed serially and at `--probe-jobs 4` (identical results
+//! asserted), then run cold and warm against a scratch probe cache; the
+//! report records the speculation speedup and the warm run's
+//! seeded/hit/miss counts (misses = live probes, 0 when warm).
+//! Report-only, like the other accelerator sections.
+//!
 //! `--baseline PATH` turns the run into a regression gate: the fresh
 //! report's top-level throughput *and* the recovery section's aggregate
 //! scan/redo rates are compared against the committed snapshot at PATH
@@ -45,9 +53,11 @@
 use elog_harness::benchgate::{check_regression, BenchSummary};
 use elog_harness::crashpoint::bench_recovery;
 use elog_harness::experiments::registry;
+use elog_harness::latsearch::LatticeLimits;
 use elog_harness::minspace::paper_base;
 use elog_harness::runner::run;
 use elog_harness::sweep::{run_scenarios, ExecOptions};
+use elog_harness::SearchRequest;
 use elog_sim::perfstats::{allocations, CountingAlloc};
 use elog_sim::{PerfStats, RecoveryStats};
 use std::fmt::Write as _;
@@ -256,6 +266,109 @@ fn bench_sharding(quick: bool) -> String {
     )
 }
 
+/// Times the fig4-6 workhorse search (2-generation lattice: gen0 scan ×
+/// gen1 bisection) serially and at probe-jobs 4, then prices the
+/// persistent probe-verdict cache with a cold-then-warm double run in a
+/// scratch directory, and returns the `search` report section. Identical
+/// geometries and probe counts across all four runs are asserted — the
+/// accelerators may only move wall clock. Speculative counters come from
+/// the probe-jobs run; cache counters from the warm run (whose misses are
+/// its live probes: 0 when the cache answered everything).
+fn bench_search(quick: bool) -> String {
+    const PROBE_JOBS: usize = 4;
+    let secs = if quick { 60 } else { 500 };
+    let base = paper_base(0.05, false, secs);
+    let limits = || LatticeLimits {
+        prefix_max: vec![48],
+        last_limit: 1024,
+    };
+    let t0 = Instant::now();
+    let serial = SearchRequest::lattice(&base, limits())
+        .jobs(1)
+        .probe_jobs(1)
+        .run();
+    let serial_wall = t0.elapsed();
+    let t0 = Instant::now();
+    let spec = SearchRequest::lattice(&base, limits())
+        .jobs(PROBE_JOBS)
+        .probe_jobs(PROBE_JOBS)
+        .run();
+    let spec_wall = t0.elapsed();
+    assert_eq!(
+        serial.min.generation_blocks, spec.min.generation_blocks,
+        "speculative search diverged from the serial search"
+    );
+    assert_eq!(
+        serial.min.probes, spec.min.probes,
+        "speculative search changed the probe count"
+    );
+    let cache_dir = std::env::temp_dir().join(format!("elog-bench-probes-{}", std::process::id()));
+    std::fs::create_dir_all(&cache_dir).expect("create scratch probe-cache dir");
+    let cached = |dir: &std::path::Path| {
+        SearchRequest::lattice(&base, limits())
+            .jobs(1)
+            .probe_jobs(1)
+            .probe_cache_dir(dir)
+            .run()
+    };
+    let t0 = Instant::now();
+    let cold = cached(&cache_dir);
+    let cold_wall = t0.elapsed();
+    let t0 = Instant::now();
+    let warm = cached(&cache_dir);
+    let warm_wall = t0.elapsed();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    assert_eq!(
+        serial.min.generation_blocks, cold.min.generation_blocks,
+        "cold cached search diverged from the uncached search"
+    );
+    assert_eq!(
+        serial.min.generation_blocks, warm.min.generation_blocks,
+        "warm cached search diverged from the uncached search"
+    );
+    assert_eq!(
+        serial.min.probes, warm.min.probes,
+        "warm cached search changed the probe count"
+    );
+    let speedup = serial_wall.as_secs_f64() / spec_wall.as_secs_f64().max(1e-9);
+    let cache_speedup = cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "[bench] search: {:.2}x at probe-jobs {PROBE_JOBS} ({:.2?} -> {:.2?}), \
+         {} speculative ({} wasted); cache {:.0}x warm ({:.2?} -> {:.2?}), \
+         {} hits / {} misses",
+        speedup,
+        serial_wall,
+        spec_wall,
+        spec.min.search.speculative_probes,
+        spec.min.search.speculative_wasted,
+        cache_speedup,
+        cold_wall,
+        warm_wall,
+        warm.min.search.cache_hits,
+        warm.min.search.cache_misses,
+    );
+    format!(
+        "  \"search\": {{\n    \"probe_jobs\": {},\n    \"serial_wall_secs\": {:.3},\n    \
+         \"spec_wall_secs\": {:.3},\n    \"speculation_speedup\": {:.3},\n    \
+         \"speculative_probes\": {},\n    \"speculative_wasted\": {},\n    \
+         \"cold_wall_secs\": {:.3},\n    \"warm_wall_secs\": {:.3},\n    \
+         \"cache_speedup\": {:.3},\n    \
+         \"cache_seeded\": {},\n    \"cache_hits\": {},\n    \"cache_misses\": {}\n  }}",
+        PROBE_JOBS,
+        serial_wall.as_secs_f64(),
+        spec_wall.as_secs_f64(),
+        speedup,
+        spec.min.search.speculative_probes,
+        spec.min.search.speculative_wasted,
+        cold_wall.as_secs_f64(),
+        warm_wall.as_secs_f64(),
+        cache_speedup,
+        warm.min.search.cache_seeded,
+        warm.min.search.cache_hits,
+        warm.min.search.cache_misses,
+    )
+}
+
 fn main() {
     let opts = parse_args();
     let date = opts.date.clone().unwrap_or_else(utc_date);
@@ -382,6 +495,7 @@ fn main() {
         total.search.resume_hit_rate(),
     );
     let sharding_json = bench_sharding(opts.quick);
+    let search_json = bench_search(opts.quick);
     let all_verified = points.iter().all(|p| p.verified);
     let recovery_json = format!(
         "  \"recovery\": {{\n    \"scan_blocks_per_sec\": {:.0},\n    \
@@ -404,7 +518,7 @@ fn main() {
          \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
          \"allocations_per_event\": {:.3},\n  \"probe_events\": {},\n  \
          \"replay_hit_rate\": {:.3},\n  \"memo_hit_rate\": {:.3},\n  \
-         \"experiments\": [\n{}\n  ],\n{},\n{},\n{},\n{}\n}}",
+         \"experiments\": [\n{}\n  ],\n{},\n{},\n{},\n{},\n{}\n}}",
         json_str(&date),
         opts.quick,
         opts.jobs,
@@ -420,6 +534,7 @@ fn main() {
         lattice_json,
         analytic_json,
         sharding_json,
+        search_json,
         recovery_json,
     );
 

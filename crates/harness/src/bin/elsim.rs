@@ -19,6 +19,13 @@
 //!                           given sizes as per-axis ceilings)
 //!   --jobs N                worker threads for --min-space probes
 //!                           (default: the machine's parallelism)
+//!   --probe-jobs N          speculative probes launched ahead of each
+//!                           --min-space bisection step (default 1 =
+//!                           serial; the output must not change)
+//!   --probe-cache DIR       persist probe verdicts under DIR; a warm
+//!                           rerun answers every probe from the cache
+//!                           (the output must not change; a stderr line
+//!                           reports seeded/hit/miss counts)
 //!   --no-analytic           disable the analytic pre-filter and prefix
 //!                           resume: simulate every probe in full (the
 //!                           output must not change)
@@ -49,6 +56,7 @@ struct Args {
     min_space: bool,
     jobs: usize,
     shards: u32,
+    probe_cache: bool,
 }
 
 impl Default for Args {
@@ -67,6 +75,7 @@ impl Default for Args {
             min_space: false,
             jobs: elog_harness::sweep::default_jobs(),
             shards: 1,
+            probe_cache: false,
         }
     }
 }
@@ -141,6 +150,20 @@ fn parse() -> Args {
                     usage();
                 }
             }
+            "--probe-jobs" => {
+                let n: usize = next(&mut it, "--probe-jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                elog_harness::sweep::set_probe_jobs(n);
+            }
+            "--probe-cache" => {
+                let dir = next(&mut it, "--probe-cache");
+                a.probe_cache = true;
+                elog_harness::probecache::set_dir(Some(dir.into()));
+            }
             "--shards" => {
                 a.shards = next(&mut it, "--shards")
                     .parse()
@@ -187,18 +210,20 @@ fn main() {
     };
 
     if a.min_space {
-        if a.mode_fw || a.gens.len() == 1 {
+        let r = if a.mode_fw || a.gens.len() == 1 {
             let r = fw_min_space(&cfg, 4096);
             println!(
                 "minimum FW log: {} blocks ({} probes)",
                 r.total_blocks, r.probes
             );
+            r
         } else if a.gens.len() == 2 {
             let r = el_min_space_jobs(&cfg, 48, 1024, a.jobs);
             println!(
                 "minimum EL log: {:?} = {} blocks ({} probes)",
                 r.generation_blocks, r.total_blocks, r.probes
             );
+            r
         } else {
             // N ≥ 3: the given sizes act as per-axis scan ceilings.
             let limits = LatticeLimits {
@@ -214,6 +239,17 @@ fn main() {
                 r.probes,
                 r.search.memo_hits,
                 r.search.pruned_volume
+            );
+            r
+        };
+        if a.probe_cache {
+            // stderr so stdout stays byte-identical to uncached runs.
+            eprintln!(
+                "[probe-cache] seeded {}, hits {}, misses {} (live probes: {})",
+                r.search.cache_seeded,
+                r.search.cache_hits,
+                r.search.cache_misses,
+                r.search.cache_misses
             );
         }
         return;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--gens N] [--only NAME] [--csv DIR] [--progress]
-//!       [--no-analytic] [--shards N]
+//!       [--no-analytic] [--shards N] [--probe-jobs N] [--probe-cache DIR]
 //! ```
 //!
 //! `--quick` shrinks runtimes and sweeps for a fast smoke pass; the default
@@ -20,7 +20,11 @@
 //! way — the flag exists to prove exactly that. `--shards N` splits each
 //! simulated run's drive completions into N independently clocked shards
 //! ([`elog_harness::sharding`]); stdout is byte-identical for every value
-//! — only host-side wall clock changes.
+//! — only host-side wall clock changes. `--probe-jobs N` launches up to N
+//! speculative probes ahead of each minimum-space bisection step
+//! ([`elog_harness::sweep::set_probe_jobs`]) and `--probe-cache DIR`
+//! persists probe verdicts under DIR ([`elog_harness::probecache`]);
+//! stdout is byte-identical under both, like the other accelerators.
 //!
 //! Every experiment is a [`elog_harness::sweep::Experiment`]; this binary
 //! just flattens the registry's scenarios through one executor pool and
@@ -82,6 +86,27 @@ fn parse_args() -> Options {
                 }
                 opts.exec.jobs = n;
             }
+            "--probe-jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--probe-jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+                if n == 0 {
+                    eprintln!("--probe-jobs requires a positive integer");
+                    std::process::exit(2);
+                }
+                elog_harness::sweep::set_probe_jobs(n);
+            }
+            "--probe-cache" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--probe-cache requires a directory");
+                    std::process::exit(2);
+                });
+                elog_harness::probecache::set_dir(Some(dir.into()));
+            }
             "--gens" => {
                 let n = args
                     .next()
@@ -120,7 +145,8 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--jobs N] [--gens N] [--only NAME] \
-                     [--csv DIR] [--progress] [--no-analytic] [--shards N]"
+                     [--csv DIR] [--progress] [--no-analytic] [--shards N] \
+                     [--probe-jobs N] [--probe-cache DIR]"
                 );
                 std::process::exit(0);
             }

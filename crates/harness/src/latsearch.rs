@@ -45,6 +45,7 @@ use elog_core::{CertVerdict, ConsumptionCert};
 use elog_sim::{Engine, SearchStats};
 use elog_workload::WorkloadTrace;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// Most generation axes a lattice search supports. The simulator itself
@@ -210,6 +211,16 @@ struct ColumnState {
     /// surviving full-horizon probe: answers smaller capacities exactly,
     /// with zero simulation (see [`elog_core::ConsumptionCert`]).
     cert: Option<ConsumptionCert>,
+    /// Harvested speculative verdicts (`--probe-jobs`): exact worker
+    /// results for this column's trace, queried under the same dominance
+    /// rules as the frozen search memo. Column-local so the batch
+    /// schedule — and with it every speculative counter — depends only on
+    /// the column, never on cross-column scheduling order.
+    spec: Memo,
+    /// Speculative probes launched for this column.
+    spec_launched: u64,
+    /// Speculative verdicts the column's bisection consumed.
+    spec_consumed: u64,
 }
 
 /// Runs geometry probes for one search: a reusable scratch configuration
@@ -241,6 +252,21 @@ pub(crate) struct Prober {
     analytic_on: bool,
     model: Option<Arc<AnalyticModel>>,
     column: Option<ColumnState>,
+    /// Speculative batch width (`--probe-jobs`; ≤ 1 disables speculation).
+    spec_jobs: usize,
+    /// Worker probers recycled across speculative batches (their own
+    /// counters are discarded; only verdicts — and the target worker's
+    /// consumption certificate — are harvested).
+    spec_workers: Vec<Prober>,
+    /// Every speculative verdict harvested, for soundness audits
+    /// (mirrors [`Prober::memo_trail`]).
+    pub(crate) spec_trail: Vec<MemoHit>,
+    /// Persistent probe-verdict cache handle (`--probe-cache`), shared by
+    /// every prober of one search.
+    cache: Option<Arc<crate::probecache::CacheHandle>>,
+    /// Verdicts this prober produced that the cache seed did not already
+    /// hold, collected for the end-of-search persist.
+    pub(crate) cache_new: Vec<(Vec<u32>, bool)>,
 }
 
 impl Prober {
@@ -258,7 +284,24 @@ impl Prober {
             analytic_on: false,
             model: None,
             column: None,
+            spec_jobs: 1,
+            spec_workers: Vec::new(),
+            spec_trail: Vec::new(),
+            cache: None,
+            cache_new: Vec::new(),
         }
+    }
+
+    /// Sets the speculative batch width (clamped to ≥ 1; 1 = serial).
+    pub(crate) fn with_spec_jobs(mut self, jobs: usize) -> Self {
+        self.spec_jobs = jobs.max(1);
+        self
+    }
+
+    /// Attaches the search's persistent verdict cache.
+    pub(crate) fn with_cache(mut self, cache: Option<Arc<crate::probecache::CacheHandle>>) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// Enables (or disables) analytic acceleration for this prober. The
@@ -299,6 +342,70 @@ impl Prober {
         self.survives_at(blocks, None)
     }
 
+    /// Whether prefix resume is sound for this configuration (§6 lifetime
+    /// hints consult capacities at BEGIN time, breaking the last
+    /// generation's capacity-independence of early state).
+    fn resume_ok(&self) -> bool {
+        self.analytic_on && !self.cfg.lifetime_hints
+    }
+
+    /// Whether the consumption certificate is sound: it additionally
+    /// needs the last generation's deterministic `alloc j ⇒ consume
+    /// j − (cap − gap)` law, which recirculation (re-appends compete for
+    /// the same tail) and a zero gap (desperate one-block allocations)
+    /// both break.
+    fn cert_ok(&self) -> bool {
+        self.resume_ok() && !self.cfg.el.log.recirculation && self.cfg.el.log.gap_blocks >= 1
+    }
+
+    /// (Re)initialises the per-column state when `prefix` differs from
+    /// the current column's, folding the outgoing column's speculation
+    /// accounting first.
+    fn ensure_column(&mut self, prefix: &[u32]) {
+        if self.column.as_ref().is_some_and(|c| c.prefix == prefix) {
+            return;
+        }
+        self.close_column();
+        let threshold = match &self.model {
+            Some(m) => m.reject_threshold(prefix),
+            None => 0,
+        };
+        self.column = Some(ColumnState {
+            prefix: prefix.to_vec(),
+            threshold,
+            snaps: Vec::new(),
+            cert: None,
+            spec: Memo::default(),
+            spec_launched: 0,
+            spec_consumed: 0,
+        });
+    }
+
+    /// Drops the current column, counting its never-consumed speculative
+    /// verdicts as wasted. `saturating_sub` because one harvested kill
+    /// can dominance-answer several probes.
+    fn close_column(&mut self) {
+        if let Some(col) = self.column.take() {
+            self.stats.speculative_wasted += col.spec_launched.saturating_sub(col.spec_consumed);
+        }
+    }
+
+    /// Records a fresh verdict for the persist pass when the cache is on
+    /// and the seed didn't already hold it. Free-standing over fields so
+    /// call sites holding a `column` borrow can use it too.
+    fn note_cache_parts(
+        cache: &Option<Arc<crate::probecache::CacheHandle>>,
+        cache_new: &mut Vec<(Vec<u32>, bool)>,
+        blocks: &[u32],
+        survived: bool,
+    ) {
+        if let Some(c) = cache {
+            if c.lookup(blocks).is_none() {
+                cache_new.push((blocks.to_vec(), survived));
+            }
+        }
+    }
+
     /// Probe verdict for `blocks`, with `next_lo` the smallest
     /// last-generation capacity the column's next probe could use (arms
     /// the snapshot watch; `None` for one-shot probes).
@@ -307,18 +414,7 @@ impl Prober {
         self.stats.sim_probes += 1;
         let (prefix, last) = blocks.split_at(blocks.len() - 1);
         let last = last[0];
-        if self.column.as_ref().is_none_or(|c| c.prefix != prefix) {
-            let threshold = match &self.model {
-                Some(m) => m.reject_threshold(prefix),
-                None => 0,
-            };
-            self.column = Some(ColumnState {
-                prefix: prefix.to_vec(),
-                threshold,
-                snaps: Vec::new(),
-                cert: None,
-            });
-        }
+        self.ensure_column(prefix);
         if self.trace.is_some() && self.model.is_some() {
             let col = self.column.as_ref().expect("column set above");
             if last <= col.threshold {
@@ -328,6 +424,7 @@ impl Prober {
                 // matches the probe-only path.
                 self.stats.replay_probes += 1;
                 self.stats.analytic_rejections += 1;
+                Self::note_cache_parts(&self.cache, &mut self.cache_new, blocks, false);
                 return false;
             }
         }
@@ -339,7 +436,17 @@ impl Prober {
                 self.replay_probe(&trace, last, next_lo)
             }
             None => {
-                // First probe(s) run live; the first kill-free one hands
+                // No trace yet (cold search start, or a fully warm cached
+                // rerun): the cache can still answer exactly, keeping a
+                // warm rerun at zero live probes.
+                if let Some(c) = &self.cache {
+                    if let Some(v) = c.lookup(blocks) {
+                        self.stats.cache_hits += 1;
+                        return v;
+                    }
+                    self.stats.cache_misses += 1;
+                }
+                // First live probe(s); the first kill-free one hands
                 // back the trace every later probe replays.
                 let (r, trace) = run_capture(&self.cfg);
                 self.trace = trace;
@@ -350,7 +457,9 @@ impl Prober {
                     col.threshold = m.reject_threshold(&col.prefix);
                 }
                 self.stats.probe_events += r.perf.events;
-                r.killed == 0
+                let survived = r.killed == 0;
+                Self::note_cache_parts(&self.cache, &mut self.cache_new, blocks, survived);
+                survived
             }
         }
     }
@@ -368,30 +477,57 @@ impl Prober {
         let k = self.cfg.el.log.gap_blocks;
         let horizon = self.cfg.runtime;
         // Resume is sound whenever early simulation state is independent
-        // of the last generation's capacity; §6 lifetime hints break that
-        // (placement consults capacities at BEGIN time).
-        let resume_ok = self.analytic_on && !self.cfg.lifetime_hints;
-        // The consumption certificate additionally needs the last
-        // generation's consumption schedule to be the deterministic
-        // `alloc j ⇒ consume j − (cap − gap)` law, which recirculation
-        // (re-appends compete for the same tail) and a zero gap (desperate
-        // one-block allocations) both break.
-        let cert_ok = resume_ok && !self.cfg.el.log.recirculation && k >= 1;
+        // of the last generation's capacity (see [`Prober::resume_ok`]);
+        // the certificate needs the stricter [`Prober::cert_ok`].
+        let resume_ok = self.resume_ok();
+        let cert_ok = self.cert_ok();
+        let g_full = Geometry::from_slice(&self.cfg.el.log.generation_blocks);
         let col = self.column.as_mut().expect("column set by survives_at");
         if cert_ok {
             if let Some(cert) = &col.cert {
                 match cert.verdict(last_cap) {
                     CertVerdict::Survives => {
                         self.stats.cert_verdicts += 1;
+                        Self::note_cache_parts(
+                            &self.cache,
+                            &mut self.cache_new,
+                            g_full.as_slice(),
+                            true,
+                        );
                         return true;
                     }
                     CertVerdict::Kills => {
                         self.stats.cert_verdicts += 1;
+                        Self::note_cache_parts(
+                            &self.cache,
+                            &mut self.cache_new,
+                            g_full.as_slice(),
+                            false,
+                        );
                         return false;
                     }
                     CertVerdict::Unknown => {}
                 }
             }
+        }
+        // Speculation harvest: an exact verdict a worker already computed
+        // under this very trace (or one that dominance-answers this
+        // geometry). Consulted after the memo / analytic threshold / cert
+        // so every counter they increment is identical to the serial
+        // search; the harvest replaces only the simulation below.
+        if let Some(v) = col.spec.lookup(&g_full) {
+            col.spec_consumed += 1;
+            Self::note_cache_parts(&self.cache, &mut self.cache_new, g_full.as_slice(), v);
+            return v;
+        }
+        // Persistent verdict cache, last before simulating: an exact
+        // entry for this geometry under this workload fingerprint.
+        if let Some(c) = &self.cache {
+            if let Some(v) = c.lookup(g_full.as_slice()) {
+                self.stats.cache_hits += 1;
+                return v;
+            }
+            self.stats.cache_misses += 1;
         }
         let own_max = u64::from(last_cap.saturating_sub(k));
         let mut start_events = 0u64;
@@ -466,6 +602,7 @@ impl Prober {
             let m = engine.model();
             if m.kills() > 0 {
                 self.stats.probe_events += engine.events_processed() - start_events;
+                Self::note_cache_parts(&self.cache, &mut self.cache_new, g_full.as_slice(), false);
                 return false;
             }
             let fired = m
@@ -503,7 +640,140 @@ impl Prober {
                     col.cert = Some(c);
                 }
             }
+            Self::note_cache_parts(&self.cache, &mut self.cache_new, g_full.as_slice(), true);
             return true;
+        }
+    }
+
+    /// True when the search could answer `(prefix, last)` without any
+    /// simulation — frozen memo, harvested speculation, analytic
+    /// threshold, consumption certificate or cache seed. The speculative
+    /// scheduler skips such candidates: launching them would be pure
+    /// waste, and the authoritative path will consult the same oracles.
+    fn answerable(&self, memo: Option<&Memo>, prefix: &[u32], last: u32) -> bool {
+        let mut buf = [0u32; MAX_AXES];
+        buf[..prefix.len()].copy_from_slice(prefix);
+        buf[prefix.len()] = last;
+        let g = Geometry::from_slice(&buf[..prefix.len() + 1]);
+        if memo.is_some_and(|m| m.lookup(&g).is_some()) {
+            return true;
+        }
+        if let Some(col) = &self.column {
+            if col.prefix == prefix {
+                if col.spec.lookup(&g).is_some() {
+                    return true;
+                }
+                if self.trace.is_some() && self.model.is_some() && last <= col.threshold {
+                    return true;
+                }
+                if self.cert_ok() {
+                    if let Some(cert) = &col.cert {
+                        if !matches!(cert.verdict(last), CertVerdict::Unknown) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        self.cache
+            .as_ref()
+            .is_some_and(|c| c.lookup(g.as_slice()).is_some())
+    }
+
+    /// Launches the speculative batch for the bisection step about to
+    /// probe `plan.target()`: the target itself plus the capacities the
+    /// next 1–2 steps could visit (both verdict branches), capped at
+    /// `spec_jobs` candidates, skipping any the search can already answer
+    /// probe-free. The batch runs on [`crate::sweep::parallel_map`];
+    /// every completed verdict is harvested into the column's dominance
+    /// memo (plus the audit trail and the persistent cache), and the
+    /// target worker's consumption certificate is adopted when the column
+    /// has none — so speculation never defeats the certificate path.
+    ///
+    /// Worker probers replay the same trace with the same analytic
+    /// engines, so their verdicts are exactly the ones the authoritative
+    /// probe would compute; only their (discarded) event counters differ.
+    /// No-op without a trace or at `spec_jobs` ≤ 1.
+    fn speculate(&mut self, memo: Option<&Memo>, prefix: &[u32], plan: Plan) {
+        if self.spec_jobs <= 1 {
+            return;
+        }
+        let Some(trace) = self.trace.clone() else {
+            return;
+        };
+        let Some(target) = plan.target() else { return };
+        self.ensure_column(prefix);
+        // The plan tree two steps deep, breadth-first: the current
+        // target, then each branch's next target, then theirs.
+        let s = plan.after(true);
+        let f = plan.after(false);
+        let cands = [
+            plan,
+            s,
+            f,
+            s.after(true),
+            s.after(false),
+            f.after(true),
+            f.after(false),
+        ];
+        let mut batch: Vec<(u32, u32)> = Vec::with_capacity(self.spec_jobs);
+        for c in cands {
+            let Some(t) = c.target() else { continue };
+            if batch.iter().any(|&(b, _)| b == t) {
+                continue;
+            }
+            if self.answerable(memo, prefix, t) {
+                continue;
+            }
+            batch.push((t, c.hint()));
+            if batch.len() >= self.spec_jobs {
+                break;
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let pool: Mutex<Vec<Prober>> = Mutex::new(std::mem::take(&mut self.spec_workers));
+        let base_cfg = &self.cfg;
+        let analytic_on = self.analytic_on;
+        let model = self.model.clone();
+        let results = crate::sweep::parallel_map(&batch, self.spec_jobs, |_, &(cap, hint)| {
+            let mut w = pool.lock().expect("spec pool").pop().unwrap_or_else(|| {
+                Prober::new(base_cfg, Some(trace.clone()))
+                    .with_analytic(analytic_on)
+                    .share_model(model.clone())
+            });
+            let mut blocks = prefix.to_vec();
+            blocks.push(cap);
+            let v = w.survives_at(&blocks, Some(hint));
+            let cert = w.column.as_ref().and_then(|c| c.cert.clone());
+            pool.lock().expect("spec pool").push(w);
+            (cap, v, cert)
+        });
+        self.spec_workers = pool.into_inner().expect("spec pool");
+        let mut buf = [0u32; MAX_AXES];
+        buf[..prefix.len()].copy_from_slice(prefix);
+        let col = self.column.as_mut().expect("ensure_column above");
+        for r in results {
+            let (cap, v, cert) = r.expect("speculative probe panicked");
+            buf[prefix.len()] = cap;
+            let g = Geometry::from_slice(&buf[..prefix.len() + 1]);
+            col.spec.record(g, v);
+            col.spec_launched += 1;
+            self.stats.speculative_probes += 1;
+            self.spec_trail.push(MemoHit {
+                geometry: g,
+                survived: v,
+            });
+            // Only the (deterministically chosen) target worker's cert is
+            // adopted, keeping the column state — and with it every
+            // speculative batch — independent of worker scheduling.
+            if cap == target && col.cert.is_none() {
+                if let Some(c) = cert {
+                    col.cert = Some(c);
+                }
+            }
+            Self::note_cache_parts(&self.cache, &mut self.cache_new, g.as_slice(), v);
         }
     }
 
@@ -517,6 +787,9 @@ impl Prober {
                     geometry: g,
                     survived: verdict,
                 });
+                // Dominance-derived verdicts are sound verdicts: persist
+                // them too, deepening the seed for future warm runs.
+                Self::note_cache_parts(&self.cache, &mut self.cache_new, g.as_slice(), verdict);
                 verdict
             }
             None => self.survives_at(g.as_slice(), Some(next_lo)),
@@ -525,19 +798,88 @@ impl Prober {
 
     /// Folds another prober's counters into this one (order-independent,
     /// so parallel scans stay deterministic).
-    pub(crate) fn absorb(&mut self, other: Prober) {
+    pub(crate) fn absorb(&mut self, mut other: Prober) {
+        other.close_column();
         self.probes += other.probes;
         self.stats.merge(&other.stats);
         self.memo_trail.extend(other.memo_trail);
+        self.spec_trail.extend(other.spec_trail);
+        self.cache_new.extend(other.cache_new);
     }
 
-    pub(crate) fn into_result(self, generation_blocks: Vec<u32>) -> MinSpaceResult {
+    /// Writes every verdict the search produced (and the seed lacked)
+    /// back to the cache file. Called once per search, after all probers
+    /// are absorbed; write failures only warn.
+    fn persist_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.persist(
+                &self.cache_new,
+                self.trace.as_ref().map(|t| t.fingerprint()),
+            );
+        }
+    }
+
+    pub(crate) fn into_result(mut self, generation_blocks: Vec<u32>) -> MinSpaceResult {
+        self.close_column();
         MinSpaceResult {
             total_blocks: generation_blocks.iter().sum(),
             generation_blocks,
             probes: self.probes,
             search: self.stats,
         }
+    }
+}
+
+/// Resolved probe-acceleration settings for one search: the speculative
+/// batch width and the persistent verdict cache (both default off; see
+/// [`SearchRequest::probe_jobs`] / [`SearchRequest::probe_cache_dir`] and
+/// the process-wide [`crate::sweep::set_probe_jobs`] /
+/// [`crate::probecache::set_dir`] knobs the CLI flags set).
+#[derive(Clone, Default)]
+pub(crate) struct ProbeTuning {
+    spec_jobs: usize,
+    cache: Option<Arc<crate::probecache::CacheHandle>>,
+}
+
+impl ProbeTuning {
+    /// Resolves per-request overrides against the process-wide knobs and
+    /// opens the cache file (validating it against the seed trace's
+    /// fingerprint when one exists).
+    fn resolve(
+        base: &RunConfig,
+        probe_jobs: Option<usize>,
+        cache_dir: Option<&Path>,
+        seed_trace: Option<&Arc<WorkloadTrace>>,
+    ) -> Self {
+        let spec_jobs = probe_jobs.unwrap_or_else(crate::sweep::probe_jobs).max(1);
+        let fp = seed_trace.map(|t| t.fingerprint());
+        let cache = match cache_dir {
+            Some(d) => Some(Arc::new(crate::probecache::open_in(d, base, fp))),
+            None => crate::probecache::open(base, fp).map(Arc::new),
+        };
+        ProbeTuning { spec_jobs, cache }
+    }
+
+    /// A prober wired with these settings; `seed_stats` additionally
+    /// stamps the cache's seed size (once per search, on the prober whose
+    /// stats the result reports).
+    fn prober(
+        &self,
+        base: &RunConfig,
+        trace: Option<Arc<WorkloadTrace>>,
+        analytic_on: bool,
+        seed_stats: bool,
+    ) -> Prober {
+        let mut p = Prober::new(base, trace)
+            .with_analytic(analytic_on)
+            .with_spec_jobs(self.spec_jobs)
+            .with_cache(self.cache.clone());
+        if seed_stats {
+            if let Some(c) = &p.cache {
+                p.stats.cache_seeded = c.seeded() as u64;
+            }
+        }
+        p
     }
 }
 
@@ -567,33 +909,167 @@ impl LatticeLimits {
     }
 }
 
-/// For a fixed prefix, the smallest last generation with no kills, or
-/// `None` if even `hi_limit` kills. `probe` answers "does this geometry
-/// survive?"; its second argument is the smallest last-generation
-/// capacity any *later* probe of this column could use (the bisection's
-/// next midpoint on the surviving branch) — the resume machinery arms its
-/// snapshot watch at that depth.
-pub(crate) fn min_last_for(
-    probe: &mut impl FnMut(&Geometry, u32) -> bool,
-    gap_blocks: u32,
-    prefix: &[u32],
-    hi_limit: u32,
-) -> Option<u32> {
-    let base = Geometry::from_slice(prefix);
-    let mut lo = gap_blocks + 1;
-    let mut hi = hi_limit;
-    if !probe(&base.with_last(hi), lo + (hi - lo) / 2) {
-        return None;
-    }
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if probe(&base.with_last(mid), lo + (mid - lo) / 2) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
+/// One step of a last-axis search: the deterministic automaton behind
+/// every column bisection and the firewall search's doubling bracket.
+///
+/// The serial control flow used to live in two hand-written loops
+/// (`min_last_for` and `run_firewall`); factoring it into explicit states
+/// lets the speculative scheduler enumerate the capacities the next 1–2
+/// steps *could* visit (`after(true)` / `after(false)`, both halves)
+/// without re-implementing — and possibly diverging from — the serial
+/// probe sequence. [`drive_last_axis`] replays the exact serial sequence;
+/// the `plan_*` unit tests pin the equivalence step by step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Plan {
+    /// The opening ceiling probe of a bisection: probing `hi` over the
+    /// floor `lo`; a kill here means nothing within the ceiling fits.
+    Ceiling {
+        /// Bisection floor (`gap + 1`).
+        lo: u32,
+        /// The ceiling being probed.
+        hi: u32,
+    },
+    /// The bisection loop on `[lo, hi]` (invariant `lo < hi`, `hi`
+    /// survives): probing the midpoint.
+    Bisect {
+        /// Smallest capacity still possible.
+        lo: u32,
+        /// Smallest capacity known to survive.
+        hi: u32,
+    },
+    /// The firewall search's doubling bracket: probing `upper` over the
+    /// floor `lo`, capped at `limit`.
+    Double {
+        /// Smallest capacity still possible.
+        lo: u32,
+        /// The doubling candidate being probed.
+        upper: u32,
+        /// Search ceiling.
+        limit: u32,
+    },
+    /// No more probes; `found` is the answer (`None` = nothing within
+    /// the ceiling survived).
+    Done {
+        /// The minimal surviving capacity, if any.
+        found: Option<u32>,
+    },
+}
+
+impl Plan {
+    /// The capacity the next authoritative probe tests (`None` when the
+    /// search is finished).
+    fn target(self) -> Option<u32> {
+        match self {
+            Plan::Ceiling { hi, .. } => Some(hi),
+            Plan::Bisect { lo, hi } => Some(lo + (hi - lo) / 2),
+            Plan::Double { upper, .. } => Some(upper),
+            Plan::Done { .. } => None,
         }
     }
-    Some(hi)
+
+    /// The smallest capacity any *later* probe could use — the surviving
+    /// branch's next midpoint, handed to the resume machinery as its
+    /// snapshot-watch depth (identical to the serial loops' hints).
+    fn hint(self) -> u32 {
+        match self {
+            Plan::Ceiling { lo, hi } => lo + (hi - lo) / 2,
+            Plan::Bisect { lo, hi } => {
+                let mid = lo + (hi - lo) / 2;
+                lo + (mid - lo) / 2
+            }
+            Plan::Double { lo, upper, .. } => lo + (upper - lo) / 2,
+            Plan::Done { .. } => 0,
+        }
+    }
+
+    /// The state after the current target's verdict.
+    fn after(self, survived: bool) -> Plan {
+        match self {
+            Plan::Ceiling { lo, hi } => {
+                if !survived {
+                    Plan::Done { found: None }
+                } else if lo < hi {
+                    Plan::Bisect { lo, hi }
+                } else {
+                    Plan::Done { found: Some(hi) }
+                }
+            }
+            Plan::Bisect { lo, hi } => {
+                let mid = lo + (hi - lo) / 2;
+                if survived {
+                    if lo < mid {
+                        Plan::Bisect { lo, hi: mid }
+                    } else {
+                        Plan::Done { found: Some(mid) }
+                    }
+                } else if mid + 1 < hi {
+                    Plan::Bisect { lo: mid + 1, hi }
+                } else {
+                    Plan::Done { found: Some(hi) }
+                }
+            }
+            Plan::Double { lo, upper, limit } => {
+                if survived {
+                    if lo < upper {
+                        Plan::Bisect { lo, hi: upper }
+                    } else {
+                        Plan::Done { found: Some(upper) }
+                    }
+                } else if upper >= limit {
+                    Plan::Done { found: None }
+                } else {
+                    Plan::Double {
+                        lo: upper + 1,
+                        upper: (upper * 2).min(limit),
+                        limit,
+                    }
+                }
+            }
+            Plan::Done { found } => Plan::Done { found },
+        }
+    }
+
+    /// The answer once `target()` is `None`.
+    fn found(self) -> Option<u32> {
+        match self {
+            Plan::Done { found } => found,
+            other => unreachable!("found() before Done: {other:?}"),
+        }
+    }
+}
+
+/// Runs a last-axis search plan to completion on `p`: for a fixed prefix,
+/// the smallest last generation with no kills, or `None` if nothing
+/// within the plan's ceiling survives. Before each authoritative probe a
+/// speculative batch is launched ([`Prober::speculate`], a no-op at
+/// `--probe-jobs 1`); the authoritative probe/verdict sequence is exactly
+/// the serial one — [`Plan`] *is* the serial control flow — so probe
+/// counts and every printed statistic stay byte-identical to it.
+/// `on_verdict` observes each authoritative verdict (the anchor pass
+/// records them into the dominance memo).
+fn drive_last_axis(
+    p: &mut Prober,
+    memo: Option<&Memo>,
+    prefix: &[u32],
+    mut plan: Plan,
+    mut on_verdict: impl FnMut(Geometry, bool),
+) -> Option<u32> {
+    let mut buf = [0u32; MAX_AXES];
+    buf[..prefix.len()].copy_from_slice(prefix);
+    loop {
+        let Some(target) = plan.target() else {
+            return plan.found();
+        };
+        p.speculate(memo, prefix, plan);
+        buf[prefix.len()] = target;
+        let g = Geometry::from_slice(&buf[..prefix.len() + 1]);
+        let v = match memo {
+            Some(m) => p.survives_memo(m, g, plan.hint()),
+            None => p.survives_at(g.as_slice(), Some(plan.hint())),
+        };
+        on_verdict(g, v);
+        plan = plan.after(v);
+    }
 }
 
 /// Every prefix point of the scan lattice in lexicographic ascending
@@ -669,15 +1145,27 @@ pub fn lattice_min_space_traced(
     jobs: usize,
     use_memo: bool,
 ) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
-    run_lattice(
+    let tuning = ProbeTuning::resolve(base, None, None, None);
+    let (min, trace, memo_trail, _spec) = run_lattice(
         base,
         limits,
         jobs,
         use_memo,
         crate::analytic::enabled(),
         None,
-    )
+        &tuning,
+    );
+    (min, trace, memo_trail)
 }
+
+/// What the private search drivers hand back: the minimum, the captured
+/// (or seeded) trace, and the memo / speculation audit trails.
+type LatticeRun = (
+    MinSpaceResult,
+    Option<Arc<WorkloadTrace>>,
+    Vec<MemoHit>,
+    Vec<MemoHit>,
+);
 
 /// The lattice search proper, with the analytic toggle resolved and an
 /// optional pre-captured trace to seed the anchor pass with.
@@ -688,7 +1176,8 @@ fn run_lattice(
     use_memo: bool,
     analytic_on: bool,
     seed_trace: Option<Arc<WorkloadTrace>>,
-) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
+    tuning: &ProbeTuning,
+) -> LatticeRun {
     let k = base.el.log.gap_blocks;
     assert!(
         !limits.prefix_max.is_empty(),
@@ -704,24 +1193,20 @@ fn run_lattice(
         limits.prefix_max.iter().all(|&m| m > k) && limits.last_limit > k,
         "every ceiling must exceed the gap threshold ({k})"
     );
-    let mut anchor_prober = Prober::new(base, seed_trace).with_analytic(analytic_on);
+    let mut anchor_prober = tuning.prober(base, seed_trace, analytic_on, true);
     anchor_prober.ensure_model();
     let mut memo = Memo::default();
     let anchor_prefix = Geometry::from_slice(&limits.prefix_max);
-    let anchor = {
-        let p = &mut anchor_prober;
-        let m = &mut memo;
-        min_last_for(
-            &mut |g, next_lo| {
-                let v = p.survives_at(g.as_slice(), Some(next_lo));
-                m.record(*g, v);
-                v
-            },
-            k,
-            anchor_prefix.as_slice(),
-            limits.last_limit,
-        )
-    };
+    let anchor = drive_last_axis(
+        &mut anchor_prober,
+        None,
+        anchor_prefix.as_slice(),
+        Plan::Ceiling {
+            lo: k + 1,
+            hi: limits.last_limit,
+        },
+        |g, v| memo.record(g, v),
+    );
     let Some(anchor_last) = anchor else {
         // Even the all-maxima prefix cannot fit: fall back to the
         // exhaustive scan (the minimal last generation need not be
@@ -745,8 +1230,8 @@ fn run_lattice(
     let pool: Mutex<Vec<Prober>> = Mutex::new(Vec::new());
     let results = crate::sweep::parallel_map(&prefixes, jobs, |_, prefix| {
         let mut p = pool.lock().expect("prober pool").pop().unwrap_or_else(|| {
-            Prober::new(base, trace.clone())
-                .with_analytic(analytic_on)
+            tuning
+                .prober(base, trace.clone(), analytic_on, false)
                 .share_model(model.clone())
         });
         let cap = bound
@@ -760,17 +1245,12 @@ fn run_lattice(
             None
         } else {
             p.stats.pruned_volume += u64::from(limits.last_limit - cap);
-            min_last_for(
-                &mut |g, next_lo| {
-                    if use_memo {
-                        p.survives_memo(&memo, *g, next_lo)
-                    } else {
-                        p.survives_at(g.as_slice(), Some(next_lo))
-                    }
-                },
-                k,
+            drive_last_axis(
+                &mut p,
+                use_memo.then_some(&memo),
                 prefix.as_slice(),
-                cap,
+                Plan::Ceiling { lo: k + 1, hi: cap },
+                |_, _| {},
             )
         };
         pool.lock().expect("prober pool").push(p);
@@ -797,8 +1277,15 @@ fn run_lattice(
         }
     }
     let trace = anchor_prober.trace.clone();
+    anchor_prober.persist_cache();
     let trail = std::mem::take(&mut anchor_prober.memo_trail);
-    (anchor_prober.into_result(best.to_vec()), trace, trail)
+    let spec_trail = std::mem::take(&mut anchor_prober.spec_trail);
+    (
+        anchor_prober.into_result(best.to_vec()),
+        trace,
+        trail,
+        spec_trail,
+    )
 }
 
 /// The exhaustive prefix scan (no pruning bound, no memo); used when the
@@ -808,24 +1295,32 @@ fn lattice_scan(
     limits: &LatticeLimits,
     jobs: usize,
     mut acc: Prober,
-) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, Vec<MemoHit>) {
+) -> LatticeRun {
     let k = base.el.log.gap_blocks;
     let trace = acc.trace.clone();
     let analytic_on = acc.analytic_on;
     let model = acc.model();
+    let tuning = ProbeTuning {
+        spec_jobs: acc.spec_jobs,
+        cache: acc.cache.clone(),
+    };
     let prefixes = enumerate_prefixes(k, &limits.prefix_max);
     let pool: Mutex<Vec<Prober>> = Mutex::new(Vec::new());
     let results = crate::sweep::parallel_map(&prefixes, jobs, |_, prefix| {
         let mut p = pool.lock().expect("prober pool").pop().unwrap_or_else(|| {
-            Prober::new(base, trace.clone())
-                .with_analytic(analytic_on)
+            tuning
+                .prober(base, trace.clone(), analytic_on, false)
                 .share_model(model.clone())
         });
-        let last = min_last_for(
-            &mut |g, next_lo| p.survives_at(g.as_slice(), Some(next_lo)),
-            k,
+        let last = drive_last_axis(
+            &mut p,
+            None,
             prefix.as_slice(),
-            limits.last_limit,
+            Plan::Ceiling {
+                lo: k + 1,
+                hi: limits.last_limit,
+            },
+            |_, _| {},
         );
         pool.lock().expect("prober pool").push(p);
         last
@@ -833,6 +1328,9 @@ fn lattice_scan(
     for p in pool.into_inner().expect("prober pool") {
         acc.absorb(p);
     }
+    // Persist before the feasibility check below: even an infeasible
+    // lattice's (all-kill) verdicts are worth seeding the next run with.
+    acc.persist_cache();
     let mut best: Option<Geometry> = None;
     for (prefix, r) in prefixes.iter().zip(results) {
         let last = r.expect("probe simulation panicked");
@@ -855,7 +1353,25 @@ fn lattice_scan(
     let best = best.expect("no feasible geometry within the lattice limits");
     let trace = acc.trace.clone();
     let trail = std::mem::take(&mut acc.memo_trail);
-    (acc.into_result(best.to_vec()), trace, trail)
+    let spec_trail = std::mem::take(&mut acc.spec_trail);
+    (acc.into_result(best.to_vec()), trace, trail, spec_trail)
+}
+
+/// What the single-column drivers hand back: the (possibly clamped)
+/// minimum, the trace, feasibility, and the speculation audit trail.
+type ColumnRun = (
+    MinSpaceResult,
+    Option<Arc<WorkloadTrace>>,
+    bool,
+    Vec<MemoHit>,
+);
+
+/// Persists the cache and packages a finished single-column prober.
+fn finish_column(mut p: Prober, blocks: Vec<u32>, feasible: bool) -> ColumnRun {
+    let trace = p.trace.clone();
+    p.persist_cache();
+    let spec_trail = std::mem::take(&mut p.spec_trail);
+    (p.into_result(blocks), trace, feasible, spec_trail)
 }
 
 /// Smallest single-generation log: doubling to bracket, then bisection.
@@ -865,37 +1381,24 @@ fn run_firewall(
     hi_limit: u32,
     analytic_on: bool,
     seed_trace: Option<Arc<WorkloadTrace>>,
-) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, bool) {
-    let mut p = Prober::new(base, seed_trace).with_analytic(analytic_on);
+    tuning: &ProbeTuning,
+) -> ColumnRun {
+    let mut p = tuning.prober(base, seed_trace, analytic_on, true);
     p.ensure_model();
     let k = base.el.log.gap_blocks;
-    let mut lo = k + 1; // smallest valid geometry
-    let mut hi = hi_limit;
-    // Establish a surviving upper bound by doubling.
-    let mut upper = (lo * 2).min(hi);
-    loop {
-        if p.survives_at(&[upper], Some(lo + (upper - lo) / 2)) {
-            hi = upper;
-            break;
-        }
-        if upper >= hi_limit {
-            let trace = p.trace.clone();
-            return (p.into_result(vec![hi_limit]), trace, false);
-        }
-        lo = upper + 1;
-        upper = (upper * 2).min(hi_limit);
-    }
-    // Binary search smallest surviving size in [lo, hi].
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if p.survives_at(&[mid], Some(lo + (mid - lo) / 2)) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    let trace = p.trace.clone();
-    (p.into_result(vec![hi]), trace, true)
+    let lo = k + 1; // smallest valid geometry
+    let found = drive_last_axis(
+        &mut p,
+        None,
+        &[],
+        Plan::Double {
+            lo,
+            upper: (lo * 2).min(hi_limit),
+            limit: hi_limit,
+        },
+        |_, _| {},
+    );
+    finish_column(p, vec![found.unwrap_or(hi_limit)], found.is_some())
 }
 
 /// Smallest last generation under a fixed prefix. `feasible = false`
@@ -906,20 +1409,24 @@ fn run_fixed_prefix(
     last_limit: u32,
     analytic_on: bool,
     seed_trace: Option<Arc<WorkloadTrace>>,
-) -> (MinSpaceResult, Option<Arc<WorkloadTrace>>, bool) {
-    let mut p = Prober::new(base, seed_trace).with_analytic(analytic_on);
+    tuning: &ProbeTuning,
+) -> ColumnRun {
+    let mut p = tuning.prober(base, seed_trace, analytic_on, true);
     p.ensure_model();
     let k = base.el.log.gap_blocks;
-    let last = min_last_for(
-        &mut |g, next_lo| p.survives_at(g.as_slice(), Some(next_lo)),
-        k,
+    let last = drive_last_axis(
+        &mut p,
+        None,
         prefix,
-        last_limit,
+        Plan::Ceiling {
+            lo: k + 1,
+            hi: last_limit,
+        },
+        |_, _| {},
     );
-    let trace = p.trace.clone();
     let mut blocks = prefix.to_vec();
     blocks.push(last.unwrap_or(last_limit));
-    (p.into_result(blocks), trace, last.is_some())
+    finish_column(p, blocks, last.is_some())
 }
 
 /// What a [`SearchRequest`] searches over.
@@ -968,6 +1475,8 @@ pub struct SearchRequest {
     memo: bool,
     analytic: Option<bool>,
     seed_trace: Option<Arc<WorkloadTrace>>,
+    probe_jobs: Option<usize>,
+    cache_dir: Option<PathBuf>,
 }
 
 /// What a [`SearchRequest`] found.
@@ -980,6 +1489,9 @@ pub struct SearchOutcome {
     pub trace: Option<Arc<WorkloadTrace>>,
     /// Memo-derived verdicts, for soundness audits (lattice mode only).
     pub memo_trail: Vec<MemoHit>,
+    /// Every speculative verdict harvested (`probe_jobs > 1`), for
+    /// soundness audits; empty on the serial path.
+    pub spec_trail: Vec<MemoHit>,
     /// `false` when nothing survived within the ceilings; `min` then
     /// holds the clamped upper bound probed last. Lattice mode panics
     /// instead (its callers treat an infeasible lattice as a setup bug).
@@ -995,6 +1507,8 @@ impl SearchRequest {
             memo: true,
             analytic: None,
             seed_trace: None,
+            probe_jobs: None,
+            cache_dir: None,
         }
     }
 
@@ -1043,48 +1557,81 @@ impl SearchRequest {
         self
     }
 
+    /// Overrides the process-wide speculative probe width
+    /// ([`crate::sweep::set_probe_jobs`], the `--probe-jobs` flag) for
+    /// this search; unset inherits it. At 1 (the default) the search is
+    /// strictly serial; at `n > 1` each bisection step additionally
+    /// launches up to `n` speculative probes for the capacities the next
+    /// steps could visit. The chosen geometry and every probe count are
+    /// invariant in this.
+    pub fn probe_jobs(mut self, jobs: usize) -> Self {
+        self.probe_jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Stores/loads probe verdicts in a persistent cache under `dir` for
+    /// this search, overriding the process-wide directory
+    /// ([`crate::probecache::set_dir`], the `--probe-cache` flag). A warm
+    /// rerun of an identical search answers every probe from the cache —
+    /// zero live simulation — with identical results.
+    pub fn probe_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Runs the search.
     pub fn run(self) -> SearchOutcome {
         let analytic_on = self.analytic.unwrap_or_else(crate::analytic::enabled);
+        let tuning = ProbeTuning::resolve(
+            &self.base,
+            self.probe_jobs,
+            self.cache_dir.as_deref(),
+            self.seed_trace.as_ref(),
+        );
         match self.mode {
             SearchMode::Firewall { limit } => {
-                let (min, trace, feasible) =
-                    run_firewall(&self.base, limit, analytic_on, self.seed_trace);
+                let (min, trace, feasible, spec_trail) =
+                    run_firewall(&self.base, limit, analytic_on, self.seed_trace, &tuning);
                 SearchOutcome {
                     min,
                     trace,
                     memo_trail: Vec::new(),
+                    spec_trail,
                     feasible,
                 }
             }
             SearchMode::Lattice { limits } => {
-                let (min, trace, memo_trail) = run_lattice(
+                let (min, trace, memo_trail, spec_trail) = run_lattice(
                     &self.base,
                     &limits,
                     self.jobs,
                     self.memo,
                     analytic_on,
                     self.seed_trace,
+                    &tuning,
                 );
                 SearchOutcome {
                     min,
                     trace,
                     memo_trail,
+                    spec_trail,
                     feasible: true,
                 }
             }
             SearchMode::FixedPrefix { prefix, last_limit } => {
-                let (min, trace, feasible) = run_fixed_prefix(
+                let (min, trace, feasible, spec_trail) = run_fixed_prefix(
                     &self.base,
                     &prefix,
                     last_limit,
                     analytic_on,
                     self.seed_trace,
+                    &tuning,
                 );
                 SearchOutcome {
                     min,
                     trace,
                     memo_trail: Vec::new(),
+                    spec_trail,
                     feasible,
                 }
             }
@@ -1204,8 +1751,9 @@ mod tests {
             prefix_max: vec![8, 8],
             last_limit: 48,
         };
-        let (serial, _, _) = run_lattice(&base, &limits, 1, true, true, None);
-        let (parallel, _, _) = run_lattice(&base, &limits, 4, true, true, None);
+        let t = ProbeTuning::default();
+        let (serial, _, _, _) = run_lattice(&base, &limits, 1, true, true, None, &t);
+        let (parallel, _, _, _) = run_lattice(&base, &limits, 4, true, true, None, &t);
         assert_eq!(serial.generation_blocks, parallel.generation_blocks);
         assert_eq!(serial.probes, parallel.probes);
         assert_eq!(serial.search.sim_probes, parallel.search.sim_probes);
@@ -1237,8 +1785,9 @@ mod tests {
             prefix_max: vec![10, 8],
             last_limit: 64,
         };
-        let (on, _, on_trail) = run_lattice(&base, &limits, 2, true, true, None);
-        let (off, _, off_trail) = run_lattice(&base, &limits, 2, true, false, None);
+        let t = ProbeTuning::default();
+        let (on, _, on_trail, _) = run_lattice(&base, &limits, 2, true, true, None, &t);
+        let (off, _, off_trail, _) = run_lattice(&base, &limits, 2, true, false, None, &t);
         assert_eq!(on.generation_blocks, off.generation_blocks);
         assert_eq!(on.probes, off.probes);
         assert_eq!(on.search.sim_probes, off.search.sim_probes);
@@ -1263,8 +1812,9 @@ mod tests {
         // capacity in the column probe-free — changing nothing but the
         // event count.
         let base = paper_base(0.05, false, 30);
-        let (on, _, feasible_on) = run_fixed_prefix(&base, &[14], 96, true, None);
-        let (off, _, feasible_off) = run_fixed_prefix(&base, &[14], 96, false, None);
+        let t = ProbeTuning::default();
+        let (on, _, feasible_on, _) = run_fixed_prefix(&base, &[14], 96, true, None, &t);
+        let (off, _, feasible_off, _) = run_fixed_prefix(&base, &[14], 96, false, None, &t);
         assert!(feasible_on && feasible_off);
         assert_eq!(on.generation_blocks, off.generation_blocks);
         assert_eq!(on.probes, off.probes);
@@ -1293,8 +1843,9 @@ mod tests {
         // nothing but the event count.
         let mut base = paper_base(0.05, false, 30);
         base.el.log.recirculation = true;
-        let (on, _, feasible_on) = run_fixed_prefix(&base, &[14], 96, true, None);
-        let (off, _, feasible_off) = run_fixed_prefix(&base, &[14], 96, false, None);
+        let t = ProbeTuning::default();
+        let (on, _, feasible_on, _) = run_fixed_prefix(&base, &[14], 96, true, None, &t);
+        let (off, _, feasible_off, _) = run_fixed_prefix(&base, &[14], 96, false, None, &t);
         assert!(feasible_on && feasible_off);
         assert_eq!(on.generation_blocks, off.generation_blocks);
         assert_eq!(on.probes, off.probes);
@@ -1344,5 +1895,170 @@ mod tests {
         assert_eq!(l.prefix_max, vec![12, 12, 12]);
         assert_eq!(l.gens(), 4);
         assert_eq!(l.last_limit, 64);
+    }
+
+    /// The pre-`Plan` serial bisection (the old `min_last_for`),
+    /// recording every `(target, hint)` probe it issues.
+    fn ref_min_last(
+        oracle: &mut impl FnMut(u32) -> bool,
+        probes: &mut Vec<(u32, u32)>,
+        floor: u32,
+        hi_limit: u32,
+    ) -> Option<u32> {
+        let mut lo = floor;
+        let mut hi = hi_limit;
+        probes.push((hi, lo + (hi - lo) / 2));
+        if !oracle(hi) {
+            return None;
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes.push((mid, lo + (mid - lo) / 2));
+            if oracle(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(hi)
+    }
+
+    /// The pre-`Plan` firewall loop: doubling bracket, then bisection.
+    fn ref_firewall(
+        oracle: &mut impl FnMut(u32) -> bool,
+        probes: &mut Vec<(u32, u32)>,
+        floor: u32,
+        hi_limit: u32,
+    ) -> Option<u32> {
+        let mut lo = floor;
+        let mut hi = hi_limit;
+        let mut upper = (lo * 2).min(hi);
+        loop {
+            probes.push((upper, lo + (upper - lo) / 2));
+            if oracle(upper) {
+                hi = upper;
+                break;
+            }
+            if upper >= hi_limit {
+                return None;
+            }
+            lo = upper + 1;
+            upper = (upper * 2).min(hi_limit);
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            probes.push((mid, lo + (mid - lo) / 2));
+            if oracle(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(hi)
+    }
+
+    /// Drives a [`Plan`] against the oracle, recording probes identically.
+    fn drive_plan(
+        oracle: &mut impl FnMut(u32) -> bool,
+        probes: &mut Vec<(u32, u32)>,
+        mut plan: Plan,
+    ) -> Option<u32> {
+        loop {
+            let Some(t) = plan.target() else {
+                return plan.found();
+            };
+            probes.push((t, plan.hint()));
+            plan = plan.after(oracle(t));
+        }
+    }
+
+    #[test]
+    fn plan_bisection_matches_serial_reference() {
+        // Monotone oracles (survives iff cap ≥ threshold), exhaustively
+        // over small floors/limits; threshold > limit = infeasible.
+        for floor in 1..=4u32 {
+            for limit in floor..=floor + 12 {
+                for thresh in floor..=limit + 2 {
+                    let (mut p_ref, mut p_plan) = (Vec::new(), Vec::new());
+                    let want = ref_min_last(&mut |c| c >= thresh, &mut p_ref, floor, limit);
+                    let got = drive_plan(
+                        &mut |c| c >= thresh,
+                        &mut p_plan,
+                        Plan::Ceiling {
+                            lo: floor,
+                            hi: limit,
+                        },
+                    );
+                    assert_eq!(got, want, "floor {floor} limit {limit} thresh {thresh}");
+                    assert_eq!(
+                        p_plan, p_ref,
+                        "probe/hint sequence diverged at floor {floor} limit {limit} \
+                         thresh {thresh}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_doubling_matches_firewall_reference() {
+        for floor in 1..=4u32 {
+            for limit in floor..=floor + 20 {
+                for thresh in floor..=limit + 2 {
+                    let (mut p_ref, mut p_plan) = (Vec::new(), Vec::new());
+                    let want = ref_firewall(&mut |c| c >= thresh, &mut p_ref, floor, limit);
+                    let got = drive_plan(
+                        &mut |c| c >= thresh,
+                        &mut p_plan,
+                        Plan::Double {
+                            lo: floor,
+                            upper: (floor * 2).min(limit),
+                            limit,
+                        },
+                    );
+                    assert_eq!(got, want, "floor {floor} limit {limit} thresh {thresh}");
+                    assert_eq!(
+                        p_plan, p_ref,
+                        "probe/hint sequence diverged at floor {floor} limit {limit} \
+                         thresh {thresh}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_harvests_into_column_memo() {
+        let base = paper_base(0.05, false, 15);
+        // Analytic off: in so small a column the consumption certificate
+        // would answer everything and leave nothing to speculate on.
+        let mut p = Prober::new(&base, None)
+            .with_analytic(false)
+            .with_spec_jobs(4);
+        assert!(p.survives_at(&[14, 48], None), "capture probe must survive");
+        let k = base.el.log.gap_blocks;
+        p.speculate(None, &[14], Plan::Bisect { lo: k + 1, hi: 48 });
+        assert!(p.stats.speculative_probes > 0, "batch must launch");
+        assert_eq!(p.stats.speculative_probes, p.spec_trail.len() as u64);
+        let col = p.column.as_ref().expect("column open");
+        assert_eq!(col.spec_launched, p.stats.speculative_probes);
+        for h in &p.spec_trail {
+            assert_eq!(
+                col.spec.lookup(&h.geometry),
+                Some(h.survived),
+                "harvested verdict missing from the column memo: {:?}",
+                h.geometry
+            );
+            // Exactness: the harvested verdict is the authoritative one.
+            assert_eq!(
+                survives(&base, h.geometry.as_slice()),
+                h.survived,
+                "speculative verdict diverged at {:?}",
+                h.geometry
+            );
+        }
+        // Dropping the column without consuming counts the batch wasted.
+        p.close_column();
+        assert_eq!(p.stats.speculative_wasted, p.stats.speculative_probes);
     }
 }

@@ -29,6 +29,7 @@ pub mod crashpoint;
 pub mod experiments;
 pub mod latsearch;
 pub mod minspace;
+pub mod probecache;
 pub mod report;
 pub mod runner;
 pub mod sharding;

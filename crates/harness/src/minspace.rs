@@ -19,7 +19,12 @@
 //! and its dominance rules, the anchor-bound pruning, and the
 //! jobs-invariance argument all live there now; this module keeps the
 //! paper-facing entry points (FW binary search, fixed-gen0 searches, the
-//! base configurations).
+//! base configurations). Because every entry point routes through
+//! [`SearchRequest`], the process-wide accelerator knobs — speculative
+//! bisection (`--probe-jobs`, [`crate::sweep::set_probe_jobs`]) and the
+//! persistent probe-verdict cache (`--probe-cache`,
+//! [`crate::probecache`]) — apply to all of them without changing any
+//! printed result.
 
 use crate::latsearch::{lattice_min_space_traced, LatticeLimits, Prober, SearchRequest};
 use crate::runner::RunConfig;

@@ -148,6 +148,23 @@ impl RunConfig {
         self.shards = shards.max(1);
         self
     }
+
+    /// Canonical description of everything a probe verdict depends on
+    /// *except* the geometry being probed: mix, arrivals, horizon, seed,
+    /// the non-geometry log/flush/memory parameters and hint placement.
+    /// The persistent probe-verdict cache hashes this (together with the
+    /// engine-semantics version) into its file key. The geometry is
+    /// cleared — each cached entry carries its own full geometry — and the
+    /// trace and shard count are normalised away: the trace is itself a
+    /// pure function of the remaining fields, and sharding is
+    /// result-identical by construction (DESIGN.md §5h).
+    pub fn verdict_key(&self) -> String {
+        let mut canon = self.clone();
+        canon.el.log.generation_blocks = Vec::new();
+        canon.trace = None;
+        canon.shards = 1;
+        format!("{canon:?}")
+    }
 }
 
 /// The composite model driven by the event engine.

@@ -1,0 +1,157 @@
+//! Speculation-soundness suite: speculative parallel bisection
+//! ([`elog_harness::latsearch`], `--probe-jobs`) must be a pure
+//! accelerator. Speculative probes run ahead of the bisection's
+//! authoritative sequence on worker threads, but every verdict the
+//! search *consumes* must be exactly the serial one: same chosen
+//! geometry, same probe count, same per-kind verdict accounting. The
+//! suite checks that property over random lattices and a jobs ×
+//! probe-jobs matrix, and audits that every speculative verdict lands in
+//! the column's harvest memo with the answer a fresh simulation gives.
+
+use elog_harness::latsearch::LatticeLimits;
+use elog_harness::minspace::{self, paper_base};
+use elog_harness::{SearchOutcome, SearchRequest};
+
+/// splitmix64 — deterministic case generator, no RNG dependency.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The verdict-count surface that must not move under speculation: every
+/// counter the serial search would print or gate on. (Cache counters and
+/// the speculative counters themselves are intentionally outside the
+/// set — they describe the accelerator, not the search.)
+fn verdict_counts(o: &SearchOutcome) -> [u64; 6] {
+    [
+        u64::from(o.min.probes),
+        o.min.search.sim_probes,
+        o.min.search.replay_probes,
+        o.min.search.memo_hits,
+        o.min.search.pruned_volume,
+        o.min.search.analytic_rejections,
+    ]
+}
+
+#[test]
+fn random_lattices_match_serial_verdicts() {
+    // Property test: across random mixes, horizons and lattice ceilings,
+    // a speculative search must pick the serial geometry with the serial
+    // verdict counts.
+    let mut rng = 0x5bec_1a7e_u64;
+    for case in 0..4 {
+        let mixes = [0.05, 0.1, 0.2, 0.3];
+        let mix = mixes[(splitmix(&mut rng) % 4) as usize];
+        let secs = 12 + splitmix(&mut rng) % 8;
+        let base = paper_base(mix, false, secs);
+        let limits = LatticeLimits {
+            prefix_max: vec![
+                14 + (splitmix(&mut rng) % 6) as u32,
+                12 + (splitmix(&mut rng) % 6) as u32,
+            ],
+            last_limit: 256,
+        };
+        let probe_jobs = 2 + (splitmix(&mut rng) % 3) as usize;
+
+        let serial = SearchRequest::lattice(&base, limits.clone())
+            .jobs(1)
+            .probe_jobs(1)
+            .run();
+        assert_eq!(
+            serial.min.search.speculative_probes, 0,
+            "case {case}: a serial search must not speculate"
+        );
+        let spec = SearchRequest::lattice(&base, limits)
+            .jobs(1)
+            .probe_jobs(probe_jobs)
+            .run();
+        assert_eq!(
+            serial.min.generation_blocks, spec.min.generation_blocks,
+            "case {case}: probe-jobs {probe_jobs} changed the geometry"
+        );
+        assert_eq!(
+            verdict_counts(&serial),
+            verdict_counts(&spec),
+            "case {case}: probe-jobs {probe_jobs} changed the verdict accounting"
+        );
+    }
+}
+
+#[test]
+fn jobs_and_probe_jobs_matrix_is_invariant() {
+    // The jobs-invariance contract extends to the new axis: every
+    // (--jobs, --probe-jobs) combination must report the serial outcome.
+    let base = paper_base(0.05, false, 16);
+    let limits = || LatticeLimits {
+        prefix_max: vec![18, 16],
+        last_limit: 256,
+    };
+    let serial = SearchRequest::lattice(&base, limits())
+        .jobs(1)
+        .probe_jobs(1)
+        .run();
+    for jobs in [1usize, 2, 4] {
+        for probe_jobs in [1usize, 2, 4] {
+            if (jobs, probe_jobs) == (1, 1) {
+                continue;
+            }
+            let o = SearchRequest::lattice(&base, limits())
+                .jobs(jobs)
+                .probe_jobs(probe_jobs)
+                .run();
+            assert_eq!(
+                serial.min.generation_blocks, o.min.generation_blocks,
+                "jobs {jobs} × probe-jobs {probe_jobs} changed the geometry"
+            );
+            assert_eq!(
+                verdict_counts(&serial),
+                verdict_counts(&o),
+                "jobs {jobs} × probe-jobs {probe_jobs} changed the accounting"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_speculative_verdict_is_harvested_and_true() {
+    // Memo-harvest audit: the search records each speculative verdict it
+    // launched in `spec_trail` (mirroring the memo every worker verdict
+    // was folded into). The counter and the trail must agree — no
+    // speculative probe may vanish unaccounted — and each recorded
+    // verdict must match a fresh full simulation of that geometry.
+    let base = paper_base(0.05, false, 16);
+    let limits = LatticeLimits {
+        prefix_max: vec![18, 16],
+        last_limit: 256,
+    };
+    let o = SearchRequest::lattice(&base, limits)
+        .jobs(1)
+        .probe_jobs(4)
+        .run();
+    assert_eq!(
+        o.min.search.speculative_probes,
+        o.spec_trail.len() as u64,
+        "speculative_probes and the harvest trail disagree"
+    );
+    assert!(
+        o.min.search.speculative_probes > 0,
+        "vacuous audit: the search never speculated"
+    );
+    assert!(
+        o.min.search.speculative_wasted <= o.min.search.speculative_probes,
+        "wasted speculation cannot exceed launched speculation"
+    );
+    // Re-simulating every speculative probe doubles the test's runtime
+    // budget for no extra coverage; audit a deterministic sample.
+    for hit in o.spec_trail.iter().step_by(3) {
+        let blocks = hit.geometry.to_vec();
+        assert_eq!(
+            minspace::survives(&base, &blocks),
+            hit.survived,
+            "speculative verdict for {blocks:?} contradicts simulation"
+        );
+    }
+}

@@ -107,6 +107,34 @@ pub struct SearchStats {
     /// probe count — matches the probe-only search; only `probe_events`
     /// shrinks.
     pub cert_verdicts: u64,
+    /// Speculative probes launched ahead of the bisection under
+    /// `--probe-jobs`: full replays of capacities the next bisection steps
+    /// *could* visit, run on worker probers whose own counters are
+    /// discarded. Disjoint from every authoritative counter above — a
+    /// speculative run is never a `sim_probes` probe; when the bisection
+    /// later consumes its verdict, the authoritative probe is counted
+    /// exactly as if it had simulated (so printed probe counts match the
+    /// serial search).
+    pub speculative_probes: u64,
+    /// Speculative probes whose verdict the bisection never consumed
+    /// (launched for a branch the verdict sequence did not take). Always
+    /// `<= speculative_probes`; the difference is the harvest that paid
+    /// for itself.
+    pub speculative_wasted: u64,
+    /// Probe verdicts answered by the persistent probe-verdict cache
+    /// (`--probe-cache`): an exact on-disk verdict for this geometry under
+    /// this workload fingerprint, so no simulation ran. Counted in
+    /// `sim_probes` (and `replay_probes` when a trace was present) exactly
+    /// like the probe it replaced, so printed probe counts match the
+    /// uncached search; only `probe_events` shrinks.
+    pub cache_hits: u64,
+    /// Probes that consulted an enabled cache, found no entry, and fell
+    /// through to live simulation. When a cache is enabled this equals the
+    /// number of live probe executions — a fully warm rerun reports 0.
+    pub cache_misses: u64,
+    /// Verdicts the cache file seeded into the search before any probe ran
+    /// (0 when `--probe-cache` is off or the file was cold/corrupt).
+    pub cache_seeded: u64,
 }
 
 impl SearchStats {
@@ -159,6 +187,11 @@ impl SearchStats {
         self.resume_probes += other.resume_probes;
         self.cert_verdicts += other.cert_verdicts;
         self.resume_saved_events += other.resume_saved_events;
+        self.speculative_probes += other.speculative_probes;
+        self.speculative_wasted += other.speculative_wasted;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_seeded += other.cache_seeded;
     }
 }
 
@@ -415,6 +448,11 @@ mod tests {
                 cert_verdicts: 5,
                 resume_probes: 1,
                 resume_saved_events: 300,
+                speculative_probes: 6,
+                speculative_wasted: 2,
+                cache_hits: 7,
+                cache_misses: 8,
+                cache_seeded: 9,
             },
         };
         a.merge(&b);
