@@ -89,6 +89,28 @@ if ! grep -q "live probes: 0" "$CACHE_DIR/warm.stderr"; then
 fi
 rm -rf "$CACHE_DIR"
 
+echo "== adaptive controller smoke =="
+# The online generation controller (DESIGN.md §5j) must be invisible on
+# a well-provisioned static workload: the same measured run with
+# `--adaptive` has to print byte-identical stdout (the controller's
+# summary goes to stderr). On a drifting workload it must actually
+# act: the stderr summary has to report at least one reshape.
+AD_OFF=$(./target/release/elsim --gens 18,16 --runtime 30)
+AD_ON=$(./target/release/elsim --gens 18,16 --runtime 30 --adaptive 2>/dev/null)
+if [ "$AD_OFF" != "$AD_ON" ]; then
+    echo "adaptive run diverged on a static workload:" >&2
+    diff <(echo "$AD_OFF") <(echo "$AD_ON") >&2 || true
+    exit 1
+fi
+AD_DRIFT=$(./target/release/elsim --gens 18,6 --runtime 60 \
+    --phases 0:0.05,10:0.4 --adaptive 2>&1 >/dev/null | grep '\[adaptive\]' || true)
+case "$AD_DRIFT" in
+    *"reshapes 0 "*|"")
+        echo "drifting workload produced no reshape: ${AD_DRIFT:-no [adaptive] line}" >&2
+        exit 1
+        ;;
+esac
+
 echo "== bench --quick (perf regression gate) =="
 # One quick pass over the whole experiment basket — including the
 # crash-recovery bench (crash-point snapshots scanned + redone) — gated
@@ -98,8 +120,16 @@ echo "== bench --quick (perf regression gate) =="
 # crates/harness/src/benchgate.rs). The JSON is echoed so CI logs
 # preserve the numbers; the report file itself is throwaway (committed
 # snapshots are produced deliberately:
-# `bench --quick --jobs 1 --out BENCH_$(date +%F).json`).
-BASELINE=$(ls BENCH_*.json | sort | tail -n 1)
+# `bench --quick --jobs 1 --out BENCH_$(date +%F).json`). With no
+# snapshot at all the glob expands to nothing and the old `ls | tail`
+# pipeline handed bench an empty --baseline — fail loudly instead.
+BASELINE=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+if [ -z "$BASELINE" ]; then
+    echo "no BENCH_*.json snapshot found: the perf gate has nothing to compare" >&2
+    echo "against. Generate and commit one with:" >&2
+    echo "    bench --quick --jobs 1 --out BENCH_\$(date +%F).json" >&2
+    exit 1
+fi
 ./target/release/bench --quick --out "$(mktemp)" --baseline "$BASELINE" --max-regress 30
 
 echo "CI green."

@@ -45,6 +45,7 @@
 //! # let _ = fx;
 //! ```
 
+pub mod adaptive;
 pub mod advance;
 pub mod append;
 pub mod cell;
@@ -58,6 +59,7 @@ pub mod metrics;
 pub mod traits;
 pub mod types;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveController, AdaptiveStats};
 pub use cert::{CertVerdict, ConsumptionCert};
 pub use host::SimpleHost;
 pub use hybrid::{HybridManager, HybridStats, HYBRID_BYTES_PER_TXN};

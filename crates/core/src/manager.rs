@@ -633,6 +633,56 @@ impl ElManager {
         self.cfg.log.generation_blocks[last] = blocks;
     }
 
+    /// Blocks of the last generation spanning its live window: from the
+    /// block of the oldest non-garbage record to the tail, zero when the
+    /// generation lists no records. This — not
+    /// [`elog_storage::BlockRing::used_blocks`], which the demand-driven
+    /// head advance parks at `capacity − gap` regardless of what the
+    /// blocks hold — is the depth a capacity shrink must preserve.
+    pub fn last_gen_live_blocks(&self) -> u64 {
+        let g = self.gens.last().expect("at least one generation");
+        if g.h == NIL {
+            return 0;
+        }
+        g.ring.tail().saturating_sub(self.arena.get(g.h).block)
+    }
+
+    /// Shrinks the last generation toward `blocks`. The ring's head sits
+    /// wherever demand last pushed it, so `used_blocks` alone would
+    /// forbid almost any shrink; instead this first consumes the durable
+    /// all-garbage head prefix (cells are unlinked the moment a record
+    /// becomes garbage, so a head block with no listed cell at its
+    /// sequence holds nothing worth keeping), then rebinds the ring to
+    /// the smallest legal capacity at or above `blocks` that still
+    /// leaves the gap margin. Returns the capacity actually set —
+    /// possibly larger than asked when live records are in the way, and
+    /// never larger than the current capacity.
+    pub fn shrink_last_gen_capacity(&mut self, blocks: u32) -> u32 {
+        let last = self.gens.len() - 1;
+        let gap = u64::from(self.cfg.log.gap_blocks);
+        let want = u64::from(blocks).max(1);
+        while self.gens[last].ring.used_blocks() + gap > want {
+            let g = &self.gens[last];
+            let head = g.ring.head();
+            if head >= g.ring.tail() || g.ring.block(head).is_none() {
+                break; // empty window, or open/in-flight at the head
+            }
+            if g.h != NIL && self.arena.get(g.h).block <= head {
+                break; // the oldest live record sits in the head block
+            }
+            self.gens[last].ring.advance_head();
+        }
+        let used = self.gens[last].ring.used_blocks();
+        let cur = self.gens[last].ring.capacity();
+        let target = want.max(used + gap).min(cur);
+        if target < cur {
+            self.gens[last].ring.set_capacity(target);
+            self.cfg.log.generation_blocks[last] =
+                u32::try_from(target).expect("shrink target below a u32 capacity");
+        }
+        self.cfg.log.generation_blocks[last]
+    }
+
     /// The crash-surface of the log: every physically durable block of
     /// every generation, for the recovery manager. Open and in-flight
     /// buffers are *not* included — exactly what a crash would destroy.

@@ -8,6 +8,7 @@
 //! hosts (notably the harness's `SimModel`) can be generic over the
 //! technique instead of duplicating their event loops per manager.
 
+use crate::adaptive::AdaptiveController;
 use crate::types::{Effects, LmTimer};
 use elog_model::{Oid, StableDb, Tid};
 use elog_sim::SimTime;
@@ -45,6 +46,15 @@ pub trait LogManager {
 
     /// Force-write open buffers (end-of-run quiescing).
     fn quiesce(&mut self, now: SimTime) -> Effects;
+
+    /// Deliver one adaptive-controller window tick (see
+    /// [`crate::adaptive`]): the manager exposes its signals to `ctl` and
+    /// applies whatever actions the controller decides. Techniques
+    /// without adaptive support ignore the tick — the controller then
+    /// observes nothing and re-shapes nothing.
+    fn adaptive_window(&mut self, now: SimTime, ctl: &mut AdaptiveController) {
+        let _ = (now, ctl);
+    }
 
     /// Returns a drained [`Effects`] so the manager can reuse its buffers
     /// on the next call (one event ⇒ one `Effects`; recycling makes the
@@ -107,6 +117,10 @@ impl LogManager for crate::ElManager {
 
     fn quiesce(&mut self, now: SimTime) -> Effects {
         crate::ElManager::quiesce(self, now)
+    }
+
+    fn adaptive_window(&mut self, now: SimTime, ctl: &mut AdaptiveController) {
+        ctl.on_window(now, self);
     }
 
     fn recycle(&mut self, fx: Effects) {

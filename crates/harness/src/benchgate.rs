@@ -341,6 +341,68 @@ impl ReportSection for SearchSummary {
     }
 }
 
+/// The online adaptive-controller aggregates (report-only, like the
+/// sharding section: reshape counts and kills shed are workload
+/// properties of the drift scenario, not host throughput, so the default
+/// no-op `gate` stands).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveSummary {
+    /// Observation windows the controller decided over.
+    pub window_decisions: f64,
+    /// Capacity reshapes applied on the drift run (grows + shrinks).
+    pub reshapes: f64,
+    /// Reshapes that grew the last generation.
+    pub grows: f64,
+    /// Reshapes that shrank the last generation.
+    pub shrinks: f64,
+    /// Lifetime-hint placement toggles.
+    pub hint_toggles: f64,
+    /// Times the firewall fallback engaged.
+    pub firewall_fallbacks: f64,
+    /// Kills the controller shed on the mid-run shift pair (frozen run's
+    /// kills minus the adaptive run's).
+    pub kills_shed: f64,
+}
+
+impl ReportSection for AdaptiveSummary {
+    const KEY: &'static str = "adaptive";
+    const FIELDS: &'static [(&'static str, Option<f64>)] = &[
+        ("window_decisions", None),
+        ("reshapes", None),
+        ("grows", None),
+        ("shrinks", None),
+        ("hint_toggles", None),
+        ("firewall_fallbacks", None),
+        ("kills_shed", None),
+    ];
+
+    fn from_fields(vals: &[f64]) -> Self {
+        AdaptiveSummary {
+            window_decisions: vals[0],
+            reshapes: vals[1],
+            grows: vals[2],
+            shrinks: vals[3],
+            hint_toggles: vals[4],
+            firewall_fallbacks: vals[5],
+            kills_shed: vals[6],
+        }
+    }
+
+    fn describe(&self, parts: &mut Vec<String>) {
+        parts.push(format!(
+            "adaptive {:.0} reshapes ({:.0} grows, {:.0} shrinks) over {:.0} windows, \
+             {:.0} hint toggles, {:.0} fallbacks, {:.0} shift kills shed",
+            self.reshapes,
+            self.grows,
+            self.shrinks,
+            self.window_decisions,
+            self.hint_toggles,
+            self.firewall_fallbacks,
+            self.kills_shed
+        ));
+    }
+}
+
 /// The fields the gate compares.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BenchSummary {
@@ -366,6 +428,9 @@ pub struct BenchSummary {
     /// The search section's aggregates; `None` when the report predates
     /// speculative bisection and the probe cache.
     pub search: Option<SearchSummary>,
+    /// The adaptive section's aggregates; `None` when the report predates
+    /// the online generation controller.
+    pub adaptive: Option<AdaptiveSummary>,
 }
 
 /// Extracts the number following `"key": ` at its first occurrence at or
@@ -402,6 +467,7 @@ impl BenchSummary {
             analytic: AnalyticSummary::parse(json),
             sharding: ShardingSummary::parse(json),
             search: SearchSummary::parse(json),
+            adaptive: AdaptiveSummary::parse(json),
         })
     }
 }
@@ -505,6 +571,12 @@ pub fn check_regression(
         &mut parts,
     )?;
     gate_section(
+        &baseline.adaptive,
+        &current.adaptive,
+        max_regress_pct,
+        &mut parts,
+    )?;
+    gate_section(
         &baseline.recovery,
         &current.recovery,
         max_regress_pct,
@@ -565,10 +637,11 @@ mod tests {
         analytic: Option<(f64, f64, f64)>,
         sharding: Option<(f64, f64)>,
         search: Option<(f64, f64)>,
+        adaptive: Option<(f64, f64)>,
     ) -> String {
         // Same field order as the bench binary's writer: experiments,
         // then lattice, then analytic, then sharding, then search, then
-        // recovery.
+        // adaptive, then recovery.
         let lattice_section = match lattice {
             Some((probes, rate, pruned)) => format!(
                 ",\n  \"lattice\": {{\n    \"probes\": {probes},\n    \"memo_hits\": 40,\n    \
@@ -607,6 +680,16 @@ mod tests {
             ),
             None => String::new(),
         };
+        let adaptive_section = match adaptive {
+            Some((reshapes, shed)) => format!(
+                ",\n  \"adaptive\": {{\n    \"window_decisions\": 24,\n    \
+                 \"occupancy_snapshots\": 48,\n    \"reshapes\": {reshapes},\n    \
+                 \"grows\": 4,\n    \"shrinks\": 2,\n    \"hint_toggles\": 0,\n    \
+                 \"firewall_fallbacks\": 0,\n    \"kills_shed\": {shed},\n    \
+                 \"shift_kills_frozen\": 400,\n    \"wall_secs\": 0.8\n  }}"
+            ),
+            None => String::new(),
+        };
         let recovery_section = match recovery {
             Some((scan, redo)) => format!(
                 ",\n  \"recovery\": {{\n    \"scan_blocks_per_sec\": 120000,\n    \
@@ -625,7 +708,7 @@ mod tests {
              \"replay_hit_rate\": 0.9,\n  \"memo_hit_rate\": 0.2,\n  \
              \"experiments\": [\n    {{\"name\": \"x\", \"probes\": 7, \
              \"events_per_sec\": 99, \"allocations_per_event\": 99.0}}\n  \
-             ]{lattice_section}{analytic_section}{sharding_section}{search_section}{recovery_section}\n}}"
+             ]{lattice_section}{analytic_section}{sharding_section}{search_section}{adaptive_section}{recovery_section}\n}}"
         )
     }
 
@@ -644,6 +727,7 @@ mod tests {
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
         )
     }
 
@@ -662,6 +746,7 @@ mod tests {
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
         )
     }
 
@@ -676,6 +761,7 @@ mod tests {
             None,
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
         )
     }
 
@@ -690,6 +776,7 @@ mod tests {
             Some((12.0, 30.0, 40000.0)),
             None,
             Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
         )
     }
 
@@ -704,7 +791,85 @@ mod tests {
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
             None,
+            Some((6.0, 120.0)),
         )
+    }
+
+    /// A report missing only the adaptive section.
+    fn no_adaptive(events_per_sec: f64) -> String {
+        report_full(
+            events_per_sec,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
+            None,
+        )
+    }
+
+    #[test]
+    fn parse_reads_adaptive_aggregates() {
+        let s = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let a = s.adaptive.expect("adaptive section present");
+        assert_eq!(a.window_decisions, 24.0);
+        assert_eq!(a.reshapes, 6.0);
+        assert_eq!(a.grows, 4.0);
+        assert_eq!(a.shrinks, 2.0);
+        assert_eq!(a.hint_toggles, 0.0);
+        assert_eq!(a.firewall_fallbacks, 0.0);
+        assert_eq!(a.kills_shed, 120.0);
+    }
+
+    #[test]
+    fn adaptive_baseline_missing_warns_and_passes() {
+        let base = BenchSummary::parse(&no_adaptive(400_000.0)).unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(
+            verdict.contains("predates the adaptive section"),
+            "{verdict}"
+        );
+    }
+
+    #[test]
+    fn adaptive_lost_from_current_fails() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&no_adaptive(400_000.0)).unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("no adaptive section"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_stats_are_reported_but_never_gated() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        // Wildly different controller numbers — zero reshapes, zero kills
+        // shed — still a pass: the section is context, not a gated rate.
+        let cur = BenchSummary::parse(&report_full(
+            400_000.0,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
+            Some((0.0, 0.0)),
+        ))
+        .unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("adaptive 0 reshapes"), "{verdict}");
+    }
+
+    #[test]
+    fn adaptive_torn_field_rejects_the_section() {
+        // Every adaptive field is required; a report missing one must
+        // parse as "no adaptive section", not invent a number.
+        let torn = report(400_000.0, 0.05, true).replace("\"kills_shed\": 120,\n    ", "");
+        let s = BenchSummary::parse(&torn).unwrap();
+        assert!(s.adaptive.is_none(), "torn adaptive section must not parse");
     }
 
     #[test]
@@ -772,6 +937,7 @@ mod tests {
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -819,6 +985,7 @@ mod tests {
             Some((0.0, 0.0, 0.0)),
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -868,6 +1035,7 @@ mod tests {
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 0.58)),
             Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -918,6 +1086,7 @@ mod tests {
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
             Some((0.7, 0.0)),
+            Some((6.0, 120.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();

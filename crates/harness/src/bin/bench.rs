@@ -115,11 +115,15 @@ fn parse_args() -> Options {
                 opts.date = Some(d);
             }
             "--baseline" => {
-                let path = args.next().unwrap_or_else(|| {
+                let raw = args.next().unwrap_or_else(|| {
                     eprintln!("--baseline requires a path");
                     std::process::exit(2);
                 });
-                opts.baseline = Some(path.into());
+                let path = baseline_path(&raw).unwrap_or_else(|why| {
+                    eprintln!("{why}");
+                    std::process::exit(2);
+                });
+                opts.baseline = Some(path);
             }
             "--max-regress" => {
                 let pct = args
@@ -146,6 +150,23 @@ fn parse_args() -> Options {
         }
     }
     opts
+}
+
+/// Validates a `--baseline` operand. An empty (or all-whitespace) path
+/// is rejected up front with a pointer at the usual cause — a CI script
+/// expanding an empty `ls BENCH_*.json` glob into `--baseline ""` —
+/// instead of surfacing later as a bare file-not-found on `""`.
+fn baseline_path(raw: &str) -> Result<std::path::PathBuf, String> {
+    if raw.trim().is_empty() {
+        Err(
+            "--baseline got an empty path; if it came from a `ls BENCH_*.json` \
+             glob, no snapshot exists — generate one with \
+             `bench --quick --jobs 1 --out BENCH_<date>.json` and commit it"
+                .to_string(),
+        )
+    } else {
+        Ok(std::path::PathBuf::from(raw))
+    }
 }
 
 /// UTC date `YYYY-MM-DD` from the system clock (civil-from-days, Hinnant).
@@ -369,6 +390,75 @@ fn bench_search(quick: bool) -> String {
     )
 }
 
+/// Prices the online generation controller and returns the `adaptive`
+/// report section. The subject is the `fig_adaptive` basket minus the
+/// two static-optimum searches (those price the *searcher*, already
+/// covered by the lattice section): the drifting-mix adaptive run and
+/// the mid-run shift pair (controller on vs off on one workload). The
+/// drift run supplies the controller counters — window decisions,
+/// occupancy snapshots, reshapes split into grows and shrinks, hint
+/// toggles, firewall fallbacks — and the shift pair supplies the kill
+/// cost the controller sheds relative to the frozen run. Report-only,
+/// like the other accelerator sections: the counters describe what the
+/// controller did, not a rate to gate.
+fn bench_adaptive(quick: bool) -> String {
+    use elog_harness::experiments::fig_adaptive;
+    let cfg = if quick {
+        fig_adaptive::Config::quick()
+    } else {
+        fig_adaptive::Config::paper()
+    };
+    let mut scenarios = fig_adaptive::scenarios_for(&cfg);
+    scenarios.retain(|s| s.variant == "drift" || s.variant.starts_with("shift-"));
+    let t0 = Instant::now();
+    let outcomes = run_scenarios(
+        &scenarios,
+        &ExecOptions {
+            jobs: 1,
+            progress: false,
+        },
+    );
+    let wall = t0.elapsed();
+    let drift = outcomes[0].measured().expect("drift run completes");
+    let st = drift
+        .adaptive
+        .as_ref()
+        .expect("drift run carries controller stats");
+    let on = outcomes[1].measured().expect("shift adaptive completes");
+    let off = outcomes[2].measured().expect("shift frozen completes");
+    let kills_shed = off.killed.saturating_sub(on.killed);
+    eprintln!(
+        "[bench] adaptive: {} reshapes ({} grows, {} shrinks) over {} windows, \
+         {} hint toggles, {} fallbacks; shift sheds {} of {} kills; {:.2?}",
+        st.reshapes,
+        st.grows,
+        st.shrinks,
+        st.window_decisions,
+        st.hint_toggles,
+        st.firewall_fallbacks,
+        kills_shed,
+        off.killed,
+        wall,
+    );
+    format!(
+        "  \"adaptive\": {{\n    \"window_decisions\": {},\n    \
+         \"occupancy_snapshots\": {},\n    \"reshapes\": {},\n    \
+         \"grows\": {},\n    \"shrinks\": {},\n    \"hint_toggles\": {},\n    \
+         \"firewall_fallbacks\": {},\n    \"kills_shed\": {},\n    \
+         \"shift_kills_frozen\": {},\n    \"wall_secs\": {:.3}\n  }}",
+        st.window_decisions,
+        st.occupancy_snapshots,
+        st.reshapes,
+        st.grows,
+        st.shrinks,
+        st.hint_toggles,
+        st.firewall_fallbacks,
+        kills_shed,
+        off.killed,
+        wall.as_secs_f64(),
+    )
+}
+
 fn main() {
     let opts = parse_args();
     let date = opts.date.clone().unwrap_or_else(utc_date);
@@ -496,6 +586,7 @@ fn main() {
     );
     let sharding_json = bench_sharding(opts.quick);
     let search_json = bench_search(opts.quick);
+    let adaptive_json = bench_adaptive(opts.quick);
     let all_verified = points.iter().all(|p| p.verified);
     let recovery_json = format!(
         "  \"recovery\": {{\n    \"scan_blocks_per_sec\": {:.0},\n    \
@@ -518,7 +609,7 @@ fn main() {
          \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
          \"allocations_per_event\": {:.3},\n  \"probe_events\": {},\n  \
          \"replay_hit_rate\": {:.3},\n  \"memo_hit_rate\": {:.3},\n  \
-         \"experiments\": [\n{}\n  ],\n{},\n{},\n{},\n{},\n{}\n}}",
+         \"experiments\": [\n{}\n  ],\n{},\n{},\n{},\n{},\n{},\n{}\n}}",
         json_str(&date),
         opts.quick,
         opts.jobs,
@@ -535,6 +626,7 @@ fn main() {
         analytic_json,
         sharding_json,
         search_json,
+        adaptive_json,
         recovery_json,
     );
 
@@ -561,6 +653,29 @@ fn main() {
                 eprintln!("[bench] gate FAILED: {why}");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::baseline_path;
+
+    #[test]
+    fn baseline_path_accepts_a_real_path() {
+        assert_eq!(
+            baseline_path("BENCH_2026-08-09.json").unwrap(),
+            std::path::PathBuf::from("BENCH_2026-08-09.json")
+        );
+    }
+
+    #[test]
+    fn baseline_path_rejects_empty_with_the_glob_hint() {
+        for raw in ["", "  "] {
+            let why = baseline_path(raw).unwrap_err();
+            assert!(why.contains("empty path"), "{why}");
+            assert!(why.contains("BENCH_*.json"), "{why}");
+            assert!(why.contains("generate one"), "{why}");
         }
     }
 }

@@ -31,6 +31,14 @@
 //!                           output must not change)
 //!   --shards N              drive shards inside each simulated run
 //!                           (default 1; the output must not change)
+//!   --phases SPEC           piecewise workload schedule
+//!                           `start:frac_long[@rate_factor],...` over the
+//!                           paper type table, e.g. `0:0.1,160:0.4,330:0.1`
+//!                           (first start must be 0; seconds, ascending)
+//!   --adaptive              run the online adaptive generation controller
+//!                           (stderr summary; stdout is byte-identical to
+//!                           a non-adaptive run when the workload is
+//!                           static, because the controller never acts)
 //! ```
 
 use elog_core::{ElConfig, MemoryModel};
@@ -39,7 +47,7 @@ use elog_harness::minspace::{el_min_space_jobs, fw_min_space};
 use elog_harness::runner::{run, RunConfig};
 use elog_model::{FlushConfig, LogConfig};
 use elog_sim::SimTime;
-use elog_workload::{ArrivalProcess, TxMix};
+use elog_workload::{ArrivalProcess, PhaseSchedule, TxMix};
 
 #[derive(Debug)]
 struct Args {
@@ -57,6 +65,8 @@ struct Args {
     jobs: usize,
     shards: u32,
     probe_cache: bool,
+    phases: Option<PhaseSchedule>,
+    adaptive: bool,
 }
 
 impl Default for Args {
@@ -76,6 +86,8 @@ impl Default for Args {
             jobs: elog_harness::sweep::default_jobs(),
             shards: 1,
             probe_cache: false,
+            phases: None,
+            adaptive: false,
         }
     }
 }
@@ -170,6 +182,14 @@ fn parse() -> Args {
                     .unwrap_or_else(|_| usage());
                 a.shards = a.shards.max(1);
             }
+            "--phases" => {
+                let spec = next(&mut it, "--phases");
+                a.phases = Some(PhaseSchedule::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("--phases {spec}: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--adaptive" => a.adaptive = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -207,6 +227,8 @@ fn main() {
         lifetime_hints: false,
         trace: None,
         shards: a.shards,
+        phases: a.phases.clone(),
+        adaptive: a.adaptive,
     };
 
     if a.min_space {
@@ -304,4 +326,18 @@ fn main() {
         "anomalies           : {} unsafe drops, {} durability violations, {} stalls",
         m.stats.unsafe_drops, m.stats.durability_violations, m.stats.buffer_stalls
     );
+    if let Some(ad) = &r.adaptive {
+        // stderr so a static adaptive run's stdout stays byte-identical
+        // to the non-adaptive run (cf. the probe-cache report).
+        eprintln!(
+            "[adaptive] windows {}, reshapes {} (grows {}, shrinks {}), hint toggles {}, firewall fallbacks {}, final geometry {:?}",
+            ad.window_decisions,
+            ad.reshapes,
+            ad.grows,
+            ad.shrinks,
+            ad.hint_toggles,
+            ad.firewall_fallbacks,
+            m.per_gen_blocks
+        );
+    }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick] [--jobs N] [--gens N] [--only NAME] [--csv DIR] [--progress]
 //!       [--no-analytic] [--shards N] [--probe-jobs N] [--probe-cache DIR]
+//!       [--adaptive]
 //! ```
 //!
 //! `--quick` shrinks runtimes and sweeps for a fast smoke pass; the default
@@ -25,6 +26,15 @@
 //! ([`elog_harness::sweep::set_probe_jobs`]) and `--probe-cache DIR`
 //! persists probe verdicts under DIR ([`elog_harness::probecache`]);
 //! stdout is byte-identical under both, like the other accelerators.
+//! `--adaptive` enables the online generation controller
+//! ([`elog_core::adaptive`]) as the process-wide default for measured
+//! runs; search probes stay controller-free and the `fig_adaptive`
+//! experiment pins its own settings. The controller reacts to *kill
+//! pressure*, not to drift per se: a well-provisioned static run
+//! re-shapes nothing and prints identical stdout, while a run that
+//! kills (drifting or simply under-provisioned, like the quick
+//! recovery subjects) grows live — so this flag deliberately changes
+//! those tables.
 //!
 //! Every experiment is a [`elog_harness::sweep::Experiment`]; this binary
 //! just flattens the registry's scenarios through one executor pool and
@@ -58,6 +68,7 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--progress" => opts.exec.progress = true,
             "--no-analytic" => elog_harness::analytic::set_enabled(false),
+            "--adaptive" => elog_core::adaptive::set_default_enabled(true),
             "--shards" => {
                 let n = args
                     .next()
@@ -146,7 +157,7 @@ fn parse_args() -> Options {
                 println!(
                     "usage: repro [--quick] [--jobs N] [--gens N] [--only NAME] \
                      [--csv DIR] [--progress] [--no-analytic] [--shards N] \
-                     [--probe-jobs N] [--probe-cache DIR]"
+                     [--probe-jobs N] [--probe-cache DIR] [--adaptive]"
                 );
                 std::process::exit(0);
             }

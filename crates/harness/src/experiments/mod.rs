@@ -10,6 +10,7 @@
 pub mod ablations;
 pub mod fig4_6;
 pub mod fig7;
+pub mod fig_adaptive;
 pub mod fig_ngen;
 pub mod hybrid;
 pub mod rates;
@@ -32,6 +33,7 @@ pub fn registry_with(gens: usize) -> Vec<Box<dyn Experiment>> {
         Box::new(ablations::Ablations),
         Box::new(hybrid::Hybrid),
         Box::new(fig_ngen::FigNgen { gens }),
+        Box::new(fig_adaptive::FigAdaptive),
     ]
 }
 

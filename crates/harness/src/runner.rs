@@ -1,11 +1,16 @@
 //! The full simulation run: workload driver × log manager × flush array
 //! under one event loop.
 
-use elog_core::{Effects, ElConfig, ElManager, LmMetrics, LmTimer, LogManager};
+use elog_core::{
+    AdaptiveConfig, AdaptiveController, AdaptiveStats, Effects, ElConfig, ElManager, LmMetrics,
+    LmTimer, LogManager,
+};
 use elog_model::{BufferPool, CommittedOracle, ObjectVersion, Tid};
 use elog_sim::FxHashMap;
 use elog_sim::{Engine, EventQueue, EventToken, PerfStats, SimRng, SimTime, Simulate};
-use elog_workload::{ArrivalProcess, TxMix, WorkloadDriver, WorkloadEvent, WorkloadTrace};
+use elog_workload::{
+    ArrivalProcess, PhaseSchedule, TxMix, WorkloadDriver, WorkloadEvent, WorkloadTrace,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -16,6 +21,11 @@ pub enum Ev {
     Workload(WorkloadEvent),
     /// Log-manager timer.
     Lm(LmTimer),
+    /// Adaptive-controller window tick (present only when the run has a
+    /// controller; reschedules itself until the horizon). On a static
+    /// workload the tick observes and mutates nothing, so its only
+    /// footprint is engine event counts — which no report prints.
+    Adaptive,
 }
 
 /// Everything one simulation run needs.
@@ -51,6 +61,17 @@ pub struct RunConfig {
     /// searches and probes inherit it freely from their base config. The
     /// default comes from [`crate::sharding::shards`] (`--shards`).
     pub shards: u32,
+    /// Piecewise update-mix/rate schedule over the horizon (`None` = the
+    /// static `mix` for the whole run). Applies to live generation only;
+    /// captured traces already encode the schedule, so replay probes and
+    /// searches stay phase-faithful automatically.
+    pub phases: Option<PhaseSchedule>,
+    /// Run the online adaptive generation controller
+    /// (`elog_core::adaptive`). Ignored by stop-on-kill probes: a probe
+    /// measures a fixed geometry by definition, and re-shaping under it
+    /// would corrupt every search verdict. The default comes from
+    /// [`elog_core::adaptive::default_enabled`] (`--adaptive`).
+    pub adaptive: bool,
 }
 
 impl RunConfig {
@@ -68,6 +89,8 @@ impl RunConfig {
             lifetime_hints: false,
             trace: None,
             shards: crate::sharding::shards(),
+            phases: None,
+            adaptive: elog_core::adaptive::default_enabled(),
         }
     }
 
@@ -149,6 +172,18 @@ impl RunConfig {
         self
     }
 
+    /// Sets (or clears) the phase schedule.
+    pub fn with_phases(mut self, phases: Option<PhaseSchedule>) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// Sets whether the adaptive controller runs.
+    pub fn adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
     /// Canonical description of everything a probe verdict depends on
     /// *except* the geometry being probed: mix, arrivals, horizon, seed,
     /// the non-geometry log/flush/memory parameters and hint placement.
@@ -157,12 +192,17 @@ impl RunConfig {
     /// cleared — each cached entry carries its own full geometry — and the
     /// trace and shard count are normalised away: the trace is itself a
     /// pure function of the remaining fields, and sharding is
-    /// result-identical by construction (DESIGN.md §5h).
+    /// result-identical by construction (DESIGN.md §5h). The adaptive
+    /// flag is normalised away too: probes run stop-on-kill, where the
+    /// controller never engages, so verdicts are shared across
+    /// `--adaptive` on/off. The phase schedule *stays* in the key — a
+    /// different schedule is a different workload stream.
     pub fn verdict_key(&self) -> String {
         let mut canon = self.clone();
         canon.el.log.generation_blocks = Vec::new();
         canon.trace = None;
         canon.shards = 1;
+        canon.adaptive = false;
         format!("{canon:?}")
     }
 }
@@ -198,6 +238,10 @@ pub struct SimModel<L: LogManager = ElManager> {
     /// Halt the engine once the last generation has allocated this many
     /// blocks (see [`SimModel::set_last_gen_watch`]). `None` never fires.
     watch_last_gen: Option<u64>,
+    /// The online generation controller, when this run has one. Public so
+    /// experiments can read its stats after a run and so the soundness
+    /// tests can swap in a scripted controller before one.
+    pub adaptive: Option<AdaptiveController>,
 }
 
 /// Cloning a model mid-run snapshots the entire simulation state — the
@@ -220,6 +264,7 @@ impl<L: LogManager + Clone> Clone for SimModel<L> {
             kills: self.kills,
             acks: self.acks,
             watch_last_gen: self.watch_last_gen,
+            adaptive: self.adaptive.clone(),
         }
     }
 }
@@ -328,7 +373,14 @@ impl<L: LogManager> Simulate for SimModel<L> {
             Ev::Workload(WorkloadEvent::Arrival) => {
                 let mut events = std::mem::take(&mut self.wl_events);
                 if let Some(new) = self.driver.on_arrival(now, &mut events) {
-                    let fx = if self.lifetime_hints {
+                    // The controller owns hint placement while it runs (it
+                    // may toggle hints mid-run); otherwise the static flag
+                    // decides.
+                    let hinted = self
+                        .adaptive
+                        .as_ref()
+                        .map_or(self.lifetime_hints, |c| c.placement_hints());
+                    let fx = if hinted {
                         let duration = self.driver.mix().types()[new.type_idx].duration;
                         self.lm.begin_hinted(now, new.tid, duration)
                     } else {
@@ -373,6 +425,15 @@ impl<L: LogManager> Simulate for SimModel<L> {
                 let fx = self.lm.handle_timer(now, timer);
                 self.apply(now, fx, queue);
             }
+            Ev::Adaptive => {
+                if let Some(ctl) = self.adaptive.as_mut() {
+                    self.lm.adaptive_window(now, ctl);
+                    let next = now + ctl.window();
+                    if next <= self.driver.horizon() {
+                        queue.schedule(next, Ev::Adaptive);
+                    }
+                }
+            }
         }
     }
 
@@ -407,6 +468,9 @@ pub struct RunResult {
     /// Host-side performance of the run (events, wall clock, queue
     /// counters). Observational only — never feeds back into results.
     pub perf: PerfStats,
+    /// Adaptive-controller counters and action timeline, when the run had
+    /// a controller (`None` on plain static runs).
+    pub adaptive: Option<AdaptiveStats>,
 }
 
 /// Builds the composite model around a caller-supplied log manager
@@ -429,8 +493,20 @@ pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimMode
                 cfg.runtime,
                 &rng,
             )
+            .with_phases(cfg.phases.clone())
         }
     };
+    // Stop-on-kill probes measure one fixed geometry; re-shaping under
+    // them would corrupt the verdict, so the controller never engages.
+    let adaptive = (cfg.adaptive && !cfg.stop_on_kill).then(|| {
+        let last = *cfg
+            .el
+            .log
+            .generation_blocks
+            .last()
+            .expect("validated configs have a generation");
+        AdaptiveController::new(AdaptiveConfig::default(), last, cfg.lifetime_hints)
+    });
     let model = SimModel {
         driver,
         lm,
@@ -449,6 +525,7 @@ pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimMode
         kills: 0,
         acks: 0,
         watch_last_gen: None,
+        adaptive,
     };
     let mut engine = Engine::new(model);
     if cfg.shards > 1 {
@@ -462,6 +539,13 @@ pub fn build_model_with<L: LogManager>(cfg: &RunConfig, lm: L) -> Engine<SimMode
     let boot = engine.model().driver.bootstrap(SimTime::ZERO);
     for (at, ev) in boot {
         engine.queue_mut().schedule(at, Ev::Workload(ev));
+    }
+    // The controller's first window tick; each tick reschedules the next
+    // until the horizon. Scheduled after bootstrap so a controller run's
+    // event sequence is the static run's plus one uniform tick stream.
+    let first_tick = engine.model().adaptive.as_ref().map(|c| c.window());
+    if let Some(at) = first_tick {
+        engine.queue_mut().schedule(at, Ev::Adaptive);
     }
     engine
 }
@@ -527,6 +611,7 @@ fn snapshot(
         data_records: stats.data_records,
         horizon,
         perf,
+        adaptive: model.adaptive.as_ref().map(|c| c.stats().clone()),
     }
 }
 
@@ -603,6 +688,71 @@ mod tests {
         assert_eq!(cfg.el.log.generation_blocks, vec![18, 16, 16]);
         let cfg = cfg.num_generations(1);
         assert_eq!(cfg.el.log.generation_blocks, vec![18]);
+    }
+
+    #[test]
+    fn adaptive_on_static_workload_is_inert() {
+        let base = quick_cfg(0.05, vec![18, 16], false, 30);
+        let plain = run(&base);
+        assert!(plain.adaptive.is_none(), "no controller unless requested");
+        let adaptive = run(&base.clone().adaptive(true));
+        let ad = adaptive.adaptive.expect("controller ran");
+        assert!(ad.window_decisions > 0, "ticks must fire over 30 s");
+        assert_eq!(ad.reshapes, 0, "static paper workload never re-shapes");
+        assert_eq!(ad.hint_toggles, 0);
+        assert_eq!(plain.committed, adaptive.committed);
+        assert_eq!(plain.killed, adaptive.killed);
+        assert_eq!(plain.metrics.log_writes, adaptive.metrics.log_writes);
+        assert_eq!(
+            plain.metrics.peak_memory_bytes,
+            adaptive.metrics.peak_memory_bytes
+        );
+    }
+
+    #[test]
+    fn adaptive_grows_under_a_drifting_workload() {
+        let schedule = elog_workload::PhaseSchedule::paper(&[(0, 0.05), (10, 0.4)]);
+        let base = quick_cfg(0.05, vec![18, 6], false, 60).with_phases(Some(schedule));
+        let frozen = run(&base);
+        assert!(
+            frozen.killed > 0,
+            "6 last-gen blocks cannot hold the 40% phase"
+        );
+        let adapted = run(&base.clone().adaptive(true));
+        let ad = adapted.adaptive.expect("controller ran");
+        assert!(ad.reshapes >= 1, "kill pressure must trigger a grow");
+        assert!(ad.grows >= 1);
+        assert!(
+            adapted.killed < frozen.killed,
+            "re-shaping must shed kills: {} vs {}",
+            adapted.killed,
+            frozen.killed
+        );
+        let last = *adapted.metrics.per_gen_blocks.last().unwrap();
+        assert!(last > 6, "final geometry must have grown, got {last}");
+    }
+
+    #[test]
+    fn stop_on_kill_probe_never_runs_the_controller() {
+        let mut cfg = quick_cfg(0.4, vec![3, 3], false, 60).adaptive(true);
+        cfg.stop_on_kill = true;
+        let r = run(&cfg);
+        assert!(r.killed > 0);
+        assert!(r.adaptive.is_none(), "probes measure fixed geometries");
+    }
+
+    #[test]
+    fn verdict_key_ignores_adaptive_but_keeps_phases() {
+        let base = quick_cfg(0.05, vec![18, 16], false, 30);
+        assert_eq!(
+            base.verdict_key(),
+            base.clone().adaptive(true).verdict_key()
+        );
+        let schedule = elog_workload::PhaseSchedule::paper(&[(0, 0.05), (10, 0.4)]);
+        assert_ne!(
+            base.verdict_key(),
+            base.clone().with_phases(Some(schedule)).verdict_key()
+        );
     }
 
     #[test]

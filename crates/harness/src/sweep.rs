@@ -84,6 +84,18 @@ pub enum Job {
         /// Binary-search ceiling for the last generation.
         last_limit: u32,
     },
+    /// Minimum last-generation search with the earlier generations held
+    /// fixed, then a measured run at the minimum. The per-phase static
+    /// optima of `fig_adaptive` use this: the drift scenarios share one
+    /// front-generation size, so only the last axis is in question.
+    ElFixedMin {
+        /// Base configuration (last-generation size is overwritten).
+        base: RunConfig,
+        /// Fixed sizes of generations `0..N-1`.
+        prefix: Vec<u32>,
+        /// Binary-search ceiling for the last generation.
+        last_limit: u32,
+    },
     /// The paper's recirculation procedure: size gen0 by the
     /// no-recirculation minimum, then shrink the last generation with
     /// recirculation on, then measure at the minimum. `base` must have
@@ -407,6 +419,19 @@ fn run_job(scenario: &Scenario) -> Output {
             let out = SearchRequest::lattice(&base, limits)
                 .jobs(probe_jobs())
                 .run();
+            measure_minimum(&base, out.min, out.trace)
+        }
+        Job::ElFixedMin {
+            base,
+            prefix,
+            last_limit,
+        } => {
+            let base = seeded(base).num_generations(prefix.len() + 1);
+            let out = SearchRequest::fixed_prefix(&base, prefix.clone(), *last_limit).run();
+            assert!(
+                out.feasible,
+                "no feasible last generation under {last_limit} for prefix {prefix:?}"
+            );
             measure_minimum(&base, out.min, out.trace)
         }
         Job::ElRecircMin {

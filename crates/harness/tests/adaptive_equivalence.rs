@@ -1,0 +1,217 @@
+//! Adaptive-equivalence suite: the online generation controller
+//! (`elog_core::adaptive`, DESIGN.md §5j) must be invisible on workloads
+//! that do not drift, and replayable on workloads that do.
+//!
+//! * On a *static* workload the controller observes, decides nothing,
+//!   and re-shapes nothing — so every report a `--adaptive` run renders
+//!   must be byte-identical to the controller-off run, at every worker
+//!   count. These tests are the API-level counterpart of ci.sh's
+//!   adaptive smoke (which diffs `elsim` stdout).
+//! * On a *drifting* workload the controller's decisions are fully
+//!   captured by its reshape/hint timeline: re-simulating the same run
+//!   with a scripted controller that replays the timeline — no signals,
+//!   no policy — must commit the same record set and end on the same
+//!   geometry. That replayability is the safety argument for re-shaping
+//!   live (DESIGN.md §5j): a controller run is one static-geometry run
+//!   per timeline segment, glued at recorded boundaries.
+
+use elog_core::adaptive::{AdaptiveConfig, AdaptiveController};
+use elog_core::ElConfig;
+use elog_harness::experiments::registry_with;
+use elog_harness::runner::{build_model, RunConfig};
+use elog_harness::sweep::{run_experiments, ExecOptions};
+use elog_model::{CommittedOracle, FlushConfig, LogConfig};
+use elog_workload::PhaseSchedule;
+
+/// Renders the measured-run slice of the quick registry the way `repro`
+/// prints it: every table, then every note, in registry order.
+fn render(jobs: usize) -> String {
+    let experiments: Vec<_> = registry_with(2)
+        .into_iter()
+        .filter(|e| {
+            let n = e.name().to_lowercase();
+            n.contains("scarce") || n.contains("fig7")
+        })
+        .collect();
+    assert_eq!(experiments.len(), 2, "registry lost a target experiment");
+    let exec = ExecOptions {
+        jobs,
+        progress: false,
+    };
+    let reports = run_experiments(&experiments, true, &exec);
+    let mut out = String::new();
+    for report in &reports {
+        for (slug, table) in &report.tables {
+            out.push_str(slug);
+            out.push('\n');
+            out.push_str(&table.render());
+            out.push('\n');
+        }
+        for note in &report.notes {
+            out.push_str(note);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A static-workload run with the controller on renders the same reports
+/// as the controller-off run, at jobs {1, 2, 4} — and the controller
+/// really was there, watching: its window decisions accrue while its
+/// reshape count stays zero.
+///
+/// One test function rather than a matrix of `#[test]`s because
+/// `--adaptive` is a process-wide default
+/// ([`elog_core::adaptive::set_default_enabled`]) and the test harness
+/// runs functions in parallel: mutating the global from several tests
+/// would race. The scripted test below sets `cfg.adaptive` directly and
+/// never touches the global.
+#[test]
+fn static_reports_are_controller_and_jobs_invariant() {
+    elog_core::adaptive::set_default_enabled(false);
+    let baseline = render(1);
+    assert!(!baseline.is_empty(), "experiments produced no report");
+    elog_core::adaptive::set_default_enabled(true);
+    for jobs in [1usize, 2, 4] {
+        let got = render(jobs);
+        assert_eq!(
+            baseline, got,
+            "controller changed a static-workload report at jobs={jobs}"
+        );
+    }
+    elog_core::adaptive::set_default_enabled(false);
+
+    // The non-vacuity half: a plain static run with the controller on
+    // makes zero reshapes (while demonstrably observing windows) and
+    // reproduces the controller-off run's results exactly.
+    let cfg = static_cfg(0.05, vec![18, 16], 40);
+    let off = digest(&cfg.clone().adaptive(false));
+    let on_cfg = cfg.adaptive(true);
+    let mut engine = build_model(&on_cfg);
+    engine.run_until(on_cfg.runtime);
+    let st = engine
+        .model()
+        .adaptive
+        .as_ref()
+        .expect("controller ran")
+        .stats()
+        .clone();
+    assert!(
+        st.window_decisions > 0,
+        "controller never observed a window"
+    );
+    assert_eq!(st.reshapes, 0, "static workload must not be re-shaped");
+    assert_eq!(st.hint_toggles, 0);
+    assert_eq!(
+        digest_model(&engine),
+        off,
+        "controller perturbed a static run"
+    );
+}
+
+fn static_cfg(frac_long: f64, blocks: Vec<u32>, secs: u64) -> RunConfig {
+    RunConfig::paper(
+        frac_long,
+        ElConfig::ephemeral(LogConfig::default(), FlushConfig::default()),
+    )
+    .runtime_secs(secs)
+    .geometry(blocks)
+    .track_oracle(true)
+}
+
+/// The committed record set, canonically ordered: one line per object
+/// holding its final committed version.
+fn record_set(oracle: &CommittedOracle) -> Vec<String> {
+    let mut v: Vec<String> = oracle
+        .iter()
+        .map(|(oid, ver)| format!("{oid:?}={ver:?}"))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Everything the scripted replay must reproduce: workload verdicts,
+/// the committed record set, and the final geometry.
+fn digest_model(engine: &elog_sim::Engine<elog_harness::runner::SimModel>) -> String {
+    let model = engine.model();
+    let stats = model.driver.stats();
+    format!(
+        "committed={} killed={} geometry={:?} records={:?}",
+        stats.committed,
+        stats.killed,
+        model.lm.metrics(elog_sim::SimTime::ZERO).per_gen_blocks,
+        record_set(&model.oracle),
+    )
+}
+
+fn digest(cfg: &RunConfig) -> String {
+    let mut engine = build_model(cfg);
+    engine.run_until(cfg.runtime);
+    digest_model(&engine)
+}
+
+/// splitmix64 (the workload crate's seeding discipline): deterministic,
+/// dependency-free randomness for the property test below.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Property: for random geometries and drifting mixes, the live
+/// controller's chosen geometry timeline, re-simulated statically by a
+/// scripted controller (replaying the recorded reshape/hint timeline
+/// with no signals and no policy), commits the same record set, the
+/// same verdict counts, and the same final geometry.
+#[test]
+fn scripted_replay_of_controller_decisions_commits_the_same_record_set() {
+    let mut state = 0x0ADA_97F1_1993_u64;
+    let mut reshaped_cases = 0u32;
+    for case in 0..4 {
+        let g0 = 10 + (splitmix64(&mut state) % 10) as u32;
+        let g1 = 16 + (splitmix64(&mut state) % 16) as u32;
+        let light = [0.05, 0.1][(splitmix64(&mut state) % 2) as usize];
+        let heavy = [0.3, 0.4][(splitmix64(&mut state) % 2) as usize];
+        let secs = 40 + 10 * (splitmix64(&mut state) % 3);
+        let shift = PhaseSchedule::paper(&[(0, light), (secs / 2, heavy)]);
+        let cfg = static_cfg(light, vec![g0, g1], secs)
+            .with_phases(Some(shift))
+            .adaptive(true);
+
+        let mut live = build_model(&cfg);
+        live.run_until(cfg.runtime);
+        let st = live
+            .model()
+            .adaptive
+            .as_ref()
+            .expect("controller ran")
+            .stats()
+            .clone();
+        let want = digest_model(&live);
+        if st.reshapes > 0 {
+            reshaped_cases += 1;
+        }
+
+        let mut replay = build_model(&cfg);
+        replay.model_mut().adaptive = Some(AdaptiveController::scripted(
+            AdaptiveConfig::default(),
+            st.reshape_log.clone(),
+            st.hint_log.clone(),
+            cfg.lifetime_hints,
+        ));
+        replay.run_until(cfg.runtime);
+        assert_eq!(
+            want,
+            digest_model(&replay),
+            "case {case}: geometry [{g0}, {g1}] {light}->{heavy} over {secs}s \
+             diverged under scripted replay ({} reshapes)",
+            st.reshapes,
+        );
+    }
+    assert!(
+        reshaped_cases > 0,
+        "vacuous property: no random case ever re-shaped"
+    );
+}

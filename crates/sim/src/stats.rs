@@ -262,6 +262,60 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Raw bucket counts (last entry is the overflow bucket) — a snapshot
+    /// clients keep to later take windowed readings via
+    /// [`Histogram::quantile_since`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Approximate quantile over only the samples recorded since
+    /// `baseline` — an earlier [`Histogram::counts`] snapshot of this same
+    /// histogram. This is the sliding-window reading the adaptive
+    /// controller uses: cumulative quantiles average over the whole run
+    /// and react too slowly to workload phase shifts.
+    ///
+    /// Returns `None` when no samples landed since the snapshot. Like
+    /// [`Histogram::quantile`] the result is a bucket upper bound, except
+    /// the overflow bucket, which reports the *cumulative* max (the
+    /// per-window max is not tracked) — a conservative overestimate.
+    ///
+    /// # Panics
+    /// Panics when `baseline` has the wrong length or any count ran
+    /// backwards (it came from a different histogram).
+    pub fn quantile_since(&self, baseline: &[u64], q: f64) -> Option<f64> {
+        assert_eq!(
+            baseline.len(),
+            self.counts.len(),
+            "baseline snapshot from a different histogram shape"
+        );
+        let delta = |i: usize| {
+            let (c, b) = (self.counts[i], baseline[i]);
+            assert!(
+                c >= b,
+                "bucket {i} ran backwards: baseline from another histogram"
+            );
+            c - b
+        };
+        let total: u64 = (0..self.counts.len()).map(delta).sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for i in 0..self.counts.len() {
+            seen += delta(i);
+            if seen >= target {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
     /// (upper-bound, count) pairs including the overflow bucket (bound =
     /// +inf).
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
@@ -325,6 +379,40 @@ mod tests {
     fn time_weighted_degenerate_span() {
         let tw = TimeWeighted::new(SimTime::from_secs(5), 7.0);
         assert_eq!(tw.average(SimTime::from_secs(5)), 7.0);
+    }
+
+    #[test]
+    fn histogram_windowed_quantile() {
+        let mut h = Histogram::linear(10.0, 5); // bounds 2,4,6,8,10
+        for x in [1.0, 1.5, 1.8] {
+            h.record(x);
+        }
+        // Window opens: everything so far lands in the first bucket.
+        let snap = h.counts().to_vec();
+        assert_eq!(h.quantile_since(&snap, 0.99), None, "empty window");
+        // New samples in the window are all large; the cumulative
+        // quantile still reports small, the windowed one must not.
+        for x in [7.0, 7.5, 9.0, 9.5] {
+            h.record(x);
+        }
+        assert_eq!(h.quantile(0.25), Some(2.0), "cumulative p25 is low");
+        assert_eq!(h.quantile_since(&snap, 0.25), Some(8.0));
+        assert_eq!(h.quantile_since(&snap, 0.5), Some(8.0));
+        assert_eq!(h.quantile_since(&snap, 1.0), Some(10.0));
+        // Overflow in the window reports the cumulative max.
+        h.record(55.0);
+        assert_eq!(h.quantile_since(&snap, 1.0), Some(55.0));
+        // A fresh snapshot empties the window again.
+        let snap2 = h.counts().to_vec();
+        assert_eq!(h.quantile_since(&snap2, 0.5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_windowed_quantile_rejects_foreign_baseline() {
+        let mut h = Histogram::linear(10.0, 5);
+        h.record(1.0);
+        let _ = h.quantile_since(&[0, 0], 0.5);
     }
 
     #[test]

@@ -82,27 +82,43 @@ impl BlockRing {
 
     /// Rebinds the ring to a new capacity, preserving its contents.
     ///
-    /// Only legal while the head has never advanced and every allocated
-    /// sequence number fits the new capacity: then `seq % capacity` is the
-    /// identity for every live block under both the old and the new
-    /// capacity, so no slot remapping is needed. This is exactly the state
-    /// a snapshot-resume probe is in — the search clones a simulation
-    /// snapshotted before the last generation's first head advance and
-    /// re-runs it under a different candidate capacity.
+    /// Every physically present block is remapped to its slot under the
+    /// new capacity (`seq % capacity`). When two surface blocks contend
+    /// for one new slot — possible only for blocks the head has already
+    /// consumed, since the live window fits by the precondition below —
+    /// the newer sequence number wins, exactly as overwriting would have
+    /// resolved it. Head and tail sequence numbers are untouched, so
+    /// in-flight writes self-correct: [`BlockRing::install`] computes the
+    /// slot from the capacity current at install time.
+    ///
+    /// Before the head has ever advanced the remap is the identity (every
+    /// live `seq < capacity`), which is the state a snapshot-resume probe
+    /// resizes in; the general remap is what lets the adaptive controller
+    /// (`core::adaptive`) grow or shrink a generation mid-run.
     ///
     /// # Panics
-    /// Panics when the head has advanced, when allocated blocks would not
-    /// fit, or when `capacity` is zero.
+    /// Panics when the live window `[head, tail)` would not fit the new
+    /// capacity, or when `capacity` is zero.
     pub fn set_capacity(&mut self, capacity: u64) {
         assert!(capacity > 0, "ring capacity must be positive");
-        assert_eq!(self.head, 0, "cannot resize a ring whose head has advanced");
         assert!(
-            self.tail <= capacity,
-            "cannot resize to {capacity} below {} allocated blocks",
-            self.tail
+            self.used_blocks() <= capacity,
+            "cannot resize to {capacity} below {} live blocks",
+            self.used_blocks()
         );
+        if capacity == self.capacity {
+            return;
+        }
+        let old = std::mem::replace(&mut self.slots, vec![None; capacity as usize]);
+        let mut present: Vec<Block> = old.into_iter().flatten().collect();
+        // Ascending by seq, so a later (newer) block overwrites any older
+        // one contesting the same new slot.
+        present.sort_unstable_by_key(|b| b.addr.seq);
         self.capacity = capacity;
-        self.slots.resize(capacity as usize, None);
+        for b in present {
+            let slot = (b.addr.seq % capacity) as usize;
+            self.slots[slot] = Some(b);
+        }
     }
 
     /// Allocates the next tail block, returning its address.
@@ -315,7 +331,7 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn set_capacity_below_tail_panics() {
+    fn set_capacity_below_live_window_panics() {
         let mut r = BlockRing::new(GenId(0), 8);
         for _ in 0..3 {
             r.allocate_tail().unwrap();
@@ -324,12 +340,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn set_capacity_after_head_advance_panics() {
+    fn set_capacity_after_head_advance_remaps() {
+        // Wrap a small ring so live seqs no longer map to the same slots
+        // under a different modulus, then resize live both ways.
+        let mut r = BlockRing::new(GenId(0), 3);
+        for _ in 0..7 {
+            if r.free_blocks() == 0 {
+                r.advance_head();
+            }
+            let a = r.allocate_tail().unwrap();
+            let _ = r.install(blk(GenId(0), a.seq));
+        }
+        // head 4, tail 7: live window {4, 5, 6}.
+        assert_eq!((r.head(), r.tail()), (4, 7));
+        r.set_capacity(5);
+        assert_eq!(r.capacity(), 5);
+        assert_eq!(r.used_blocks(), 3);
+        assert_eq!(r.free_blocks(), 2);
+        let live: Vec<u64> = r.live().map(|b| b.addr.seq).collect();
+        assert_eq!(live, vec![4, 5, 6], "live blocks survive the remap");
+        // Allocation continues from the same tail seq into the new slots.
+        let a = r.allocate_tail().unwrap();
+        assert_eq!(a.seq, 7);
+        let _ = r.install(blk(GenId(0), 7));
+        assert!(r.block(7).is_some());
+        // Shrink back down to exactly the live window.
+        r.advance_head(); // consume 4 → live {5, 6, 7}
+        r.set_capacity(3);
+        let live: Vec<u64> = r.live().map(|b| b.addr.seq).collect();
+        assert_eq!(live, vec![5, 6, 7]);
+        assert_eq!(r.free_blocks(), 0);
+    }
+
+    #[test]
+    fn set_capacity_remap_newest_seq_wins_contested_slot() {
+        // Two consumed-but-present surface blocks can land on one slot
+        // under the new modulus; the newer seq must win, like overwrite.
         let mut r = BlockRing::new(GenId(0), 4);
-        r.allocate_tail().unwrap();
+        for _ in 0..6 {
+            if r.free_blocks() == 0 {
+                r.advance_head();
+                r.advance_head();
+            }
+            let a = r.allocate_tail().unwrap();
+            let _ = r.install(blk(GenId(0), a.seq));
+        }
+        // head 2, tail 6; consume two more so only {4, 5} stay live while
+        // the surface still holds seqs {2, 3, 4, 5}.
         r.advance_head();
-        r.set_capacity(8);
+        r.advance_head();
+        assert_eq!((r.head(), r.tail()), (4, 6));
+        let mut seqs: Vec<u64> = r.surface().map(|b| b.addr.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+        // Under capacity 2, slots are contested: {2, 4} → slot 0 and
+        // {3, 5} → slot 1. Live window {4, 5} fits exactly.
+        r.set_capacity(2);
+        let mut seqs: Vec<u64> = r.surface().map(|b| b.addr.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![4, 5], "newest seq wins each contested slot");
+        assert!(r.block(2).is_none());
+        assert!(r.block(4).is_some());
     }
 
     #[test]

@@ -45,6 +45,54 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
+    /// Validates the process parameters.
+    ///
+    /// Rates and dwell times must be positive and finite. For
+    /// [`ArrivalProcess::MarkovBursty`] the switch probability drawn after
+    /// each arrival is `1/(rate × mean_dwell_s)`; when `rate ×
+    /// mean_dwell_s < 1` in either state that probability would have to
+    /// exceed 1, the clamp silently stretches the achieved dwell, and
+    /// [`ArrivalProcess::rate_tps`]'s dwell-weighted average no longer
+    /// describes the process. Such configurations are rejected here
+    /// instead of being distorted at draw time.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = |name: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive and finite, got {v}"))
+            }
+        };
+        match *self {
+            ArrivalProcess::Deterministic { rate_tps } | ArrivalProcess::Poisson { rate_tps } => {
+                positive("rate_tps", rate_tps)
+            }
+            ArrivalProcess::MarkovBursty {
+                base_tps,
+                burst_tps,
+                mean_dwell_s,
+                ..
+            } => {
+                positive("base_tps", base_tps)?;
+                positive("burst_tps", burst_tps)?;
+                positive("mean_dwell_s", mean_dwell_s)?;
+                let slow = base_tps.min(burst_tps);
+                if slow * mean_dwell_s < 1.0 {
+                    return Err(format!(
+                        "MarkovBursty dwell is unrealisable: rate × dwell = \
+                         {:.3} < 1 in the {:.1} TPS state, so the per-arrival \
+                         switch probability 1/(rate × dwell) would exceed 1 \
+                         and the achieved mean dwell would be stretched to \
+                         1/rate; raise the rate or the dwell",
+                        slow * mean_dwell_s,
+                        slow
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// The configured long-run mean rate in arrivals per second.
     pub fn rate_tps(&self) -> f64 {
         match *self {
@@ -64,15 +112,13 @@ impl ArrivalProcess {
     /// (the Markov process switches between quiet and burst phases).
     ///
     /// # Panics
-    /// Panics (debug) on non-positive rates; validate configs upstream.
+    /// Panics (debug) on configs [`ArrivalProcess::validate`] rejects;
+    /// validate configs upstream ([`crate::WorkloadDriver::new`] does).
     pub fn next_interval(&mut self, rng: &mut SimRng) -> SimTime {
+        debug_assert!(self.validate().is_ok(), "{:?}", self.validate());
         match self {
-            ArrivalProcess::Deterministic { rate_tps } => {
-                debug_assert!(*rate_tps > 0.0, "arrival rate must be positive");
-                SimTime::from_secs_f64(1.0 / *rate_tps)
-            }
+            ArrivalProcess::Deterministic { rate_tps } => SimTime::from_secs_f64(1.0 / *rate_tps),
             ArrivalProcess::Poisson { rate_tps } => {
-                debug_assert!(*rate_tps > 0.0, "arrival rate must be positive");
                 SimTime::from_secs_f64(rng.next_exp(1.0 / *rate_tps))
             }
             ArrivalProcess::MarkovBursty {
@@ -81,12 +127,14 @@ impl ArrivalProcess {
                 mean_dwell_s,
                 in_burst,
             } => {
-                debug_assert!(*base_tps > 0.0 && *burst_tps > 0.0 && *mean_dwell_s > 0.0);
                 let rate = if *in_burst { *burst_tps } else { *base_tps };
                 // Expected arrivals per dwell = rate × dwell; switching
                 // after each arrival with probability 1/(rate × dwell)
-                // makes dwell times geometric with the right mean.
-                let p_switch = (1.0 / (rate * *mean_dwell_s)).min(1.0);
+                // makes dwell times geometric with the right mean. The
+                // probability is a real one (≤ 1) because validate()
+                // rejects rate × dwell < 1 instead of clamping, which
+                // would silently stretch the achieved dwell.
+                let p_switch = 1.0 / (rate * *mean_dwell_s);
                 if rng.next_f64() < p_switch {
                     *in_burst = !*in_burst;
                 }
@@ -185,7 +233,7 @@ mod tests {
         let mut p = ArrivalProcess::MarkovBursty {
             base_tps: 10.0,
             burst_tps: 1000.0,
-            mean_dwell_s: 0.05,
+            mean_dwell_s: 0.2,
             in_burst: false,
         };
         let mut rng = SimRng::new(6);
@@ -197,5 +245,43 @@ mod tests {
             }
         }
         assert!(saw_burst, "process must visit the burst state");
+    }
+
+    #[test]
+    fn clamped_markov_dwell_is_rejected() {
+        // Regression: rate × dwell = 10 × 0.05 = 0.5 < 1 in the quiet
+        // state. The old draw path clamped p_switch to 1, switching after
+        // every quiet-state arrival and stretching the achieved quiet
+        // dwell from 0.05 s to 1/rate = 0.1 s — double the configured
+        // mean, so rate_tps()'s "dwell-weighted average" was wrong.
+        // Such configs must now fail validation up front.
+        let p = ArrivalProcess::MarkovBursty {
+            base_tps: 10.0,
+            burst_tps: 1000.0,
+            mean_dwell_s: 0.05,
+            in_burst: false,
+        };
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("unrealisable"), "unexpected message: {err}");
+
+        // The boundary case rate × dwell = 1 is exactly realisable.
+        let boundary = ArrivalProcess::MarkovBursty {
+            base_tps: 10.0,
+            burst_tps: 1000.0,
+            mean_dwell_s: 0.1,
+            in_burst: false,
+        };
+        assert!(boundary.validate().is_ok());
+
+        // Non-positive parameters are rejected for every process kind.
+        assert!(ArrivalProcess::Poisson { rate_tps: 0.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Deterministic { rate_tps: -1.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Deterministic { rate_tps: 100.0 }
+            .validate()
+            .is_ok());
     }
 }

@@ -16,7 +16,7 @@
 
 use crate::arrival::ArrivalProcess;
 use crate::oidpick::OidPicker;
-use crate::spec::TxMix;
+use crate::spec::{PhaseSchedule, TxMix};
 use crate::trace::{TraceBuilder, WorkloadTrace, UNWRITTEN};
 use elog_model::{Oid, Tid};
 use elog_sim::FxHashMap;
@@ -127,6 +127,11 @@ enum Source {
 #[derive(Clone, Debug)]
 pub struct WorkloadDriver {
     mix: TxMix,
+    /// Live-only piecewise mix/rate schedule (see [`PhaseSchedule`]).
+    /// `None` means the static `mix` for the whole run. Replay drivers
+    /// never carry one: captured traces store per-transaction type
+    /// indices and arrival times, which already encode the schedule.
+    schedule: Option<PhaseSchedule>,
     source: Source,
     /// No arrivals are generated at or after this time.
     horizon: SimTime,
@@ -151,6 +156,11 @@ impl WorkloadDriver {
     /// * `horizon` — arrivals stop at this time (the paper's 500 s runtime);
     /// * `rng` — parent random stream; the driver derives independent
     ///   substreams for type sampling and oid picking.
+    ///
+    /// # Panics
+    /// Panics when `arrivals` fails [`ArrivalProcess::validate`] (e.g. a
+    /// MarkovBursty config whose dwell the draw path could only achieve
+    /// by distorting it).
     pub fn new(
         mix: TxMix,
         arrivals: ArrivalProcess,
@@ -158,9 +168,13 @@ impl WorkloadDriver {
         horizon: SimTime,
         rng: &SimRng,
     ) -> Self {
+        if let Err(e) = arrivals.validate() {
+            panic!("invalid arrival process: {e}");
+        }
         let n_types = mix.types().len();
         WorkloadDriver {
             mix,
+            schedule: None,
             source: Source::Live {
                 arrivals,
                 rng_mix: rng.substream("workload/mix"),
@@ -189,6 +203,7 @@ impl WorkloadDriver {
         let horizon = trace.horizon();
         WorkloadDriver {
             mix,
+            schedule: None,
             source: Source::Replay { trace },
             horizon,
             next_tid: 0,
@@ -198,6 +213,31 @@ impl WorkloadDriver {
             spare_updates: Vec::new(),
             ack_buf: Vec::new(),
         }
+    }
+
+    /// Attaches a phase schedule (live drivers only; must be set before
+    /// the first arrival). `None` is a no-op, so callers can pass an
+    /// optional config straight through.
+    ///
+    /// # Panics
+    /// Panics on a replay driver, after arrivals have begun, or when the
+    /// schedule's type table does not match the base mix.
+    pub fn with_phases(mut self, schedule: Option<PhaseSchedule>) -> Self {
+        let Some(schedule) = schedule else {
+            return self;
+        };
+        assert!(
+            matches!(self.source, Source::Live { .. }),
+            "phase schedules apply to live drivers only; replay traces \
+             already encode the schedule"
+        );
+        assert_eq!(self.next_tid, 0, "schedule must be set before arrivals");
+        assert!(
+            schedule.matches_types(&self.mix),
+            "phase schedule type table does not match the base mix"
+        );
+        self.schedule = Some(schedule);
+        self
     }
 
     /// Starts capturing a [`WorkloadTrace`]. Must be called before the
@@ -249,8 +289,24 @@ impl WorkloadDriver {
                 capture,
                 ..
             } => {
-                let type_idx = self.mix.sample(rng_mix);
-                let next = now + arrivals.next_interval(rng_mix);
+                // Under a phase schedule the active phase's mix is
+                // sampled and its rate factor compresses (or stretches)
+                // the gap to the next arrival; both are recorded in the
+                // capture (type index, arrival times), so replay needs no
+                // schedule of its own.
+                let (mix_now, rate_factor) = match &self.schedule {
+                    Some(s) => {
+                        let p = s.phase_at(now);
+                        (&p.mix, p.rate_factor)
+                    }
+                    None => (&self.mix, 1.0),
+                };
+                let type_idx = mix_now.sample(rng_mix);
+                let mut gap = arrivals.next_interval(rng_mix);
+                if rate_factor != 1.0 {
+                    gap = SimTime::from_secs_f64(gap.as_secs_f64() / rate_factor);
+                }
+                let next = now + gap;
                 if next < self.horizon {
                     events.push((next, WorkloadEvent::Arrival));
                 }
@@ -419,6 +475,11 @@ impl WorkloadDriver {
     /// The configured mix.
     pub fn mix(&self) -> &TxMix {
         &self.mix
+    }
+
+    /// The arrival horizon (no arrivals at or after this time).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
     }
 }
 
@@ -649,6 +710,116 @@ mod tests {
             .on_commit_ack(SimTime::from_micros(1_030_000), new.tid)
             .is_empty());
         assert_eq!(rep.stats().committed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid arrival process")]
+    fn invalid_arrival_config_rejected_at_construction() {
+        // Regression: a MarkovBursty config with rate × dwell < 1 used to
+        // be accepted and silently distorted at draw time; the driver now
+        // validates at its single construction chokepoint.
+        let _ = WorkloadDriver::new(
+            TxMix::paper_mix(0.1),
+            ArrivalProcess::MarkovBursty {
+                base_tps: 2.0,
+                burst_tps: 500.0,
+                mean_dwell_s: 0.1,
+                in_burst: false,
+            },
+            10_000_000,
+            SimTime::from_secs(10),
+            &SimRng::new(1),
+        );
+    }
+
+    #[test]
+    fn phase_schedule_shifts_mix_and_rate() {
+        use crate::spec::{Phase, PhaseSchedule};
+        // Phase 0 (0–10 s): all-short at base rate. Phase 1 (10 s+):
+        // all-long at 2× rate.
+        let schedule = PhaseSchedule::new(vec![
+            Phase {
+                start: SimTime::ZERO,
+                mix: TxMix::paper_mix(0.0),
+                rate_factor: 1.0,
+            },
+            Phase {
+                start: SimTime::from_secs(10),
+                mix: TxMix::paper_mix(1.0),
+                rate_factor: 2.0,
+            },
+        ])
+        .unwrap();
+        let mut d = WorkloadDriver::new(
+            TxMix::paper_mix(0.5),
+            ArrivalProcess::Deterministic { rate_tps: 100.0 },
+            10_000_000,
+            SimTime::from_secs(20),
+            &SimRng::new(42),
+        )
+        .with_phases(Some(schedule));
+
+        let mut events = Vec::new();
+        // Phase 0: every arrival is the short type, arrivals 10 ms apart.
+        let new = d.on_arrival(SimTime::ZERO, &mut events).unwrap();
+        assert_eq!(new.type_idx, 0);
+        assert!(events.contains(&(SimTime::from_millis(10), WorkloadEvent::Arrival)));
+        // Phase 1: every arrival is the long type, arrivals 5 ms apart
+        // (deterministic 100 TPS at factor 2).
+        let new = d.on_arrival(SimTime::from_secs(10), &mut events).unwrap();
+        assert_eq!(new.type_idx, 1);
+        let next = events
+            .iter()
+            .find_map(|&(t, e)| (e == WorkloadEvent::Arrival).then_some(t))
+            .unwrap();
+        assert_eq!(next, SimTime::from_secs(10) + SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn phased_capture_replays_without_schedule() {
+        use crate::spec::PhaseSchedule;
+        // A drifting capture replayed by a schedule-less replay driver
+        // must reproduce the stream exactly: the trace's type indices and
+        // arrival times already encode the phases.
+        let schedule = PhaseSchedule::parse("0:0.0,2:1.0@2").unwrap();
+        let mut live = WorkloadDriver::new(
+            TxMix::paper_mix(0.5),
+            ArrivalProcess::Deterministic { rate_tps: 50.0 },
+            10_000_000,
+            SimTime::from_secs(4),
+            &SimRng::new(7),
+        )
+        .with_phases(Some(schedule));
+        live.enable_capture();
+        let (live_committed, live_oids) = drain(&mut live);
+        let trace = live.take_trace().expect("kill-free capture");
+
+        let mut rep = WorkloadDriver::replay(TxMix::paper_mix(0.5), Arc::new(trace), true);
+        let (rep_committed, rep_oids) = drain(&mut rep);
+        assert_eq!(live_committed, rep_committed);
+        assert_eq!(live_oids, rep_oids);
+        assert_eq!(live.stats().per_type_started, rep.stats().per_type_started);
+        // The drift is visible: both phases produced transactions.
+        assert!(live.stats().per_type_started.iter().all(|&n| n > 0));
+        // And the 2× phase really accelerated arrivals: 2 s at 50 TPS +
+        // 2 s at 100 TPS ≈ 300 starts, not 200.
+        assert!(
+            live.stats().started > 250,
+            "rate factor must raise arrivals, got {}",
+            live.stats().started
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replay")]
+    fn replay_driver_rejects_schedule() {
+        use crate::spec::PhaseSchedule;
+        let mut live = driver(0.0, 1);
+        live.enable_capture();
+        drain(&mut live);
+        let trace = Arc::new(live.take_trace().unwrap());
+        let _ = WorkloadDriver::replay(TxMix::paper_mix(0.0), trace, false)
+            .with_phases(Some(PhaseSchedule::parse("0:0.0").unwrap()));
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub mod trace;
 pub use arrival::ArrivalProcess;
 pub use driver::{WorkloadDriver, WorkloadEvent, WorkloadStats};
 pub use oidpick::OidPicker;
-pub use spec::{TxMix, TxType, EPSILON};
+pub use spec::{Phase, PhaseSchedule, TxMix, TxType, EPSILON};
 pub use trace::WorkloadTrace;

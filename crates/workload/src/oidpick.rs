@@ -23,6 +23,7 @@ pub struct OidPicker {
     in_use: FxHashSet<Oid>,
     rejections: u64,
     picks: u64,
+    double_releases: u64,
 }
 
 impl OidPicker {
@@ -34,6 +35,7 @@ impl OidPicker {
             in_use: FxHashSet::default(),
             rejections: 0,
             picks: 0,
+            double_releases: 0,
         }
     }
 
@@ -67,10 +69,16 @@ impl OidPicker {
     }
 
     /// Releases many oids at once (commit/abort of a whole transaction).
+    ///
+    /// Releasing an oid that is not held is a driver bug; like
+    /// [`OidPicker::release`]'s `false` return it is surfaced rather than
+    /// silently ignored — each occurrence is counted in
+    /// [`OidPicker::double_releases`], in every build profile.
     pub fn release_all<I: IntoIterator<Item = Oid>>(&mut self, oids: I) {
         for oid in oids {
-            let was_held = self.release(oid);
-            debug_assert!(was_held, "double release of {oid}");
+            if !self.release(oid) {
+                self.double_releases += 1;
+            }
         }
     }
 
@@ -92,6 +100,13 @@ impl OidPicker {
     /// Total rejection-sampling retries (collisions with held oids).
     pub fn rejections(&self) -> u64 {
         self.rejections
+    }
+
+    /// Total releases of oids that were not held, observed by
+    /// [`OidPicker::release_all`]. Non-zero means a double-release bug in
+    /// the driver; a healthy run reports 0.
+    pub fn double_releases(&self) -> u64 {
+        self.double_releases
     }
 }
 
@@ -140,6 +155,28 @@ mod tests {
         let oids: Vec<Oid> = (0..10).map(|_| p.pick(&mut rng)).collect();
         p.release_all(oids);
         assert_eq!(p.held(), 0);
+        assert_eq!(p.double_releases(), 0);
+    }
+
+    #[test]
+    fn release_all_counts_double_releases() {
+        // Regression: release_all used to check double-releases with a
+        // debug_assert! only, so release builds swallowed them silently in
+        // contradiction of release()'s documented contract. They are now
+        // counted unconditionally.
+        let mut p = OidPicker::new(100);
+        let mut rng = SimRng::new(12);
+        let a = p.pick(&mut rng);
+        let b = p.pick(&mut rng);
+        p.release_all([a, b]);
+        assert_eq!(p.double_releases(), 0);
+        // Release the same pair again, plus one never-held oid.
+        p.release_all([a, b, Oid(99)]);
+        assert_eq!(p.double_releases(), 3);
+        assert_eq!(p.held(), 0);
+        // Direct release() keeps its boolean contract and does not count.
+        assert!(!p.release(a));
+        assert_eq!(p.double_releases(), 3);
     }
 
     #[test]
