@@ -111,6 +111,38 @@ case "$AD_DRIFT" in
         ;;
 esac
 
+echo "== elserve degeneracy smoke =="
+# One tenant is the classic run (DESIGN.md §5k): elserve --tenants 1 must
+# print byte-identical stdout to elsim on the same configuration — the
+# identity tid/oid mappings and the shared report renderer make the
+# degeneracy structural, and this diff keeps it that way.
+EL_SIM=$(./target/release/elsim --gens 18,16 --runtime 30)
+EL_SERVE=$(./target/release/elserve --tenants 1 --gens 18,16 --runtime 30 2>/dev/null)
+if [ "$EL_SIM" != "$EL_SERVE" ]; then
+    echo "1-tenant elserve diverged from elsim:" >&2
+    diff <(echo "$EL_SIM") <(echo "$EL_SERVE") >&2 || true
+    exit 1
+fi
+
+echo "== elserve multi-tenant smoke =="
+# Two tenants over two drive shards: stdout must be byte-identical to the
+# unsharded run (the deterministic admission merge is shard-invariant),
+# and the [serve] summary must land on stderr with a committed count.
+SERVE_ERR=$(mktemp)
+SV1=$(./target/release/elserve --tenants 2 --runtime 30 2>/dev/null)
+SV2=$(./target/release/elserve --tenants 2 --runtime 30 --shards 2 2>"$SERVE_ERR")
+if [ "$SV1" != "$SV2" ]; then
+    echo "sharded and unsharded serve runs disagree:" >&2
+    diff <(echo "$SV1") <(echo "$SV2") >&2 || true
+    exit 1
+fi
+if ! grep -q '^\[serve\] tenants 2, committed [1-9]' "$SERVE_ERR"; then
+    echo "elserve printed no [serve] summary (or committed nothing):" >&2
+    cat "$SERVE_ERR" >&2
+    exit 1
+fi
+rm -f "$SERVE_ERR"
+
 echo "== bench --quick (perf regression gate) =="
 # One quick pass over the whole experiment basket — including the
 # crash-recovery bench (crash-point snapshots scanned + redone) — gated

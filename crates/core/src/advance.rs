@@ -427,6 +427,9 @@ impl ElManager {
     pub(crate) fn kill_txn(&mut self, now: SimTime, tid: Tid, fx: &mut Effects) {
         if self.drop_transaction(tid) {
             self.stats.kills += 1;
+            if let Some(l) = self.ledger.as_mut() {
+                l.on_kill(tid);
+            }
             fx.kills.push(tid);
             self.update_memory(now);
         }

@@ -56,6 +56,7 @@ pub mod lot;
 pub mod ltt;
 pub mod manager;
 pub mod metrics;
+pub mod tenant;
 pub mod traits;
 pub mod types;
 
@@ -65,6 +66,7 @@ pub use host::SimpleHost;
 pub use hybrid::{HybridManager, HybridStats, HYBRID_BYTES_PER_TXN};
 pub use manager::ElManager;
 pub use metrics::LmMetrics;
+pub use tenant::{TenantCounters, TenantLedger};
 pub use traits::LogManager;
 pub use types::{
     Effects, ElConfig, LmStats, LmTimer, MemoryModel, EL_BYTES_PER_OBJECT, EL_BYTES_PER_TXN,

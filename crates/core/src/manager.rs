@@ -97,6 +97,10 @@ pub struct ElManager {
     pub(crate) spare_gather: Vec<Vec<CellIdx>>,
     /// Consumption-certificate recording, when armed (see [`crate::cert`]).
     pub(crate) cert: Option<Box<crate::cert::CertLog>>,
+    /// Per-tenant accounting, when serving multiple tenants (see
+    /// [`crate::tenant`]). Strictly observational — never consulted by any
+    /// manager decision.
+    pub(crate) ledger: Option<crate::tenant::TenantLedger>,
 }
 
 impl ElManager {
@@ -142,6 +146,7 @@ impl ElManager {
             spare_tids: Vec::new(),
             spare_gather: Vec::new(),
             cert: None,
+            ledger: None,
         })
     }
 
@@ -213,6 +218,9 @@ impl ElManager {
         let cell = self.arena.alloc(record, home_gen as u8, 0);
         self.ltt.begin(tid, cell);
         self.ltt.get_mut(tid).expect("just inserted").home_gen = home_gen as u8;
+        if let Some(l) = self.ledger.as_mut() {
+            l.on_begin(tid);
+        }
         self.append_cells(now, home_gen, &[cell], false, &mut fx);
         self.update_memory(now);
         fx
@@ -272,6 +280,9 @@ impl ElManager {
         let cell = self.arena.alloc(record, home_gen as u8, 0);
         self.lot.insert_uncommitted(oid, tid, cell);
         self.ltt.add_oid(tid, oid);
+        if let Some(l) = self.ledger.as_mut() {
+            l.on_data_write(tid);
+        }
         self.append_cells(now, home_gen, &[cell], false, &mut fx);
         self.update_memory(now);
         fx
@@ -412,6 +423,9 @@ impl ElManager {
                     .record(now.saturating_sub(rec.ts()).as_micros() as f64 / 1000.0);
                 self.unlink_cell(g);
                 self.arena.free(g);
+                if let Some(l) = self.ledger.as_mut() {
+                    l.on_data_free(owner, true);
+                }
                 if owner != tid && self.ltt.remove_oid(owner, oid) {
                     self.finish_ltt_entry(owner);
                 }
@@ -434,6 +448,9 @@ impl ElManager {
         self.scratch_cells = garbage;
         self.scratch_oids = oids;
         self.stats.acks += 1;
+        if let Some(l) = self.ledger.as_mut() {
+            l.on_commit(tid);
+        }
         fx.acks.push(tid);
         if self.ltt.get(tid).expect("present").oids.is_empty() {
             self.finish_ltt_entry(tid);
@@ -471,6 +488,9 @@ impl ElManager {
                 self.lot.flush_done(oid, cidx);
                 self.unlink_cell(cidx);
                 self.arena.free(cidx);
+                if let Some(l) = self.ledger.as_mut() {
+                    l.on_data_free(version.tid, true);
+                }
                 if self.ltt.remove_oid(version.tid, oid) {
                     self.finish_ltt_entry(version.tid);
                 }
@@ -483,6 +503,9 @@ impl ElManager {
     /// garbage and the LTT entry is removed (§2.3 closing rule).
     pub(crate) fn finish_ltt_entry(&mut self, tid: Tid) {
         let entry = self.ltt.remove(tid).expect("finish of unknown txn");
+        if let Some(l) = self.ledger.as_mut() {
+            l.on_ltt_removed(tid);
+        }
         debug_assert_eq!(entry.state, TxState::Committed);
         debug_assert!(entry.oids.is_empty());
         self.unlink_cell(entry.tx_cell);
@@ -510,12 +533,18 @@ impl ElManager {
             for &cell in &cells {
                 self.unlink_cell(cell);
                 self.arena.free(cell);
+                if let Some(l) = self.ledger.as_mut() {
+                    l.on_data_free(tid, false);
+                }
             }
         }
         self.scratch_cells = cells;
         self.unlink_cell(entry.tx_cell);
         self.arena.free(entry.tx_cell);
         self.ltt.recycle(entry);
+        if let Some(l) = self.ledger.as_mut() {
+            l.on_ltt_removed(tid);
+        }
         true
     }
 
@@ -607,6 +636,18 @@ impl ElManager {
     /// its upper quantiles.
     pub fn garbage_age_ms(&self) -> &Histogram {
         &self.garbage_age_ms
+    }
+
+    /// Arms per-tenant accounting: tids are attributed to one of `tenants`
+    /// tenants by `tid >> tid_shift` (see [`crate::tenant`]). The ledger
+    /// is observational only; arming it cannot change any run's outcome.
+    pub fn enable_tenant_ledger(&mut self, tenants: usize, tid_shift: u32) {
+        self.ledger = Some(crate::tenant::TenantLedger::new(tenants, tid_shift));
+    }
+
+    /// The per-tenant ledger, when armed.
+    pub fn tenant_ledger(&self) -> Option<&crate::tenant::TenantLedger> {
+        self.ledger.as_ref()
     }
 
     /// Blocks ever allocated at the last generation's tail (its ring's

@@ -403,6 +403,64 @@ impl ReportSection for AdaptiveSummary {
     }
 }
 
+/// The multi-tenant serve aggregates (report-only: committed counts and
+/// latency quantiles are workload properties of the scaling sweep's
+/// highest-multiplexing run, not host throughput, so the default no-op
+/// `gate` stands).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantsSummary {
+    /// Tenant count of the summarised run.
+    pub tenants: f64,
+    /// Commits across all tenants.
+    pub committed: f64,
+    /// Manager kills across all tenants.
+    pub killed: f64,
+    /// Admission refusals across all tenants.
+    pub refused: f64,
+    /// Aggregate p50 arrival→durable commit latency, ms.
+    pub agg_p50_ms: f64,
+    /// Aggregate p99 arrival→durable commit latency, ms.
+    pub agg_p99_ms: f64,
+}
+
+impl ReportSection for TenantsSummary {
+    const KEY: &'static str = "tenants";
+    // The count field is `tenant_count`, not `tenants`: the section key
+    // itself is the first `"tenants":` the field scanner would find.
+    const FIELDS: &'static [(&'static str, Option<f64>)] = &[
+        ("tenant_count", None),
+        ("committed", None),
+        ("killed", None),
+        ("refused", None),
+        ("agg_p50_ms", None),
+        ("agg_p99_ms", None),
+    ];
+
+    fn from_fields(vals: &[f64]) -> Self {
+        TenantsSummary {
+            tenants: vals[0],
+            committed: vals[1],
+            killed: vals[2],
+            refused: vals[3],
+            agg_p50_ms: vals[4],
+            agg_p99_ms: vals[5],
+        }
+    }
+
+    fn describe(&self, parts: &mut Vec<String>) {
+        parts.push(format!(
+            "tenants {:.0} committed {:.0} (killed {:.0}, refused {:.0}), \
+             p50 {:.1} ms, p99 {:.1} ms",
+            self.tenants,
+            self.committed,
+            self.killed,
+            self.refused,
+            self.agg_p50_ms,
+            self.agg_p99_ms
+        ));
+    }
+}
+
 /// The fields the gate compares.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BenchSummary {
@@ -431,6 +489,9 @@ pub struct BenchSummary {
     /// The adaptive section's aggregates; `None` when the report predates
     /// the online generation controller.
     pub adaptive: Option<AdaptiveSummary>,
+    /// The tenants section's aggregates; `None` when the report predates
+    /// the multi-tenant serve mode.
+    pub tenants: Option<TenantsSummary>,
 }
 
 /// Extracts the number following `"key": ` at its first occurrence at or
@@ -468,6 +529,7 @@ impl BenchSummary {
             sharding: ShardingSummary::parse(json),
             search: SearchSummary::parse(json),
             adaptive: AdaptiveSummary::parse(json),
+            tenants: TenantsSummary::parse(json),
         })
     }
 }
@@ -577,6 +639,12 @@ pub fn check_regression(
         &mut parts,
     )?;
     gate_section(
+        &baseline.tenants,
+        &current.tenants,
+        max_regress_pct,
+        &mut parts,
+    )?;
+    gate_section(
         &baseline.recovery,
         &current.recovery,
         max_regress_pct,
@@ -638,10 +706,11 @@ mod tests {
         sharding: Option<(f64, f64)>,
         search: Option<(f64, f64)>,
         adaptive: Option<(f64, f64)>,
+        tenants: Option<(f64, f64)>,
     ) -> String {
         // Same field order as the bench binary's writer: experiments,
         // then lattice, then analytic, then sharding, then search, then
-        // adaptive, then recovery.
+        // adaptive, then tenants, then recovery.
         let lattice_section = match lattice {
             Some((probes, rate, pruned)) => format!(
                 ",\n  \"lattice\": {{\n    \"probes\": {probes},\n    \"memo_hits\": 40,\n    \
@@ -690,6 +759,15 @@ mod tests {
             ),
             None => String::new(),
         };
+        let tenants_section = match tenants {
+            Some((count, p99)) => format!(
+                ",\n  \"tenants\": {{\n    \"tenant_count\": {count},\n    \
+                 \"committed\": 5400,\n    \"killed\": 0,\n    \"refused\": 12,\n    \
+                 \"agg_p50_ms\": 1120.5,\n    \"agg_p99_ms\": {p99},\n    \
+                 \"wall_secs\": 0.6\n  }}"
+            ),
+            None => String::new(),
+        };
         let recovery_section = match recovery {
             Some((scan, redo)) => format!(
                 ",\n  \"recovery\": {{\n    \"scan_blocks_per_sec\": 120000,\n    \
@@ -708,7 +786,7 @@ mod tests {
              \"replay_hit_rate\": 0.9,\n  \"memo_hit_rate\": 0.2,\n  \
              \"experiments\": [\n    {{\"name\": \"x\", \"probes\": 7, \
              \"events_per_sec\": 99, \"allocations_per_event\": 99.0}}\n  \
-             ]{lattice_section}{analytic_section}{sharding_section}{search_section}{adaptive_section}{recovery_section}\n}}"
+             ]{lattice_section}{analytic_section}{sharding_section}{search_section}{adaptive_section}{tenants_section}{recovery_section}\n}}"
         )
     }
 
@@ -728,6 +806,7 @@ mod tests {
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         )
     }
 
@@ -747,6 +826,7 @@ mod tests {
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         )
     }
 
@@ -762,6 +842,7 @@ mod tests {
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         )
     }
 
@@ -777,6 +858,7 @@ mod tests {
             None,
             Some((2.5, 140.0)),
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         )
     }
 
@@ -792,6 +874,7 @@ mod tests {
             Some((4.0, 1.05)),
             None,
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         )
     }
 
@@ -806,6 +889,23 @@ mod tests {
             Some((12.0, 30.0, 40000.0)),
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
+            None,
+            Some((8.0, 9800.0)),
+        )
+    }
+
+    /// A report missing only the tenants section.
+    fn no_tenants(events_per_sec: f64) -> String {
+        report_full(
+            events_per_sec,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
             None,
         )
     }
@@ -857,6 +957,7 @@ mod tests {
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
             Some((0.0, 0.0)),
+            Some((8.0, 9800.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -870,6 +971,69 @@ mod tests {
         let torn = report(400_000.0, 0.05, true).replace("\"kills_shed\": 120,\n    ", "");
         let s = BenchSummary::parse(&torn).unwrap();
         assert!(s.adaptive.is_none(), "torn adaptive section must not parse");
+    }
+
+    #[test]
+    fn parse_reads_tenants_aggregates() {
+        let s = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let t = s.tenants.expect("tenants section present");
+        assert_eq!(t.tenants, 8.0);
+        assert_eq!(t.committed, 5400.0);
+        assert_eq!(t.killed, 0.0);
+        assert_eq!(t.refused, 12.0);
+        assert_eq!(t.agg_p50_ms, 1120.5);
+        assert_eq!(t.agg_p99_ms, 9800.0);
+    }
+
+    #[test]
+    fn tenants_baseline_missing_warns_and_passes() {
+        let base = BenchSummary::parse(&no_tenants(400_000.0)).unwrap();
+        let cur = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(
+            verdict.contains("predates the tenants section"),
+            "{verdict}"
+        );
+    }
+
+    #[test]
+    fn tenants_lost_from_current_fails() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        let cur = BenchSummary::parse(&no_tenants(400_000.0)).unwrap();
+        let err = check_regression(&base, &cur, 30.0).unwrap_err();
+        assert!(err.contains("no tenants section"), "{err}");
+    }
+
+    #[test]
+    fn tenants_stats_are_reported_but_never_gated() {
+        let base = BenchSummary::parse(&report(400_000.0, 0.05, true)).unwrap();
+        // A run where every tenant stalled — zero tenants reported, zero
+        // tail — still passes: the section is context, not a gated rate.
+        let cur = BenchSummary::parse(&report_full(
+            400_000.0,
+            0.05,
+            true,
+            Some((4e6, 8e6)),
+            Some((200.0, 0.35, 5000.0)),
+            Some((12.0, 30.0, 40000.0)),
+            Some((4.0, 1.05)),
+            Some((2.5, 140.0)),
+            Some((6.0, 120.0)),
+            Some((0.0, 0.0)),
+        ))
+        .unwrap();
+        let verdict = check_regression(&base, &cur, 30.0).unwrap();
+        assert!(verdict.contains("tenants 0 committed"), "{verdict}");
+    }
+
+    #[test]
+    fn tenants_torn_field_rejects_the_section() {
+        // Every tenants field is required; a report missing one must
+        // parse as "no tenants section", not invent a number.
+        let torn = report(400_000.0, 0.05, true).replace("\"agg_p99_ms\": 9800,\n    ", "");
+        assert_ne!(torn, report(400_000.0, 0.05, true), "replace must hit");
+        let s = BenchSummary::parse(&torn).unwrap();
+        assert!(s.tenants.is_none(), "torn tenants section must not parse");
     }
 
     #[test]
@@ -938,6 +1102,7 @@ mod tests {
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -986,6 +1151,7 @@ mod tests {
             Some((4.0, 1.05)),
             Some((2.5, 140.0)),
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -1036,6 +1202,7 @@ mod tests {
             Some((4.0, 0.58)),
             Some((2.5, 140.0)),
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();
@@ -1087,6 +1254,7 @@ mod tests {
             Some((4.0, 1.05)),
             Some((0.7, 0.0)),
             Some((6.0, 120.0)),
+            Some((8.0, 9800.0)),
         ))
         .unwrap();
         let verdict = check_regression(&base, &cur, 30.0).unwrap();

@@ -459,6 +459,59 @@ fn bench_adaptive(quick: bool) -> String {
     )
 }
 
+/// Prices the multi-tenant serve mode and returns the `tenants` report
+/// section: the `fig_tenants` scaling sweep's highest-multiplexing run,
+/// summarised as committed/killed/refused counts plus the aggregate
+/// p50/p99 arrival→durable commit latency. Report-only, like the other
+/// accelerator sections — the latency quantiles are workload statements,
+/// not host rates to gate.
+fn bench_tenants(quick: bool) -> String {
+    use elog_harness::experiments::fig_tenants;
+    let cfg = if quick {
+        fig_tenants::Config::quick()
+    } else {
+        fig_tenants::Config::paper()
+    };
+    let scenarios = fig_tenants::scenarios_for(&cfg);
+    let t0 = Instant::now();
+    let outcomes = run_scenarios(
+        &scenarios,
+        &ExecOptions {
+            jobs: 1,
+            progress: false,
+        },
+    );
+    let wall = t0.elapsed();
+    let last = outcomes
+        .iter()
+        .rev()
+        .find_map(|o| o.serve())
+        .expect("serve runs complete");
+    eprintln!(
+        "[bench] tenants: {} tenants committed {} (killed {}, refused {}), \
+         p50 {:.1} ms, p99 {:.1} ms; {:.2?}",
+        last.per_tenant.len(),
+        last.aggregate.committed,
+        last.aggregate.killed,
+        last.aggregate.throttled,
+        last.aggregate.p50_ms.unwrap_or(0.0),
+        last.aggregate.p99_ms.unwrap_or(0.0),
+        wall,
+    );
+    format!(
+        "  \"tenants\": {{\n    \"tenant_count\": {},\n    \"committed\": {},\n    \
+         \"killed\": {},\n    \"refused\": {},\n    \"agg_p50_ms\": {:.3},\n    \
+         \"agg_p99_ms\": {:.3},\n    \"wall_secs\": {:.3}\n  }}",
+        last.per_tenant.len(),
+        last.aggregate.committed,
+        last.aggregate.killed,
+        last.aggregate.throttled,
+        last.aggregate.p50_ms.unwrap_or(0.0),
+        last.aggregate.p99_ms.unwrap_or(0.0),
+        wall.as_secs_f64(),
+    )
+}
+
 fn main() {
     let opts = parse_args();
     let date = opts.date.clone().unwrap_or_else(utc_date);
@@ -587,6 +640,7 @@ fn main() {
     let sharding_json = bench_sharding(opts.quick);
     let search_json = bench_search(opts.quick);
     let adaptive_json = bench_adaptive(opts.quick);
+    let tenants_json = bench_tenants(opts.quick);
     let all_verified = points.iter().all(|p| p.verified);
     let recovery_json = format!(
         "  \"recovery\": {{\n    \"scan_blocks_per_sec\": {:.0},\n    \
@@ -609,7 +663,7 @@ fn main() {
          \"events_per_sec\": {:.0},\n  \"allocations\": {},\n  \
          \"allocations_per_event\": {:.3},\n  \"probe_events\": {},\n  \
          \"replay_hit_rate\": {:.3},\n  \"memo_hit_rate\": {:.3},\n  \
-         \"experiments\": [\n{}\n  ],\n{},\n{},\n{},\n{},\n{},\n{}\n}}",
+         \"experiments\": [\n{}\n  ],\n{},\n{},\n{},\n{},\n{},\n{},\n{}\n}}",
         json_str(&date),
         opts.quick,
         opts.jobs,
@@ -627,6 +681,7 @@ fn main() {
         sharding_json,
         search_json,
         adaptive_json,
+        tenants_json,
         recovery_json,
     );
 

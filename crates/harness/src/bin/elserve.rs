@@ -1,0 +1,340 @@
+//! `elserve` — serve T concurrent logical tenants from one shared
+//! ephemeral log, with streamed per-tenant workload admission and
+//! p50/p99 commit-latency reporting.
+//!
+//! ```text
+//! elserve [options]
+//!   --tenants T             logical tenants (default 2; 1 degenerates to
+//!                           elsim — the stdout is byte-identical)
+//!   --budget N              per-tenant live-record admission budget; a
+//!                           tenant at its budget has arrivals refused
+//!                           until flushes drain its footprint (default 0
+//!                           = unlimited; refusals never touch neighbours)
+//!   --oid-ranges B:L,...    explicit per-tenant oid ranges (one BASE:LEN
+//!                           per tenant; must tile the whole oid space
+//!                           disjointly — validated at parse time).
+//!                           Default: an even partition
+//!   --gens G0,G1[,G2...]    generation sizes in blocks (default 18,16)
+//!   --recirc                enable recirculation in the last generation
+//!   --frac-long P           fraction of 10 s transactions (default 0.05)
+//!   --tps R                 arrivals per second *per tenant* (default 100)
+//!   --poisson               Poisson instead of deterministic arrivals
+//!   --runtime S             simulated seconds (default 500)
+//!   --drives N              flush drives (default 10)
+//!   --flush-ms T            flush transfer time, ms (default 25)
+//!   --seed N                random seed (default 0x5EED1993; tenant 0
+//!                           uses it raw, tenants 1.. draw independent
+//!                           splitmix64 streams from it)
+//!   --shards N              drive shards inside the simulated run
+//!                           (default 1, at most --drives; the output
+//!                           must not change)
+//!   --jobs N                accepted for sweep-script parity; the serve
+//!                           loop is one deterministic event loop, so the
+//!                           output never depends on it
+//!   --phases SPEC           piecewise workload schedule applied to every
+//!                           tenant, `start:frac_long[@rate_factor],...`
+//! ```
+//!
+//! A `[serve]` summary always goes to stderr, so stdout stays comparable
+//! across configurations (and byte-identical to `elsim` at one tenant).
+
+use elog_core::ElConfig;
+use elog_harness::runner::TenantLayout;
+use elog_harness::serve::{
+    parse_oid_ranges, serve_run, validate_layout, validate_shards, ServeConfig,
+};
+use elog_harness::{report, RunConfig};
+use elog_model::{FlushConfig, LogConfig};
+use elog_sim::SimTime;
+use elog_workload::{ArrivalProcess, PhaseSchedule, TxMix};
+
+#[derive(Debug)]
+struct Args {
+    tenants: usize,
+    budget: u64,
+    oid_ranges: Option<TenantLayout>,
+    gens: Vec<u32>,
+    recirc: bool,
+    frac_long: f64,
+    tps: f64,
+    poisson: bool,
+    runtime: u64,
+    drives: u32,
+    flush_ms: u64,
+    seed: u64,
+    shards: u32,
+    phases: Option<PhaseSchedule>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            tenants: 2,
+            budget: 0,
+            oid_ranges: None,
+            gens: vec![18, 16],
+            recirc: false,
+            frac_long: 0.05,
+            tps: 100.0,
+            poisson: false,
+            runtime: 500,
+            drives: 10,
+            flush_ms: 25,
+            seed: 0x5EED_1993,
+            shards: 1,
+            phases: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "see `elserve` module docs; common: elserve --tenants 4 --gens 36,32 --tps 25 --budget 4096"
+    );
+    std::process::exit(2)
+}
+
+fn parse() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    let next = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tenants" => {
+                a.tenants = next(&mut it, "--tenants")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if a.tenants == 0 {
+                    eprintln!("--tenants needs at least one tenant");
+                    std::process::exit(2);
+                }
+            }
+            "--budget" => {
+                a.budget = next(&mut it, "--budget")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--oid-ranges" => {
+                let spec = next(&mut it, "--oid-ranges");
+                a.oid_ranges = Some(parse_oid_ranges(&spec).unwrap_or_else(|e| {
+                    eprintln!("--oid-ranges {spec}: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--gens" => {
+                let list = next(&mut it, "--gens");
+                if list.trim().is_empty() {
+                    eprintln!("--gens needs at least one generation size (N ≥ 1)");
+                    std::process::exit(2);
+                }
+                a.gens = list
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--recirc" => a.recirc = true,
+            "--frac-long" => {
+                a.frac_long = next(&mut it, "--frac-long")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--tps" => a.tps = next(&mut it, "--tps").parse().unwrap_or_else(|_| usage()),
+            "--poisson" => a.poisson = true,
+            "--runtime" => {
+                a.runtime = next(&mut it, "--runtime")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--drives" => {
+                a.drives = next(&mut it, "--drives")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--flush-ms" => {
+                a.flush_ms = next(&mut it, "--flush-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--seed" => a.seed = next(&mut it, "--seed").parse().unwrap_or_else(|_| usage()),
+            "--shards" => {
+                a.shards = next(&mut it, "--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                a.shards = a.shards.max(1);
+            }
+            // Accepted for sweep-script parity: the serve loop is a single
+            // deterministic event loop, so worker counts cannot matter.
+            "--jobs" => {
+                let n: usize = next(&mut it, "--jobs").parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+            }
+            "--phases" => {
+                let spec = next(&mut it, "--phases");
+                a.phases = Some(PhaseSchedule::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("--phases {spec}: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn main() {
+    let a = parse();
+    if let Err(e) = validate_shards(a.shards, a.drives) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let log = LogConfig {
+        generation_blocks: a.gens.clone(),
+        recirculation: a.recirc,
+        ..LogConfig::default()
+    };
+    let flush = FlushConfig {
+        drives: a.drives,
+        transfer_time: SimTime::from_millis(a.flush_ms),
+    };
+    let el = ElConfig::ephemeral(log, flush);
+    let base = RunConfig {
+        mix: TxMix::paper_mix(a.frac_long),
+        arrivals: if a.poisson {
+            ArrivalProcess::Poisson { rate_tps: a.tps }
+        } else {
+            ArrivalProcess::Deterministic { rate_tps: a.tps }
+        },
+        runtime: SimTime::from_secs(a.runtime),
+        el,
+        seed: a.seed,
+        stop_on_kill: false,
+        track_oracle: false,
+        lifetime_hints: false,
+        trace: None,
+        shards: a.shards,
+        phases: a.phases.clone(),
+        adaptive: false,
+        tenants: None,
+    };
+    let mut cfg = ServeConfig::new(base, a.tenants).with_budget(a.budget);
+    if let Some(layout) = a.oid_ranges {
+        if layout.tenants() != a.tenants {
+            eprintln!(
+                "--oid-ranges lists {} ranges for {} tenants; one range per tenant",
+                layout.tenants(),
+                a.tenants
+            );
+            std::process::exit(2);
+        }
+        if let Err(e) = validate_layout(&layout, cfg.base.el.db.num_objects) {
+            eprintln!("--oid-ranges: {e}");
+            std::process::exit(2);
+        }
+        cfg = cfg.with_layout(layout);
+    }
+
+    let r = serve_run(&cfg);
+    if a.tenants == 1 {
+        // Degenerate mode: one tenant is the classic run, printed through
+        // the same renderer as elsim so the bytes cannot drift apart.
+        print!(
+            "{}",
+            report::render_run_report(
+                &r.metrics,
+                a.recirc,
+                r.aggregate.started,
+                r.aggregate.committed,
+                r.aggregate.killed,
+                r.mean_commit_latency_ms,
+            )
+        );
+    } else {
+        let m = &r.metrics;
+        let budget = if a.budget == 0 {
+            "unlimited".to_string()
+        } else {
+            format!("{} records", a.budget)
+        };
+        println!("== elserve run ==");
+        println!("tenants             : {} (budget {budget})", a.tenants);
+        println!(
+            "geometry            : {:?} blocks (recirc {})",
+            m.per_gen_blocks, a.recirc
+        );
+        println!(
+            "transactions        : {} started, {} committed, {} killed, {} refused",
+            r.aggregate.started, r.aggregate.committed, r.aggregate.killed, r.aggregate.throttled
+        );
+        println!(
+            "log bandwidth       : {:.2} block writes/s (per gen {:?})",
+            m.log_write_rate, m.per_gen_write_rate
+        );
+        println!(
+            "peak memory         : {} B (LTT peak {}, LOT peak {})",
+            m.peak_memory_bytes, m.ltt_peak, m.lot_peak
+        );
+        println!(
+            "flush utilisation   : {:.1}% (backlog {})",
+            m.flush_utilisation * 100.0,
+            m.flush_backlog
+        );
+        println!(
+            "commit latency      : p50 {} ms, p99 {} ms (arrival -> durable)",
+            report::fo(r.aggregate.p50_ms, 1),
+            report::fo(r.aggregate.p99_ms, 1)
+        );
+        println!(
+            "anomalies           : {} unsafe drops, {} durability violations, {} stalls",
+            m.stats.unsafe_drops, m.stats.durability_violations, m.stats.buffer_stalls
+        );
+        println!();
+        let mut t = report::Table::new(
+            "Per-tenant",
+            &[
+                "tenant",
+                "started",
+                "committed",
+                "killed",
+                "refused",
+                "records",
+                "garbage",
+                "ltt peak",
+                "p50 ms",
+                "p99 ms",
+            ],
+        );
+        for (i, rep) in r.per_tenant.iter().enumerate() {
+            t.row(vec![
+                i.to_string(),
+                rep.started.to_string(),
+                rep.committed.to_string(),
+                rep.killed.to_string(),
+                rep.throttled.to_string(),
+                rep.data_records.to_string(),
+                rep.garbage_records.to_string(),
+                rep.ltt_peak.to_string(),
+                report::fo(rep.p50_ms, 1),
+                report::fo(rep.p99_ms, 1),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    // stderr so stdout stays comparable across tenant counts (cf. the
+    // probe-cache and adaptive reports).
+    eprintln!(
+        "[serve] tenants {}, committed {}, killed {}, refused {}, p99 {} ms",
+        a.tenants,
+        r.aggregate.committed,
+        r.aggregate.killed,
+        r.aggregate.throttled,
+        report::fo(r.aggregate.p99_ms, 1)
+    );
+}

@@ -30,7 +30,8 @@
 //!                           resume: simulate every probe in full (the
 //!                           output must not change)
 //!   --shards N              drive shards inside each simulated run
-//!                           (default 1; the output must not change)
+//!                           (default 1, at most --drives; the output must
+//!                           not change)
 //!   --phases SPEC           piecewise workload schedule
 //!                           `start:frac_long[@rate_factor],...` over the
 //!                           paper type table, e.g. `0:0.1,160:0.4,330:0.1`
@@ -182,6 +183,10 @@ fn parse() -> Args {
                     .unwrap_or_else(|_| usage());
                 a.shards = a.shards.max(1);
             }
+            "--tenants" | "--budget" | "--oid-ranges" => {
+                eprintln!("{arg} is an elserve flag; elsim runs a single workload");
+                std::process::exit(2);
+            }
             "--phases" => {
                 let spec = next(&mut it, "--phases");
                 a.phases = Some(PhaseSchedule::parse(&spec).unwrap_or_else(|e| {
@@ -199,6 +204,10 @@ fn parse() -> Args {
 
 fn main() {
     let a = parse();
+    if let Err(e) = elog_harness::serve::validate_shards(a.shards, a.drives) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let log = LogConfig {
         generation_blocks: a.gens.clone(),
         recirculation: a.recirc,
@@ -229,6 +238,7 @@ fn main() {
         shards: a.shards,
         phases: a.phases.clone(),
         adaptive: a.adaptive,
+        tenants: None,
     };
 
     if a.min_space {
@@ -279,52 +289,16 @@ fn main() {
 
     let r = run(&cfg);
     let m = &r.metrics;
-    println!("== elsim run ==");
-    println!(
-        "geometry            : {:?} blocks (recirc {})",
-        m.per_gen_blocks, a.recirc
-    );
-    println!(
-        "transactions        : {} started, {} committed, {} killed",
-        r.started, r.committed, r.killed
-    );
-    println!(
-        "log bandwidth       : {:.2} block writes/s (per gen {:?})",
-        m.log_write_rate, m.per_gen_write_rate
-    );
-    println!(
-        "block fill          : {:?}",
-        m.per_gen_fill
-            .iter()
-            .map(|f| f.map(|v| (v * 100.0).round() / 100.0))
-            .collect::<Vec<_>>()
-    );
-    println!(
-        "peak memory         : {} B (LTT peak {}, LOT peak {})",
-        m.peak_memory_bytes, m.ltt_peak, m.lot_peak
-    );
-    println!(
-        "forwarded           : {} records ({} B)",
-        m.stats.forwarded_records, m.stats.forwarded_bytes
-    );
-    println!(
-        "recirculated        : {} records ({} B)",
-        m.stats.recirculated_records, m.stats.recirculated_bytes
-    );
-    println!(
-        "flushes             : {} (mean oid distance {:?})",
-        m.flushes,
-        m.mean_seek_distance.map(|d| d.round())
-    );
-    println!(
-        "flush utilisation   : {:.1}% (backlog {})",
-        m.flush_utilisation * 100.0,
-        m.flush_backlog
-    );
-    println!("p50 commit latency  : {:?} ms", r.mean_commit_latency_ms);
-    println!(
-        "anomalies           : {} unsafe drops, {} durability violations, {} stalls",
-        m.stats.unsafe_drops, m.stats.durability_violations, m.stats.buffer_stalls
+    print!(
+        "{}",
+        elog_harness::report::render_run_report(
+            m,
+            a.recirc,
+            r.started,
+            r.committed,
+            r.killed,
+            r.mean_commit_latency_ms,
+        )
     );
     if let Some(ad) = &r.adaptive {
         // stderr so a static adaptive run's stdout stays byte-identical

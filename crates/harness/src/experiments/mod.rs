@@ -12,6 +12,7 @@ pub mod fig4_6;
 pub mod fig7;
 pub mod fig_adaptive;
 pub mod fig_ngen;
+pub mod fig_tenants;
 pub mod hybrid;
 pub mod rates;
 pub mod recovery_time;
@@ -21,8 +22,8 @@ use crate::sweep::Experiment;
 
 /// All experiments, in the report's print order, with the lattice
 /// comparison ([`fig_ngen`]) at `gens` generations (`repro --gens`).
-/// It prints last so reports from earlier `--gens`-less builds remain a
-/// byte-identical prefix.
+/// Newest experiments append at the end so reports from earlier builds
+/// remain a byte-identical prefix.
 pub fn registry_with(gens: usize) -> Vec<Box<dyn Experiment>> {
     vec![
         Box::new(rates::Rates),
@@ -34,6 +35,7 @@ pub fn registry_with(gens: usize) -> Vec<Box<dyn Experiment>> {
         Box::new(hybrid::Hybrid),
         Box::new(fig_ngen::FigNgen { gens }),
         Box::new(fig_adaptive::FigAdaptive),
+        Box::new(fig_tenants::FigTenants),
     ]
 }
 

@@ -32,6 +32,7 @@ pub mod minspace;
 pub mod probecache;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod sharding;
 pub mod sweep;
 
@@ -44,7 +45,8 @@ pub use latsearch::{
     lattice_min_space, Geometry, LatticeLimits, MemoHit, SearchMode, SearchOutcome, SearchRequest,
 };
 pub use minspace::{el_min_last_gen, el_min_space_jobs, fw_min_space, MinSpaceResult};
-pub use runner::{RunConfig, RunResult, SimModel};
+pub use runner::{RunConfig, RunResult, SimModel, TenantLayout};
+pub use serve::{serve_run, ServeConfig, ServeOutcome, TenantReport};
 pub use sweep::{
     derive_seed, run_experiments, run_scenarios, ExecOptions, Experiment, ExperimentReport, Job,
     Output, RunOutcome, Scenario,

@@ -275,6 +275,23 @@ mod tests {
     }
 
     #[test]
+    fn key_is_tenant_aware() {
+        // A serve base over a tenant partition answers a different
+        // semantic question than the single-workload run (tid namespaces,
+        // per-tenant seed streams and oid slices), so its verdicts must
+        // never collide with the classic run's — nor with a different
+        // partition of the same space.
+        use crate::runner::TenantLayout;
+        let base = paper_base(0.05, false, 20);
+        let n = base.el.db.num_objects;
+        let two = base.clone().with_tenants(Some(TenantLayout::even(n, 2)));
+        let four = base.clone().with_tenants(Some(TenantLayout::even(n, 4)));
+        assert_ne!(key_of(&base), key_of(&two));
+        assert_ne!(key_of(&two), key_of(&four));
+        assert_eq!(key_of(&two), key_of(&two.clone()));
+    }
+
+    #[test]
     fn roundtrip_persists_and_seeds() {
         let dir = tmpdir("roundtrip");
         let base = paper_base(0.05, false, 20);

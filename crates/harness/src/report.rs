@@ -81,6 +81,78 @@ impl Table {
     }
 }
 
+/// Renders the standard single-run report block shared by `elsim` and the
+/// degenerate one-tenant `elserve` path. Keeping the bytes in one place is
+/// what makes the 1-tenant serve pin ("byte-identical to `elsim`") a
+/// structural guarantee instead of a test-enforced coincidence.
+pub fn render_run_report(
+    m: &elog_core::LmMetrics,
+    recirc: bool,
+    started: u64,
+    committed: u64,
+    killed: u64,
+    p50_commit_ms: Option<f64>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== elsim run ==");
+    let _ = writeln!(
+        out,
+        "geometry            : {:?} blocks (recirc {})",
+        m.per_gen_blocks, recirc
+    );
+    let _ = writeln!(
+        out,
+        "transactions        : {started} started, {committed} committed, {killed} killed"
+    );
+    let _ = writeln!(
+        out,
+        "log bandwidth       : {:.2} block writes/s (per gen {:?})",
+        m.log_write_rate, m.per_gen_write_rate
+    );
+    let _ = writeln!(
+        out,
+        "block fill          : {:?}",
+        m.per_gen_fill
+            .iter()
+            .map(|f| f.map(|v| (v * 100.0).round() / 100.0))
+            .collect::<Vec<_>>()
+    );
+    let _ = writeln!(
+        out,
+        "peak memory         : {} B (LTT peak {}, LOT peak {})",
+        m.peak_memory_bytes, m.ltt_peak, m.lot_peak
+    );
+    let _ = writeln!(
+        out,
+        "forwarded           : {} records ({} B)",
+        m.stats.forwarded_records, m.stats.forwarded_bytes
+    );
+    let _ = writeln!(
+        out,
+        "recirculated        : {} records ({} B)",
+        m.stats.recirculated_records, m.stats.recirculated_bytes
+    );
+    let _ = writeln!(
+        out,
+        "flushes             : {} (mean oid distance {:?})",
+        m.flushes,
+        m.mean_seek_distance.map(|d| d.round())
+    );
+    let _ = writeln!(
+        out,
+        "flush utilisation   : {:.1}% (backlog {})",
+        m.flush_utilisation * 100.0,
+        m.flush_backlog
+    );
+    let _ = writeln!(out, "p50 commit latency  : {p50_commit_ms:?} ms");
+    let _ = writeln!(
+        out,
+        "anomalies           : {} unsafe drops, {} durability violations, {} stalls",
+        m.stats.unsafe_drops, m.stats.durability_violations, m.stats.buffer_stalls
+    );
+    out
+}
+
 /// Formats a float with `digits` decimals.
 pub fn f(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")

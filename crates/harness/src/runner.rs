@@ -28,6 +28,50 @@ pub enum Ev {
     Adaptive,
 }
 
+/// Per-tenant oid partition of the shared database, carried by
+/// multi-tenant serve runs (see `crate::serve`). Each tenant owns the
+/// contiguous range `[base, base + len)`; ranges are disjoint, and because
+/// the flush array assigns drives by contiguous oid stripes, a tenant's
+/// range maps onto a contiguous span of the shared drive array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantLayout {
+    /// `(base, len)` per tenant.
+    pub ranges: Vec<(u64, u64)>,
+}
+
+impl TenantLayout {
+    /// An even partition of `[0, num_objects)` into `tenants` contiguous
+    /// ranges (the last tenant absorbs the remainder).
+    ///
+    /// # Panics
+    /// Panics when `tenants` is zero or exceeds `num_objects`.
+    pub fn even(num_objects: u64, tenants: usize) -> Self {
+        assert!(tenants > 0, "at least one tenant");
+        assert!(
+            tenants as u64 <= num_objects,
+            "more tenants than objects to partition"
+        );
+        let per = num_objects / tenants as u64;
+        let ranges = (0..tenants as u64)
+            .map(|t| {
+                let base = t * per;
+                let len = if t + 1 == tenants as u64 {
+                    num_objects - base
+                } else {
+                    per
+                };
+                (base, len)
+            })
+            .collect();
+        TenantLayout { ranges }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
 /// Everything one simulation run needs.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -72,6 +116,14 @@ pub struct RunConfig {
     /// would corrupt every search verdict. The default comes from
     /// [`elog_core::adaptive::default_enabled`] (`--adaptive`).
     pub adaptive: bool,
+    /// Multi-tenant oid partition, when this config describes one tenant
+    /// population of a serve run (`None` = the classic single-workload
+    /// run). [`run`] itself ignores it — the serve loop owns the
+    /// partitioning — but it *must* live on the config so
+    /// [`RunConfig::verdict_key`] keys probe verdicts by tenancy: the same
+    /// geometry can be feasible for one whole-space workload and
+    /// infeasible for the identical load split across tenants.
+    pub tenants: Option<TenantLayout>,
 }
 
 impl RunConfig {
@@ -91,6 +143,7 @@ impl RunConfig {
             shards: crate::sharding::shards(),
             phases: None,
             adaptive: elog_core::adaptive::default_enabled(),
+            tenants: None,
         }
     }
 
@@ -184,6 +237,12 @@ impl RunConfig {
         self
     }
 
+    /// Sets (or clears) the multi-tenant oid partition.
+    pub fn with_tenants(mut self, tenants: Option<TenantLayout>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
     /// Canonical description of everything a probe verdict depends on
     /// *except* the geometry being probed: mix, arrivals, horizon, seed,
     /// the non-geometry log/flush/memory parameters and hint placement.
@@ -196,7 +255,10 @@ impl RunConfig {
     /// flag is normalised away too: probes run stop-on-kill, where the
     /// controller never engages, so verdicts are shared across
     /// `--adaptive` on/off. The phase schedule *stays* in the key — a
-    /// different schedule is a different workload stream.
+    /// different schedule is a different workload stream — and so does the
+    /// tenant layout: splitting the same load across tenant oid ranges
+    /// changes locality and garbage timing, so verdicts must not be shared
+    /// across tenancy shapes.
     pub fn verdict_key(&self) -> String {
         let mut canon = self.clone();
         canon.el.log.generation_blocks = Vec::new();
@@ -753,6 +815,27 @@ mod tests {
             base.verdict_key(),
             base.clone().with_phases(Some(schedule)).verdict_key()
         );
+    }
+
+    #[test]
+    fn verdict_key_keeps_the_tenant_layout() {
+        let base = quick_cfg(0.05, vec![18, 16], false, 30);
+        assert_ne!(
+            base.verdict_key(),
+            base.clone()
+                .with_tenants(Some(TenantLayout::even(1_000_000, 2)))
+                .verdict_key(),
+            "tenancy shape must key probe verdicts"
+        );
+    }
+
+    #[test]
+    fn even_layout_partitions_exactly() {
+        let l = TenantLayout::even(10, 3);
+        assert_eq!(l.ranges, vec![(0, 3), (3, 3), (6, 4)]);
+        assert_eq!(l.tenants(), 3);
+        let covered: u64 = l.ranges.iter().map(|&(_, len)| len).sum();
+        assert_eq!(covered, 10);
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The multi-tenant serve event loop: T workload drivers admitted into one
+//! shared [`ElManager`] under a deterministic `(time, sequence)` merge.
+//!
+//! The model is [`crate::runner::SimModel`] with the single driver replaced
+//! by a vector of per-tenant drivers. Each tenant generates transactions in
+//! its own *local* tid and oid space; the loop namespaces them at the
+//! manager boundary — tid high bits carry the tenant index
+//! ([`super::global_tid`]), oids shift by the tenant's range base — and
+//! translates back when manager effects (acks, kills) return. Tenant 0's
+//! mapping is the identity, which is what makes the one-tenant serve run
+//! byte-identical to the classic single-workload run.
+
+use super::{global_tid, split_tid};
+use elog_core::{Effects, ElManager, LmTimer, LogManager};
+use elog_model::{Oid, Tid};
+use elog_sim::{EventQueue, EventToken, FxHashMap, SimTime, Simulate};
+use elog_workload::{WorkloadDriver, WorkloadEvent};
+
+/// A committed record as recorded for the tenant-isolation tests:
+/// `(local tid, seq, local oid)` — local on purpose, so a tenant's record
+/// set is directly comparable between a solo run and a multi-tenant run.
+pub type CommittedRecord = (u64, u32, u64);
+
+/// Composite event alphabet of a serve run.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ServeEv {
+    /// Workload-driver event of one tenant (tids inside are tenant-local).
+    Workload {
+        /// The tenant whose driver scheduled the event.
+        tenant: u16,
+        /// The driver event itself.
+        ev: WorkloadEvent,
+    },
+    /// Log-manager timer (shared across tenants).
+    Lm(LmTimer),
+}
+
+/// T drivers × one shared log manager under one event loop.
+pub(crate) struct ServeModel {
+    /// Per-tenant workload drivers, each in its own local id spaces.
+    pub(crate) drivers: Vec<WorkloadDriver>,
+    /// The shared log manager (tenant ledger always armed).
+    pub(crate) lm: ElManager,
+    /// Per-tenant oid range base: local oid + base = shared-space oid.
+    oid_base: Vec<u64>,
+    /// Admission budget: a tenant whose live-record footprint reaches this
+    /// many records has new arrivals refused (0 = unlimited). Refusal keeps
+    /// the arrival chain alive, so the tenant resumes as soon as flushes
+    /// drain its footprint — other tenants never see the difference.
+    budget: u64,
+    /// Arrivals refused per tenant.
+    pub(crate) throttled: Vec<u64>,
+    /// Pending event tokens per *global* tid, cancelled on kill.
+    tokens: FxHashMap<Tid, Vec<EventToken>>,
+    /// Token-vec free list (mirrors `SimModel`).
+    token_pool: Vec<Vec<EventToken>>,
+    /// Scratch buffer for driver events (mirrors `SimModel`).
+    wl_events: Vec<(SimTime, WorkloadEvent)>,
+    /// Record committed `(tid, seq, oid)` triples per tenant (tests only).
+    record_commits: bool,
+    /// The recorded triples, indexed by tenant.
+    pub(crate) committed_sets: Vec<Vec<CommittedRecord>>,
+}
+
+impl ServeModel {
+    pub(crate) fn new(
+        drivers: Vec<WorkloadDriver>,
+        lm: ElManager,
+        oid_base: Vec<u64>,
+        budget: u64,
+        record_commits: bool,
+    ) -> Self {
+        let tenants = drivers.len();
+        ServeModel {
+            drivers,
+            lm,
+            oid_base,
+            budget,
+            throttled: vec![0; tenants],
+            tokens: FxHashMap::default(),
+            token_pool: Vec::new(),
+            wl_events: Vec::new(),
+            record_commits,
+            committed_sets: vec![Vec::new(); tenants],
+        }
+    }
+
+    /// Mirrors `SimModel::apply` exactly (timers, then acks, then kills,
+    /// then recycle) with the tid translation layered in. Divergence here
+    /// would break the one-tenant equivalence pin.
+    fn apply(&mut self, now: SimTime, mut fx: Effects, queue: &mut EventQueue<ServeEv>) {
+        for (at, timer) in fx.timers.drain(..) {
+            match timer.shard_lane() {
+                Some(lane) => queue.schedule_lane(lane, at, ServeEv::Lm(timer)),
+                None => {
+                    queue.schedule(at, ServeEv::Lm(timer));
+                }
+            }
+        }
+        for gtid in fx.acks.drain(..) {
+            let (tenant, local) = split_tid(gtid);
+            let t = tenant as usize;
+            let updates = self.drivers[t].on_commit_ack(now, local);
+            if self.record_commits {
+                let set = &mut self.committed_sets[t];
+                for u in updates {
+                    set.push((local.0, u.seq, u.oid.0));
+                }
+            }
+            if let Some(mut tokens) = self.tokens.remove(&gtid) {
+                tokens.clear();
+                self.token_pool.push(tokens);
+            }
+        }
+        for gtid in fx.kills.drain(..) {
+            let (tenant, local) = split_tid(gtid);
+            if let Some(mut tokens) = self.tokens.remove(&gtid) {
+                for tok in tokens.drain(..) {
+                    queue.cancel(tok);
+                }
+                self.token_pool.push(tokens);
+            }
+            self.drivers[tenant as usize].on_kill(now, local);
+        }
+        self.lm.recycle(fx);
+    }
+}
+
+impl Simulate for ServeModel {
+    type Event = ServeEv;
+
+    fn handle(&mut self, now: SimTime, event: ServeEv, queue: &mut EventQueue<ServeEv>) {
+        match event {
+            ServeEv::Workload {
+                tenant,
+                ev: WorkloadEvent::Arrival,
+            } => {
+                let t = tenant as usize;
+                let mut events = std::mem::take(&mut self.wl_events);
+                if let Some(new) = self.drivers[t].on_arrival(now, &mut events) {
+                    let gtid = global_tid(tenant, new.tid);
+                    let admitted = self.budget == 0
+                        || self
+                            .lm
+                            .tenant_ledger()
+                            .expect("serve arms the ledger")
+                            .get(t)
+                            .live_records
+                            < self.budget;
+                    if admitted {
+                        let fx = self.lm.begin(now, gtid);
+                        self.apply(now, fx, queue);
+                        for &(at, ev) in &events {
+                            let token = queue.schedule(at, ServeEv::Workload { tenant, ev });
+                            match ev {
+                                WorkloadEvent::WriteData { .. }
+                                | WorkloadEvent::WriteCommit { .. } => {
+                                    let pool = &mut self.token_pool;
+                                    self.tokens
+                                        .entry(gtid)
+                                        .or_insert_with(|| pool.pop().unwrap_or_default())
+                                        .push(token);
+                                }
+                                WorkloadEvent::Arrival => {}
+                            }
+                        }
+                    } else {
+                        // Refused: keep only the chained next-arrival event
+                        // so the tenant's stream continues, and retire the
+                        // transaction driver-side. The manager never saw
+                        // it, so no other tenant's state is touched.
+                        self.throttled[t] += 1;
+                        for &(at, ev) in &events {
+                            if matches!(ev, WorkloadEvent::Arrival) {
+                                queue.schedule(at, ServeEv::Workload { tenant, ev });
+                            }
+                        }
+                        self.drivers[t].on_kill(now, new.tid);
+                    }
+                }
+                self.wl_events = events;
+            }
+            ServeEv::Workload {
+                tenant,
+                ev: WorkloadEvent::WriteData { tid, seq },
+            } => {
+                let t = tenant as usize;
+                if let Some((oid, size)) = self.drivers[t].on_write_data(now, tid, seq) {
+                    let shared = Oid(self.oid_base[t] + oid.0);
+                    let fx = self
+                        .lm
+                        .write_data(now, global_tid(tenant, tid), shared, seq, size);
+                    self.apply(now, fx, queue);
+                }
+            }
+            ServeEv::Workload {
+                tenant,
+                ev: WorkloadEvent::WriteCommit { tid },
+            } => {
+                let t = tenant as usize;
+                if self.drivers[t].on_write_commit(now, tid) {
+                    let fx = self.lm.commit_request(now, global_tid(tenant, tid));
+                    self.apply(now, fx, queue);
+                }
+            }
+            ServeEv::Lm(timer) => {
+                let fx = self.lm.handle_timer(now, timer);
+                self.apply(now, fx, queue);
+            }
+        }
+    }
+}

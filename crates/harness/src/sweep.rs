@@ -114,6 +114,9 @@ pub enum Job {
     /// One measured run of the §6 EL–FW hybrid manager (built from the
     /// configuration's `el.db` / `el.log` / `el.flush`).
     Hybrid(RunConfig),
+    /// One measured multi-tenant serve run (`crate::serve`). Seeding
+    /// rewrites the base seed, from which the per-tenant streams derive.
+    Serve(crate::serve::ServeConfig),
 }
 
 /// One unit of sweep work.
@@ -198,6 +201,8 @@ pub enum Output {
     Recovery(RecoveryOutcome),
     /// A hybrid-manager measurement.
     Hybrid(HybridOutcome),
+    /// A multi-tenant serve measurement.
+    Serve(crate::serve::ServeOutcome),
     /// The scenario panicked; the payload is the panic message.
     Failed(String),
 }
@@ -209,6 +214,7 @@ impl Output {
         match self {
             Output::Measured(r) => Some(&r.perf),
             Output::MinSpace { measured, .. } => Some(&measured.perf),
+            Output::Serve(o) => Some(&o.perf),
             _ => None,
         }
     }
@@ -254,6 +260,14 @@ impl RunOutcome {
     pub fn hybrid(&self) -> Option<&HybridOutcome> {
         match &self.output {
             Output::Hybrid(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The serve outcome, for [`Job::Serve`] jobs.
+    pub fn serve(&self) -> Option<&crate::serve::ServeOutcome> {
+        match &self.output {
+            Output::Serve(o) => Some(o),
             _ => None,
         }
     }
@@ -510,6 +524,11 @@ fn run_job(scenario: &Scenario) -> Output {
                 acks: model.lm.stats().acks,
                 kills: model.kills(),
             })
+        }
+        Job::Serve(cfg) => {
+            let mut cfg = cfg.clone();
+            cfg.base = seeded(&cfg.base);
+            Output::Serve(crate::serve::serve_run(&cfg))
         }
     }
 }

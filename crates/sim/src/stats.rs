@@ -216,6 +216,43 @@ impl Histogram {
         Self::new((1..=n).map(|i| hi * i as f64 / n as f64).collect())
     }
 
+    /// Geometrically spaced bounds from `lo` to at least `hi` with
+    /// `per_decade` buckets per factor of ten — constant *relative*
+    /// resolution, so one histogram resolves both millisecond commit
+    /// latencies and multi-second stragglers. The last bound is the first
+    /// point of the geometric ladder at or above `hi`.
+    pub fn geometric(lo: f64, hi: f64, per_decade: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && per_decade > 0);
+        let step = 10f64.powf(1.0 / per_decade as f64);
+        let mut bounds = vec![lo];
+        while *bounds.last().expect("non-empty") < hi {
+            let next = bounds.last().expect("non-empty") * step;
+            bounds.push(next);
+        }
+        Self::new(bounds)
+    }
+
+    /// Adds every sample of `other` into `self` — the aggregation step when
+    /// per-source histograms (e.g. per-tenant latency) roll up into one
+    /// distribution.
+    ///
+    /// # Panics
+    /// Panics when the two histograms have different bucket bounds.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Records one sample.
     pub fn record(&mut self, x: f64) {
         let idx = self.bounds.partition_point(|&b| b < x);
@@ -454,5 +491,47 @@ mod tests {
     #[should_panic]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_geometric_ladder() {
+        let h = Histogram::geometric(1.0, 1000.0, 1); // 1, 10, 100, 1000
+        let bounds: Vec<f64> = h.buckets().map(|(b, _)| b).collect();
+        assert_eq!(bounds.len(), 5); // 4 bounds + overflow
+        assert!((bounds[0] - 1.0).abs() < 1e-9);
+        assert!((bounds[3] - 1000.0).abs() < 1e-6);
+        assert_eq!(bounds[4], f64::INFINITY);
+        // Covers hi even when the ladder overshoots it.
+        let h2 = Histogram::geometric(1.0, 500.0, 1);
+        let last = h2.buckets().map(|(b, _)| b).nth(3).unwrap();
+        assert!(last >= 500.0);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::linear(10.0, 5);
+        let mut b = Histogram::linear(10.0, 5);
+        for x in [1.0, 3.0] {
+            a.record(x);
+        }
+        for x in [7.0, 9.0, 42.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(42.0));
+        assert_eq!(a.quantile(1.0), Some(42.0));
+        // Merging an empty histogram changes nothing.
+        a.merge(&Histogram::linear(10.0, 5));
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.min(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::linear(10.0, 5);
+        a.merge(&Histogram::linear(10.0, 4));
     }
 }

@@ -65,6 +65,7 @@ pub struct Update {
 #[derive(Clone, Debug)]
 struct ActiveTxn {
     type_idx: usize,
+    started_at: SimTime,
     updates: Vec<Update>,
     commit_written: Option<SimTime>,
 }
@@ -82,6 +83,11 @@ pub struct WorkloadStats {
     pub data_records: u64,
     /// Commit-ack latency (t4 − t3), in milliseconds.
     pub commit_latency_ms: Histogram,
+    /// Whole-transaction commit latency (arrival → commit durable,
+    /// t4 − t1), in milliseconds. Geometric buckets: one histogram must
+    /// resolve both the ~1 s short type and 10 s+ stragglers, and tail
+    /// quantiles (p99) care about relative, not absolute, resolution.
+    pub full_latency_ms: Histogram,
     /// Concurrently active transactions.
     pub active: MaxGauge,
     /// Started count per type index.
@@ -96,6 +102,7 @@ impl WorkloadStats {
             killed: 0,
             data_records: 0,
             commit_latency_ms: Histogram::linear(500.0, 100),
+            full_latency_ms: Histogram::geometric(1.0, 120_000.0, 20),
             active: MaxGauge::new(),
             per_type_started: vec![0; n_types],
         }
@@ -343,6 +350,7 @@ impl WorkloadDriver {
             tid,
             ActiveTxn {
                 type_idx,
+                started_at: now,
                 updates,
                 commit_written: None,
             },
@@ -420,6 +428,9 @@ impl WorkloadDriver {
                 .commit_latency_ms
                 .record(now.saturating_sub(t3).as_micros() as f64 / 1000.0);
         }
+        self.stats
+            .full_latency_ms
+            .record(now.saturating_sub(txn.started_at).as_micros() as f64 / 1000.0);
         self.stats.committed += 1;
         self.stats.active.set(now, self.active.len() as u64);
         if self.track_updates {
@@ -568,6 +579,9 @@ mod tests {
         assert_eq!(d.stats().commit_latency_ms.total(), 1);
         // ~30 ms latency recorded.
         assert!(d.stats().commit_latency_ms.max().unwrap() >= 30.0);
+        // Whole-transaction latency spans arrival → ack: 1.03 s here.
+        assert_eq!(d.stats().full_latency_ms.total(), 1);
+        assert!((d.stats().full_latency_ms.max().unwrap() - 1030.0).abs() < 1e-6);
     }
 
     #[test]
